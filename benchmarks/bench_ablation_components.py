@@ -1,0 +1,96 @@
+"""Design-choice ablations beyond Table III (DESIGN.md section 5).
+
+Isolates two balancing mechanisms the paper folds into Section III-D3:
+
+- **data shifting** (hotspot upsampling): turning it off removes the
+  anchoring fuzziness, which costs hits on misaligned candidates;
+- **centroid downsampling** of nonhotspots: turning it off floods each
+  kernel with redundant negatives, which slows training without an
+  accuracy payoff (the paper's training-time argument).
+"""
+
+import time
+from dataclasses import replace
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.topology.cluster import ClassifierConfig
+
+from conftest import get_benchmark, print_table
+
+
+def test_shifting_ablation(once):
+    bench = get_benchmark("benchmark1")
+    rows = []
+    results = {}
+    for label, amount in (("shift=off", 0), ("shift=lc/10", 120), ("shift=lc/5", 240)):
+        config = replace(DetectorConfig.ours(), shift_amount=amount)
+        detector = HotspotDetector(config)
+        report = detector.fit(bench.training)
+        result = detector.score(bench.testing)
+        results[label] = result
+        rows.append(
+            (
+                label,
+                report.upsampled_hotspots,
+                result.score.hits,
+                result.score.extras,
+                f"{result.score.accuracy:.2%}",
+            )
+        )
+    print_table(
+        "Ablation: data shifting (hotspot upsampling)",
+        ["variant", "#hs after upsample", "#hit", "#extra", "accuracy"],
+        rows,
+    )
+    # Shifting adds anchoring fuzziness: the paper's lc/10 setting should
+    # not lose hits relative to no shifting.
+    assert results["shift=lc/10"].score.hits >= results["shift=off"].score.hits
+
+    config = replace(DetectorConfig.ours(), shift_amount=120)
+    detector = HotspotDetector(config)
+    once(detector.fit, bench.training)
+
+
+def test_downsampling_ablation(once):
+    bench = get_benchmark("benchmark1")
+    rows = []
+    # Downsampling on (paper) vs effectively off (huge radius -> every
+    # nonhotspot is its own cluster centroid).
+    variants = (
+        ("downsample=on", DetectorConfig.ours()),
+        (
+            "downsample=off",
+            replace(
+                DetectorConfig.ours(),
+                classifier=ClassifierConfig(radius_threshold=1e-9, expected_cluster_count=10_000),
+            ),
+        ),
+    )
+    timings = {}
+    for label, config in variants:
+        detector = HotspotDetector(config)
+        started = time.perf_counter()
+        report = detector.fit(bench.training)
+        train_seconds = time.perf_counter() - started
+        result = detector.score(bench.testing)
+        timings[label] = train_seconds
+        rows.append(
+            (
+                label,
+                report.nonhotspot_centroids,
+                f"{train_seconds:.2f}s",
+                result.score.hits,
+                result.score.extras,
+                f"{result.score.accuracy:.2%}",
+            )
+        )
+    print_table(
+        "Ablation: nonhotspot centroid downsampling",
+        ["variant", "#nhs centroids", "train time", "#hit", "#extra", "accuracy"],
+        rows,
+    )
+    assert rows[0][1] <= rows[1][1]
+
+    detector = HotspotDetector(DetectorConfig.ours())
+    once(detector.fit, bench.training)

@@ -1,0 +1,89 @@
+"""Section I — the four detection-approach categories, quantified.
+
+The paper's introduction surveys four approaches and their trade-offs:
+
+1. lithography simulation — "most accurate ... extremely high
+   computational complexity and long runtime";
+2. pattern matching — "fastest ... limited flexibility to recognize
+   previously unseen" patterns;
+3. machine learning — "good at detecting unknown hotspots but need
+   special treatments to suppress the false alarm";
+4. hybrid — "enhance accuracy and reduce false alarm but may consume
+   longer runtimes".
+
+This bench runs all four on one benchmark and checks the qualitative
+ordering the paper asserts: simulation is the slowest per clip; the
+pattern matcher is the fastest; the hybrid union never has fewer hits
+than either engine alone.
+"""
+
+import time
+
+from repro.baselines.hybrid import HybridDetector
+from repro.baselines.pattern_match import PatternMatcher
+from repro.data.benchmarks import ICCAD_SPEC
+from repro.litho.simulator import LithoSimDetector
+
+from conftest import get_benchmark, get_detector, print_table
+
+
+def test_intro_category_comparison(once):
+    bench = get_benchmark("benchmark1")
+    rows = []
+    timings = {}
+    scores = {}
+
+    sim = LithoSimDetector(ICCAD_SPEC)
+    started = time.perf_counter()
+    sim_report = sim.score(bench.testing)
+    timings["litho_sim"] = time.perf_counter() - started
+    scores["litho_sim"] = sim_report.score
+    per_clip_sim = timings["litho_sim"] / max(1, sim_report.candidate_count)
+
+    matcher = PatternMatcher()
+    matcher.fit(bench.training)
+    started = time.perf_counter()
+    pm_report = matcher.score(bench.testing)
+    timings["pattern_match"] = time.perf_counter() - started
+    scores["pattern_match"] = pm_report.score
+    per_clip_pm = timings["pattern_match"] / max(1, pm_report.candidate_count)
+
+    detector = get_detector("benchmark1", "ours")
+    started = time.perf_counter()
+    ml_report = detector.score(bench.testing)
+    timings["machine_learning"] = time.perf_counter() - started
+    scores["machine_learning"] = ml_report.score
+
+    hybrid = HybridDetector(mode="union")
+    hybrid.fit(bench.training)
+    started = time.perf_counter()
+    hybrid_report = hybrid.score(bench.testing)
+    timings["hybrid_union"] = time.perf_counter() - started
+    scores["hybrid_union"] = hybrid_report.score
+
+    for label in ("litho_sim", "pattern_match", "machine_learning", "hybrid_union"):
+        score = scores[label]
+        rows.append(
+            (
+                label,
+                score.hits,
+                score.extras,
+                f"{score.accuracy:.2%}",
+                f"{timings[label]:.1f}s",
+            )
+        )
+    print_table(
+        "Section I: detection-approach categories (benchmark1)",
+        ["approach", "#hit", "#extra", "accuracy", "eval time"],
+        rows,
+    )
+
+    # Qualitative ordering asserted by the paper's survey.
+    assert per_clip_sim > per_clip_pm, "simulation must be slower per clip than PM"
+    assert timings["litho_sim"] > timings["pattern_match"]
+    assert scores["hybrid_union"].hits >= scores["machine_learning"].hits
+    assert scores["hybrid_union"].hits >= scores["pattern_match"].hits
+    # The ML framework suppresses false alarms better than raw PM+union.
+    assert scores["machine_learning"].extras <= scores["hybrid_union"].extras
+
+    once(matcher.score, bench.testing)

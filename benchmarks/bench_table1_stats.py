@@ -1,0 +1,40 @@
+"""Table I — benchmark statistics.
+
+Regenerates the six benchmark pairs and prints the Table I row for each:
+training hotspot / nonhotspot counts (highly imbalanced, as in the
+contest archives), testing hotspot count, layout area and process node.
+The timed kernel is one full benchmark-pair generation.
+"""
+
+from repro.data.benchmarks import BENCHMARKS, generate_benchmark
+
+from conftest import BENCH_SCALES, get_benchmark, print_table
+
+
+def test_table1_statistics(once):
+    rows = []
+    for config in BENCHMARKS:
+        bench = get_benchmark(config.name)
+        stats = bench.stats()
+        rows.append(
+            (
+                f"MX_{stats['name']}_clip",
+                stats["train_hs"],
+                stats["train_nhs"],
+                f"Array_{stats['name']}",
+                stats["test_hs"],
+                stats["area_um2"],
+                stats["process"],
+            )
+        )
+    print_table(
+        "Table I: benchmark statistics (scaled reproduction)",
+        ["training", "#hs", "#nhs", "testing", "#hs", "area_um2", "process"],
+        rows,
+    )
+
+    # Imbalance sanity: every training set is nonhotspot-heavy.
+    for _, hs, nhs, *_ in rows:
+        assert nhs > hs
+
+    once(generate_benchmark, "benchmark5", BENCH_SCALES["benchmark5"])

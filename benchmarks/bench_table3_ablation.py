@@ -1,0 +1,76 @@
+"""Table III — detailed feature ablation.
+
+Reproduces the Basic / +Topology / +Removal / Ours progression with the
+Section V parameters (C0 = 1000, gamma0 = 0.01, K = 10, 90 % stop,
+shift = lc/10, merge overlap 20 %, reframe ls = 1150 nm).
+
+Shape under test:
+- topological classification + population balancing lifts accuracy over
+  the single huge kernel and slashes extras;
+- redundant clip removal cuts reports without losing hits;
+- the feedback kernel trims further extras at equal accuracy.
+"""
+
+from conftest import get_benchmark, get_detector, print_table
+
+BENCH_NAMES = ("benchmark1", "benchmark3", "benchmark4")
+VARIANTS = (("basic", "Basic"), ("topology", "+Topology"), ("removal", "+Removal"), ("ours", "Ours"))
+
+
+def run_ablation():
+    table = {}
+    for name in BENCH_NAMES:
+        bench = get_benchmark(name)
+        table[name] = {}
+        for variant, _label in VARIANTS:
+            detector = get_detector(name, variant)
+            result = detector.score(bench.testing)
+            table[name][variant] = result
+    return table
+
+
+def test_table3_ablation(once):
+    table = run_ablation()
+    rows = []
+    for name in BENCH_NAMES:
+        bench = get_benchmark(name)
+        hs_ratio = len(bench.training.hotspots()) / max(
+            1, len(bench.training.non_hotspots())
+        )
+        for variant, label in VARIANTS:
+            result = table[name][variant]
+            rows.append(
+                (
+                    name,
+                    label,
+                    f"{hs_ratio:.2f}",
+                    result.score.hits,
+                    result.score.extras,
+                    f"{result.score.accuracy:.2%}",
+                    result.report_count,
+                )
+            )
+    print_table(
+        "Table III: feature ablation (Basic -> +Topology -> +Removal -> Ours)",
+        ["benchmark", "method", "#hs/#nhs", "#hit", "#extra", "accuracy", "#reports"],
+        rows,
+    )
+
+    for name in BENCH_NAMES:
+        basic = table[name]["basic"].score
+        topo = table[name]["topology"].score
+        removal = table[name]["removal"].score
+        ours = table[name]["ours"].score
+        # Topology must win the combined objective (hit/extra at >= accuracy
+        # within tolerance), as in every Table III row.
+        assert topo.hit_extra_ratio >= basic.hit_extra_ratio, name
+        # Removal never sacrifices accuracy and never adds reports.
+        assert removal.hits >= topo.hits - 1, name
+        assert table[name]["removal"].report_count <= table[name]["topology"].report_count, name
+        # The full framework's extras are never worse than +Removal's.
+        assert ours.extras <= removal.extras, name
+        assert ours.hits >= removal.hits - 1, name
+
+    bench = get_benchmark("benchmark1")
+    detector = get_detector("benchmark1", "ours")
+    once(detector.score, bench.testing)

@@ -1,0 +1,76 @@
+"""Shared state for the experiment benches.
+
+Benchmark pairs and trained detectors are generated once per session and
+cached; each bench file prints its paper-style table to stdout (captured
+by ``pytest -s`` or the bench harness) and times a representative kernel
+of work through the ``benchmark`` fixture.
+
+Scales are chosen so the full bench suite completes in minutes on a
+laptop; EXPERIMENTS.md records the mapping to the paper's full-size runs.
+"""
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.data.benchmarks import generate_benchmark
+
+#: Per-benchmark generation scales used throughout the bench suite.
+BENCH_SCALES = {
+    "benchmark1": 1.0,
+    "benchmark2": 0.5,
+    "benchmark3": 0.5,
+    "benchmark4": 0.8,
+    "benchmark5": 1.0,
+    "blind": 1.0,
+}
+
+_bench_cache: dict = {}
+_detector_cache: dict = {}
+
+
+def get_benchmark(name: str):
+    """Session-cached benchmark pair at its bench scale."""
+    if name not in _bench_cache:
+        _bench_cache[name] = generate_benchmark(name, BENCH_SCALES[name])
+    return _bench_cache[name]
+
+
+def get_detector(name: str, variant: str) -> HotspotDetector:
+    """Session-cached trained detector for (benchmark, config variant)."""
+    key = (name, variant)
+    if key not in _detector_cache:
+        config = {
+            "ours": DetectorConfig.ours,
+            "ours_med": DetectorConfig.ours_med,
+            "ours_low": DetectorConfig.ours_low,
+            "basic": DetectorConfig.basic,
+            "topology": DetectorConfig.with_topology,
+            "removal": DetectorConfig.with_removal,
+        }[variant]()
+        detector = HotspotDetector(config)
+        detector.fit(get_benchmark(name).training)
+        _detector_cache[key] = detector
+    return _detector_cache[key]
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Print an aligned text table (the bench harness's 'paper table')."""
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (heavy end-to-end work)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,100 @@
+"""Bring your own patterns: building clip sets and layouts from scratch.
+
+The benchmark generator is convenient, but a downstream user will have
+their own geometry.  This example builds a tiny pattern library by hand —
+raw rectangles in and out of clips, a hand-made layout, GDSII-free — and
+runs the pipeline on it, poking at the intermediate representations along
+the way (directional strings, clusters, critical features).
+
+Run:  python examples/custom_patterns.py
+"""
+
+from repro import DetectorConfig, HotspotDetector
+from repro.features import FeatureConfig, FeatureExtractor
+from repro.geometry import Rect
+from repro.layout import Clip, ClipLabel, ClipSet, ClipSpec, Layout
+from repro.topology import TopologicalClassifier, directional_strings
+
+SPEC = ClipSpec(core_side=1200, clip_side=4800)
+
+
+def line_end_pair(x: int, y: int, gap: int, width: int = 80) -> list[Rect]:
+    """Two facing line ends with the given gap (the tip-to-tip motif)."""
+    return [
+        Rect(x, y, x + 500, y + width),
+        Rect(x + 500 + gap, y, x + 1000 + gap, y + width),
+    ]
+
+
+def make_clip(rects, label) -> Clip:
+    """Anchor a clip core at the geometry's lower-left corner."""
+    x0 = min(r.x0 for r in rects)
+    y0 = min(r.y0 for r in rects)
+    core = Rect(x0, y0, x0 + SPEC.core_side, y0 + SPEC.core_side)
+    return Clip.build(SPEC.clip_for_core(core), SPEC, rects, label)
+
+
+def main() -> None:
+    # --- a hand-made training library -------------------------------
+    training = ClipSet(SPEC)
+    for i, gap in enumerate((45, 55, 60, 70, 50, 65)):  # failing gaps
+        training.add(make_clip(line_end_pair(0, 100 * i, gap), ClipLabel.HOTSPOT))
+    for i, gap in enumerate((150, 200, 260, 180, 220, 300, 170, 240)):  # safe
+        training.add(make_clip(line_end_pair(0, 100 * i, gap), ClipLabel.NON_HOTSPOT))
+
+    # --- inspect the intermediate representations --------------------
+    sample = training.hotspots()[0]
+    strings = directional_strings(sample.core_rects(), sample.core)
+    print("Directional strings of a hotspot core:")
+    print(f"  bottom={strings.bottom} right={strings.right}")
+    print(f"  top={strings.top} left={strings.left}")
+
+    classifier = TopologicalClassifier()
+    clusters = classifier.classify(training.hotspots())
+    print(f"\nHotspot clusters: {len(clusters)} "
+          f"(sizes {[len(c.members) for c in clusters]})")
+
+    extractor = FeatureExtractor(FeatureConfig())
+    extraction = extractor.extract(sample)
+    print(f"Critical features of the sample: {len(extraction.rules)} rule "
+          f"rectangles; nontopo: corners={extraction.nontopo.corner_count}, "
+          f"min spacing={extraction.nontopo.min_external}")
+
+    # --- train ---------------------------------------------------------
+    detector = HotspotDetector(DetectorConfig.ours())
+    report = detector.fit(training)
+    print(f"\nTrained {report.kernels} kernel(s).")
+
+    # --- a hand-made layout to scan ------------------------------------
+    layout = Layout()
+    planted = {}
+    for index, gap in enumerate((50, 65, 200, 250, 58)):
+        x = 8000 + index * 9000
+        for rect in line_end_pair(x, 8000, gap):
+            layout.add_rect(1, rect)
+        planted[x] = gap
+    # Context wires so clips pass the polygon-distribution requirements.
+    # They stay clear of each pair's anchored core window (y in
+    # [8000, 9200]) so the core topology matches the training library.
+    for index in range(len(planted)):
+        x = 8000 + index * 9000
+        for row in range(-8, 14):
+            y = 8000 + 250 + row * 400
+            if 7800 <= y <= 9300:
+                continue
+            layout.add_rect(1, Rect(x - 1500, y, x + 2500, y + 80))
+
+    result = detector.detect(layout)
+    print(f"\nScan: {result.extraction.candidate_count} candidates, "
+          f"{result.report_count} hotspot reports")
+    for report_clip in result.reports:
+        x0 = report_clip.core.x0
+        nearest = min(planted, key=lambda x: abs(x - x0))
+        print(
+            f"  report core at x={x0}: nearest planted pair has gap "
+            f"{planted[nearest]} nm"
+        )
+
+
+if __name__ == "__main__":
+    main()

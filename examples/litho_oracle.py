@@ -1,0 +1,116 @@
+"""Lithography simulation as oracle, screen, and visual debugger.
+
+Three things the lite litho simulator is for:
+
+1. **oracle** — label your own clips when no foundry data exists (the
+   role simulation plays for real training sets);
+2. **screen** — the brute-force category-1 detector: most accurate,
+   slowest (Section I's comparison, quantified);
+3. **debugging** — render what actually printed next to what was drawn.
+
+Run:  python examples/litho_oracle.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import DetectorConfig, HotspotDetector, generate_benchmark
+from repro.data.benchmarks import ICCAD_SPEC
+from repro.litho import (
+    LithoSimConfig,
+    LithoSimDetector,
+    OpticsConfig,
+    aerial_image,
+    label_clip_by_simulation,
+    simulate_clip,
+)
+from repro.viz import SvgCanvas, render_detection_svg
+
+
+def oracle_demo(bench) -> None:
+    print("== Oracle: simulation vs planted ground truth ==")
+    agreements = 0
+    sample = bench.training.hotspots()[:8] + bench.training.non_hotspots()[:8]
+    for clip in sample:
+        simulated = label_clip_by_simulation(clip)
+        agreements += simulated is clip.label
+    print(f"  simulator agrees with planted labels on {agreements}/{len(sample)} clips")
+
+
+def screen_demo(bench) -> None:
+    print("\n== Screen: brute-force simulation vs the trained framework ==")
+    sim = LithoSimDetector(ICCAD_SPEC)
+    started = time.perf_counter()
+    sim_report = sim.score(bench.testing)
+    sim_seconds = time.perf_counter() - started
+
+    detector = HotspotDetector(DetectorConfig.ours())
+    detector.fit(bench.training)
+    started = time.perf_counter()
+    ml_report = detector.score(bench.testing)
+    ml_seconds = time.perf_counter() - started
+
+    print(
+        f"  simulation : {sim_report.score.hits}/{sim_report.score.actual_hotspots} hits, "
+        f"{sim_report.score.extras} extras, {sim_seconds:.1f}s"
+    )
+    print(
+        f"  framework  : {ml_report.score.hits}/{ml_report.score.actual_hotspots} hits, "
+        f"{ml_report.score.extras} extras, {ml_seconds:.1f}s (after training)"
+    )
+    return ml_report
+
+
+def debug_demo(bench, workdir: Path) -> None:
+    print("\n== Debugger: aerial image of one hotspot clip ==")
+    clip = bench.training.hotspots()[0]
+    report = simulate_clip(clip)
+    print(f"  defect analysis: {report.kind}")
+
+    # Render the aerial intensity as an SVG heat strip over the core.
+    optics = OpticsConfig()
+    window = clip.core.expanded(400)
+    rects = [r for r in (rect.intersection(window) for rect in clip.rects) if r]
+    intensity = aerial_image(rects, window, optics)
+    canvas = SvgCanvas(window, width_px=600)
+    from repro.geometry.rect import Rect
+
+    p = optics.pixel_nm
+    step = 4  # render 40 nm blocks to keep the SVG small
+    for row in range(0, intensity.shape[0] - step, step):
+        for col in range(0, intensity.shape[1] - step, step):
+            value = float(intensity[row : row + step, col : col + step].mean())
+            if value < 0.05:
+                continue
+            shade = int(255 - 200 * min(1.0, value))
+            cell = Rect(
+                window.x0 + col * p,
+                window.y0 + row * p,
+                window.x0 + (col + step) * p,
+                window.y0 + (row + step) * p,
+            )
+            canvas.add_rect(cell, f'fill="rgb(255,{shade},{shade})" stroke="none"')
+    for rect in rects:
+        canvas.add_rect(rect, 'fill="none" stroke="#333" stroke-width="1"')
+    out = workdir / "aerial.svg"
+    canvas.save(out)
+    print(f"  aerial-image rendering -> {out}")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_litho_"))
+    bench = generate_benchmark("benchmark1", scale=0.4)
+    oracle_demo(bench)
+    ml_report = screen_demo(bench)
+    debug_demo(bench, workdir)
+
+    out = workdir / "detection.svg"
+    render_detection_svg(bench.testing, ml_report.reports, out)
+    print(f"\nDetection overview rendering -> {out}")
+
+
+if __name__ == "__main__":
+    main()

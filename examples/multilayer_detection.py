@@ -1,0 +1,73 @@
+"""Section IV extensions: multilayer hotspots and double patterning.
+
+Demonstrates the two extension detectors on their dedicated workloads:
+
+- a cross-layer hotspot (metal-2 wire crossing a metal-1 dead-zone gap)
+  that metal-1-only features cannot see, and
+- a double-patterning hotspot whose combined geometry looks harmless but
+  whose mask decomposition contains a same-mask spacing violation.
+
+Run:  python examples/multilayer_detection.py
+"""
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.training import train_multi_kernel
+from repro.data.multilayer import generate_dpt_set, generate_multilayer_set
+from repro.layout import ClipLabel, ClipSet, ClipSpec
+from repro.multilayer import DptDetector, MultiLayerDetector, decompose
+
+SPEC = ClipSpec()
+
+
+def multilayer_demo() -> None:
+    print("== Multilayer hotspots (Section IV-A) ==")
+    clips = generate_multilayer_set(16, 24, SPEC)
+    train = clips[:12] + clips[16:34]
+    test = clips[12:16] + clips[34:]
+    truth = np.array([c.label is ClipLabel.HOTSPOT for c in test])
+
+    detector = MultiLayerDetector(DetectorConfig.ours())
+    kernels = detector.fit(train)
+    predictions = detector.predict(test)
+    accuracy = (predictions == truth).mean()
+    print(f"  multilayer detector: {kernels} kernels, test accuracy {accuracy:.1%}")
+
+    # Control: the same patterns seen on metal 1 only.
+    single = ClipSet(SPEC)
+    for clip in train:
+        single.add(clip.layer_clip(1))
+    model = train_multi_kernel(single, DetectorConfig.ours())
+    single_pred = model.predict([c.layer_clip(1) for c in test])
+    single_accuracy = (single_pred == truth).mean()
+    print(f"  metal-1-only control:              test accuracy {single_accuracy:.1%}")
+    print("  (the hotspot/safe cores are identical on metal 1 by construction)")
+
+
+def dpt_demo() -> None:
+    print("\n== Double patterning (Section IV-B) ==")
+    clips = generate_dpt_set(14, 18, SPEC)
+
+    # Show what the decomposer does to one hotspot clip.
+    sample = clips[0]
+    decomposition = decompose(list(sample.rects), min_same_mask_spacing=100)
+    print(
+        f"  sample clip: {len(sample.rects)} rects -> mask1 "
+        f"{len(decomposition.mask1)}, mask2 {len(decomposition.mask2)}, "
+        f"native conflicts {len(decomposition.conflicts)}"
+    )
+
+    train = clips[:10] + clips[14:28]
+    test = clips[10:14] + clips[28:]
+    truth = np.array([c.label is ClipLabel.HOTSPOT for c in test])
+    detector = DptDetector(DetectorConfig.ours(), min_same_mask_spacing=100)
+    kernels = detector.fit(train)
+    predictions = detector.predict(test)
+    accuracy = (predictions == truth).mean()
+    print(f"  DPT detector: {kernels} kernels, test accuracy {accuracy:.1%}")
+
+
+if __name__ == "__main__":
+    multilayer_demo()
+    dpt_demo()

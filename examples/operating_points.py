@@ -1,0 +1,66 @@
+"""Operating points: the accuracy / false-alarm trade-off in practice.
+
+Physical-verification teams run hotspot detection at different operating
+points depending on schedule pressure: a signoff run wants every hotspot
+(maximum hits, extras triaged by hand), an ECO loop wants a short, highly
+trusted list.  This example trains one detector and sweeps its decision
+threshold (the Fig. 15 axis), printing the trade-off curve and the three
+named operating points from Table II.
+
+Run:  python examples/operating_points.py
+"""
+
+from repro import DetectorConfig, HotspotDetector, generate_benchmark
+from repro.core.extraction import extract_for_detector
+from repro.core.metrics import score_reports
+from repro.core.removal import remove_redundant_clips
+
+
+def main() -> None:
+    bench = generate_benchmark("benchmark3", scale=0.5)
+    detector = HotspotDetector(DetectorConfig.ours())
+    detector.fit(bench.training)
+
+    # Compute candidate margins once; each threshold reuses them.
+    extraction = extract_for_detector(bench.testing.layout, detector.config)
+    margins = detector.margins(extraction.clips)
+    truth = bench.testing.hotspot_cores()
+
+    def factory(core):
+        return bench.testing.layout.cut_clip_at_core(detector.config.spec, core)
+
+    print(f"{'threshold':>10} {'hits':>6} {'extras':>7} {'hit rate':>9} {'hit/extra':>10}")
+    for threshold in (-0.75, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75, 1.0):
+        flagged = [
+            clip
+            for clip, margin in zip(extraction.clips, margins)
+            if margin >= threshold
+        ]
+        reports = remove_redundant_clips(
+            flagged, detector.config.spec, detector.config.removal, factory
+        )
+        score = score_reports(reports, truth, bench.testing.area_um2)
+        ratio = score.hit_extra_ratio
+        ratio_text = "inf" if ratio == float("inf") else f"{ratio:.3f}"
+        print(
+            f"{threshold:>+10.2f} {score.hits:>6} {score.extras:>7} "
+            f"{score.accuracy:>8.1%} {ratio_text:>10}"
+        )
+
+    print("\nNamed operating points (Table II):")
+    for label, config in (
+        ("ours", DetectorConfig.ours()),
+        ("ours_med", DetectorConfig.ours_med()),
+        ("ours_low", DetectorConfig.ours_low()),
+    ):
+        result = detector.score(bench.testing, threshold=config.decision_threshold)
+        score = result.score
+        print(
+            f"  {label:9s} thr={config.decision_threshold:+.2f}: "
+            f"{score.hits}/{score.actual_hotspots} hits, {score.extras} extras "
+            f"({score.accuracy:.1%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: train the framework and scan a layout for hotspots.
+
+Generates an ICCAD-2012-like benchmark pair (synthetic substitution for
+the proprietary contest data — see DESIGN.md), trains the full framework
+(topological classification, critical features, multiple SVM kernels,
+feedback kernel), scans the testing layout, and scores the reports
+against ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DetectorConfig, HotspotDetector, generate_benchmark
+
+
+def main() -> None:
+    print("Generating benchmark1 (training clips + testing layout)...")
+    bench = generate_benchmark("benchmark1", scale=0.6)
+    stats = bench.stats()
+    print(
+        f"  training: {stats['train_hs']} hotspots / {stats['train_nhs']} "
+        f"nonhotspots; testing: {stats['test_hs']} planted hotspots over "
+        f"{stats['area_um2']:.0f} um^2"
+    )
+
+    print("\nTraining the full framework (DetectorConfig.ours())...")
+    detector = HotspotDetector(DetectorConfig.ours())
+    report = detector.fit(bench.training)
+    print(
+        f"  {report.kernels} SVM kernels over {report.hotspot_clusters} "
+        f"hotspot clusters; {report.nonhotspot_centroids} nonhotspot "
+        f"centroids after downsampling; feedback kernel trained: "
+        f"{report.feedback_trained}  ({report.train_seconds:.1f}s)"
+    )
+
+    print("\nScanning the testing layout...")
+    result = detector.score(bench.testing)
+    print(
+        f"  {result.extraction.candidate_count} candidate clips "
+        f"(of {result.extraction.anchor_count} anchors); "
+        f"{result.flagged_before_feedback} flagged, "
+        f"{result.flagged_after_feedback} after feedback, "
+        f"{result.report_count} final reports  ({result.eval_seconds:.1f}s)"
+    )
+
+    score = result.score
+    print("\nScore vs ground truth:")
+    print(f"  hits      : {score.hits} / {score.actual_hotspots}")
+    print(f"  accuracy  : {score.accuracy:.2%}")
+    print(f"  extras    : {score.extras}")
+    print(f"  hit/extra : {score.hit_extra_ratio:.3f}")
+
+    # Individual reports are ordinary clips: inspect one.
+    if result.reports:
+        first = result.reports[0]
+        print(
+            f"\nFirst report: core at ({first.core.x0}, {first.core.y0}), "
+            f"{len(first.core_rects())} polygons in core, "
+            f"core density {first.core_density():.2%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this offline image falls back to the legacy
+``setup.py develop`` path, which needs this file.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

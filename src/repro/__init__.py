@@ -1,0 +1,72 @@
+"""repro — machine-learning lithography hotspot detection.
+
+A full reproduction of Yu, Lin, Jiang & Chiang, "Machine-Learning-Based
+Hotspot Detection Using Topological Classification and Critical Feature
+Extraction" (DAC 2013; extended in IEEE TCAD 34(3), 2015), built from
+scratch in Python: GDSII substrate, Manhattan geometry engine, two-level
+topological classification, MTCG critical-feature extraction, an SMO-based
+C-SVM, the multiple-kernel + feedback-kernel learner, density-driven clip
+extraction and redundant clip removal — plus baselines, synthetic
+ICCAD-2012-like benchmarks, and the paper's experiment harness.
+
+Quickstart::
+
+    from repro import DetectorConfig, HotspotDetector, generate_benchmark
+
+    bench = generate_benchmark("benchmark1", scale=0.3)
+    detector = HotspotDetector(DetectorConfig.ours())
+    detector.fit(bench.training)
+    result = detector.score(bench.testing)
+    print(f"accuracy={result.score.accuracy:.1%} extras={result.score.extras}")
+"""
+
+from repro.core import (
+    DetectionReport,
+    DetectionScore,
+    DetectorConfig,
+    ExtractionConfig,
+    HotspotDetector,
+    RemovalConfig,
+    TrainingReport,
+    explain_clip,
+    load_detector,
+    save_detector,
+    score_reports,
+    sweep_thresholds,
+)
+from repro.data import (
+    BENCHMARKS,
+    ICCAD_SPEC,
+    Benchmark,
+    generate_all,
+    generate_benchmark,
+)
+from repro.layout import Clip, ClipLabel, ClipSet, ClipSpec, Layout
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "HotspotDetector",
+    "DetectorConfig",
+    "ExtractionConfig",
+    "RemovalConfig",
+    "DetectionReport",
+    "DetectionScore",
+    "TrainingReport",
+    "score_reports",
+    "explain_clip",
+    "save_detector",
+    "load_detector",
+    "sweep_thresholds",
+    "Clip",
+    "ClipLabel",
+    "ClipSet",
+    "ClipSpec",
+    "Layout",
+    "Benchmark",
+    "BENCHMARKS",
+    "ICCAD_SPEC",
+    "generate_benchmark",
+    "generate_all",
+]

@@ -1,0 +1,30 @@
+"""Baselines: fuzzy pattern matching, window scanning, single-kernel SVM."""
+
+from repro.baselines.pattern_match import (
+    PatternEntry,
+    PatternMatchConfig,
+    PatternMatcher,
+    PatternMatchReport,
+)
+from repro.baselines.hybrid import HybridDetector, HybridReport
+from repro.baselines.single_svm import SingleSvmBaseline
+from repro.baselines.window_scan import (
+    WindowScanConfig,
+    count_window_clips,
+    scan_clips,
+    window_positions,
+)
+
+__all__ = [
+    "PatternMatcher",
+    "PatternMatchConfig",
+    "PatternMatchReport",
+    "PatternEntry",
+    "SingleSvmBaseline",
+    "HybridDetector",
+    "HybridReport",
+    "WindowScanConfig",
+    "window_positions",
+    "count_window_clips",
+    "scan_clips",
+]

@@ -1,0 +1,150 @@
+"""Fuzzy pattern-matching hotspot detector (contest-winner stand-in).
+
+The ICCAD-2012 first-place entry (by the paper's own group) was a fuzzy
+*pattern-matching* engine: known hotspot patterns are stored in a library
+and layout sites are flagged when they match a stored pattern within a
+tolerance.  This module implements that approach over the same substrate
+the ML detector uses:
+
+- a pattern is stored as its D8-canonical directional-string key plus its
+  core density grid;
+- a candidate clip matches when its string key equals a library entry's
+  and the Eq. 1 density distance is within ``tolerance``.
+
+The characteristic behaviour the paper reports for pattern matching falls
+out naturally: precharacterised hotspots are found with near-perfect
+recall and the evaluation is fast, but the matcher has no notion of the
+*critical dimension boundary* — safe patterns sharing a hotspot's topology
+at slightly larger spacings also match, which is why the contest winner's
+extra counts dwarf the ML framework's (Table II).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.extraction import extract_candidate_clips
+from repro.core.metrics import DetectionScore, score_reports
+from repro.core.config import ExtractionConfig
+from repro.core.resample import shift_derivatives
+from repro.data.synth import TestingLayout
+from repro.errors import NotFittedError
+from repro.layout.clip import Clip, ClipLabel, ClipSet, ClipSpec
+from repro.layout.layout import Layout
+from repro.topology.strings import canonical_string_key
+
+
+@dataclass
+class PatternEntry:
+    """One library pattern: topology key plus density signature."""
+
+    key: tuple
+    grid: np.ndarray
+
+
+@dataclass
+class PatternMatchConfig:
+    """Matcher knobs.
+
+    ``tolerance`` is the maximum Eq. 1 density distance for a fuzzy match
+    (in summed-density units over the grid).  ``shift_amount`` mirrors the
+    ML pipeline's data shifting, widening each stored pattern into a small
+    neighbourhood of anchors.
+    """
+
+    grid_resolution: int = 12
+    tolerance: float = 9.0
+    shift_amount: int = 120
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+
+
+@dataclass
+class PatternMatchReport:
+    """Evaluation result of the matcher on one layout."""
+
+    reports: list[Clip]
+    candidate_count: int
+    eval_seconds: float
+    score: Optional[DetectionScore] = None
+
+
+class PatternMatcher:
+    """Fuzzy pattern-matching detector over hotspot training clips."""
+
+    def __init__(self, config: PatternMatchConfig = PatternMatchConfig()):
+        self.config = config
+        self._library: Optional[dict[tuple, list[PatternEntry]]] = None
+        self._spec: Optional[ClipSpec] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, training: ClipSet) -> int:
+        """Build the pattern library from the hotspot training clips.
+
+        Returns the number of stored entries.  Nonhotspot clips are not
+        used — a pattern matcher only knows what a hotspot looks like,
+        which is precisely its structural weakness vs. the ML framework.
+        """
+        library: dict[tuple, list[PatternEntry]] = {}
+        for clip in training.hotspots():
+            for derivative in shift_derivatives(clip, self.config.shift_amount):
+                key = canonical_string_key(
+                    derivative.core_rects(), derivative.core
+                )
+                grid = derivative.core_density_grid(self.config.grid_resolution)
+                library.setdefault(key, []).append(PatternEntry(key, grid))
+        self._library = library
+        self._spec = training.spec
+        return sum(len(entries) for entries in library.values())
+
+    def _require_library(self) -> dict[tuple, list[PatternEntry]]:
+        if self._library is None:
+            raise NotFittedError("PatternMatcher used before fit()")
+        return self._library
+
+    # ------------------------------------------------------------------
+    def matches(self, clip: Clip) -> bool:
+        """Whether one clip fuzzily matches any stored hotspot pattern."""
+        library = self._require_library()
+        key = canonical_string_key(clip.core_rects(), clip.core)
+        entries = library.get(key)
+        if not entries:
+            return False
+        from repro.topology.density import density_distance
+
+        grid = clip.core_density_grid(self.config.grid_resolution)
+        return any(
+            density_distance(entry.grid, grid) <= self.config.tolerance
+            for entry in entries
+        )
+
+    def detect(self, layout: Layout, layer: int = 1) -> PatternMatchReport:
+        """Scan a layout: extract candidates, match each against the library."""
+        spec = self._spec
+        if spec is None:
+            raise NotFittedError("PatternMatcher used before fit()")
+        started = time.perf_counter()
+        extraction = extract_candidate_clips(
+            layout, spec, self.config.extraction, layer
+        )
+        reports = [
+            clip.with_label(ClipLabel.HOTSPOT)
+            for clip in extraction.clips
+            if self.matches(clip)
+        ]
+        return PatternMatchReport(
+            reports=reports,
+            candidate_count=len(extraction.clips),
+            eval_seconds=time.perf_counter() - started,
+        )
+
+    def score(self, testing: TestingLayout, layer: int = 1) -> PatternMatchReport:
+        """Detect on a testing layout and grade against its ground truth."""
+        report = self.detect(testing.layout, layer)
+        report.score = score_reports(
+            report.reports, testing.hotspot_cores(), testing.area_um2
+        )
+        return report

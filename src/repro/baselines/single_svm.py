@@ -1,0 +1,42 @@
+"""The "Basic" single-huge-kernel SVM baseline (Table III row 1).
+
+A convenience wrapper: one soft-margin C-SVM over the entire training set,
+no topological classification, no data shifting, no feedback kernel, no
+redundant clip removal.  Everything else (features, extraction, scoring)
+is shared with the full framework so the comparison isolates exactly the
+paper's contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import DetectionReport, HotspotDetector, TrainingReport
+from repro.data.synth import TestingLayout
+from repro.layout.clip import ClipSet
+from repro.layout.layout import Layout
+
+
+@dataclass
+class SingleSvmBaseline:
+    """The paper's 'Basic' baseline behind the same facade as the framework."""
+
+    config: DetectorConfig = field(default_factory=DetectorConfig.basic)
+
+    def __post_init__(self) -> None:
+        self._detector = HotspotDetector(self.config)
+
+    def fit(self, training: ClipSet) -> TrainingReport:
+        return self._detector.fit(training)
+
+    def detect(self, layout: Layout, layer: int = 1) -> DetectionReport:
+        return self._detector.detect(layout, layer)
+
+    def score(self, testing: TestingLayout, layer: int = 1) -> DetectionReport:
+        return self._detector.score(testing, layer)
+
+    @property
+    def kernel_count(self) -> int:
+        model = self._detector.model_
+        return len(model.kernels) if model else 0

@@ -1,0 +1,102 @@
+"""Window-sliding clip enumeration — the Table V baseline.
+
+The paper compares its density-driven clip extraction against the naive
+approach: slide a core-sized window across the layout with 50 % overlap
+between adjacent positions and evaluate every position.  Table V counts
+the clips each method produces; the window count is simply the position
+grid size (the contest scorers evaluated every window, occupied or not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import LayoutError
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipSpec
+from repro.layout.layout import Layout
+
+
+@dataclass(frozen=True)
+class WindowScanConfig:
+    """Scan parameters: window side and fractional overlap (paper: 50 %)."""
+
+    overlap: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap < 1.0:
+            raise LayoutError(f"overlap must be in [0, 1), got {self.overlap}")
+
+    def stride(self, window_side: int) -> int:
+        """Distance between adjacent window anchors."""
+        step = int(window_side * (1.0 - self.overlap))
+        return max(1, step)
+
+
+def window_positions(
+    region: Rect, window_side: int, config: WindowScanConfig = WindowScanConfig()
+) -> Iterator[tuple[int, int]]:
+    """Anchor positions of a sliding window over ``region``.
+
+    The grid starts at the region's lower-left; the last row/column is
+    clamped so the window never leaves the region (matching how scan
+    tools tile a die).
+    """
+    stride = config.stride(window_side)
+
+    def axis_positions(lo: int, hi: int) -> list[int]:
+        span = hi - lo
+        if span <= window_side:
+            return [lo]
+        out = list(range(lo, hi - window_side, stride))
+        out.append(hi - window_side)
+        return out
+
+    for x in axis_positions(region.x0, region.x1):
+        for y in axis_positions(region.y0, region.y1):
+            yield (x, y)
+
+
+def count_window_clips(
+    region: Rect, window_side: int, config: WindowScanConfig = WindowScanConfig()
+) -> int:
+    """The Table V window-based clip count for a layout region."""
+    stride = config.stride(window_side)
+
+    def axis_count(span: int) -> int:
+        if span <= window_side:
+            return 1
+        return (span - window_side - 1) // stride + 2
+
+    return axis_count(region.width) * axis_count(region.height)
+
+
+def scan_clips(
+    layout: Layout,
+    spec: ClipSpec,
+    region: Optional[Rect] = None,
+    layer: int = 1,
+    config: WindowScanConfig = WindowScanConfig(),
+    skip_empty: bool = False,
+) -> list[Clip]:
+    """Materialise the sliding-window clips of a layout region.
+
+    ``skip_empty`` drops windows whose core holds no geometry — an obvious
+    optimisation real scanners apply, kept off by default to match the
+    paper's raw counts.
+    """
+    if region is None:
+        if layer not in layout.layer_numbers():
+            return []
+        region = layout.bbox(layer)
+        if region is None:
+            return []
+    clips = []
+    for x, y in window_positions(region, spec.core_side, config):
+        core = Rect(x, y, x + spec.core_side, y + spec.core_side)
+        clip = layout.cut_clip_at_core(spec, core, layer)
+        if skip_empty and not clip.core_rects():
+            continue
+        clips.append(clip)
+    return clips

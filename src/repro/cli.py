@@ -1,0 +1,284 @@
+"""Command-line interface: the detection flow as a tool.
+
+Six subcommands cover the practical lifecycle::
+
+    python -m repro generate --benchmark benchmark1 --scale 0.5 --out data/
+    python -m repro train    --clips data/training_clips.gds --model model.npz
+    python -m repro scan     --model model.npz --layout data/testing_layout.gds \
+                             --report reports.gds
+    python -m repro score    --model model.npz --benchmark benchmark1 --scale 0.5
+    python -m repro info     --model model.npz
+    python -m repro explain  --model model.npz --layout layout.gds --x 3279 --y 3719
+
+``generate`` writes a benchmark pair to GDSII; ``train`` fits the full
+framework on a clip archive and persists the model; ``scan`` detects
+hotspots in a GDSII layout and writes a marker overlay; ``score`` runs a
+self-contained generate+train+scan+grade loop; ``info`` describes a
+saved model; ``explain`` walks through the model's decision for one
+layout site (gates, margins, features, feedback verdict).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.core.persist import load_detector, save_detector
+from repro.data.benchmarks import BENCHMARKS, ICCAD_SPEC, generate_benchmark
+from repro.gdsii import GdsBoundary, GdsLibrary, write_library_file
+from repro.layout.io import (
+    load_clipset_gds,
+    load_layout_auto,
+    save_clipset_gds,
+    save_layout_gds,
+)
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="generate a benchmark pair and write it as GDSII"
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="benchmark1",
+        choices=[cfg.name for cfg in BENCHMARKS],
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--out", type=Path, default=Path("."))
+
+
+def _add_train(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train", help="train the framework on a GDSII clip archive"
+    )
+    parser.add_argument("--clips", type=Path, required=True)
+    parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument(
+        "--variant",
+        default="ours",
+        choices=("ours", "ours_med", "ours_low", "basic", "topology", "removal"),
+    )
+    parser.add_argument("--parallel", action="store_true")
+
+
+def _add_scan(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "scan", help="scan a GDSII layout with a trained model"
+    )
+    parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument("--layout", type=Path, required=True)
+    parser.add_argument("--layer", type=int, default=1)
+    parser.add_argument("--threshold", type=float, default=None)
+    parser.add_argument(
+        "--report", type=Path, default=None, help="write reports as a GDSII overlay"
+    )
+
+
+def _add_score(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "score", help="end-to-end generate/train/scan/grade on a benchmark"
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="benchmark1",
+        choices=[cfg.name for cfg in BENCHMARKS],
+    )
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--variant",
+        default="ours",
+        choices=("ours", "ours_med", "ours_low", "basic", "topology", "removal"),
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _add_info(subparsers) -> None:
+    parser = subparsers.add_parser("info", help="describe a saved model")
+    parser.add_argument("--model", type=Path, required=True)
+
+
+def _add_explain(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "explain", help="explain the model's decision for one layout site"
+    )
+    parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument("--layout", type=Path, required=True)
+    parser.add_argument("--x", type=int, required=True, help="core anchor x (DBU)")
+    parser.add_argument("--y", type=int, required=True, help="core anchor y (DBU)")
+    parser.add_argument("--layer", type=int, default=1)
+
+
+def _config_for(variant: str, parallel: bool = False) -> DetectorConfig:
+    factory = {
+        "ours": DetectorConfig.ours,
+        "ours_med": DetectorConfig.ours_med,
+        "ours_low": DetectorConfig.ours_low,
+        "basic": DetectorConfig.basic,
+        "topology": DetectorConfig.with_topology,
+        "removal": DetectorConfig.with_removal,
+    }[variant]
+    config = factory()
+    if parallel:
+        from dataclasses import replace
+
+        config = replace(config, parallel=True)
+    return config
+
+
+def cmd_generate(args) -> int:
+    bench = generate_benchmark(args.benchmark, args.scale)
+    args.out.mkdir(parents=True, exist_ok=True)
+    clips_path = args.out / f"{args.benchmark}_training_clips.gds"
+    layout_path = args.out / f"{args.benchmark}_testing_layout.gds"
+    truth_path = args.out / f"{args.benchmark}_truth.json"
+    save_clipset_gds(bench.training, clips_path)
+    save_layout_gds(bench.testing.layout, layout_path)
+    truth = {
+        "area_um2": bench.testing.area_um2,
+        "hotspot_cores": [
+            [c.x0, c.y0, c.x1, c.y1] for c in bench.testing.hotspot_cores()
+        ],
+    }
+    truth_path.write_text(json.dumps(truth))
+    stats = bench.stats()
+    print(
+        f"wrote {clips_path} ({stats['train_hs']} hs / {stats['train_nhs']} nhs), "
+        f"{layout_path} ({stats['test_hs']} planted hotspots), {truth_path}"
+    )
+    return 0
+
+
+def cmd_train(args) -> int:
+    training = load_clipset_gds(args.clips, ICCAD_SPEC)
+    detector = HotspotDetector(_config_for(args.variant, args.parallel))
+    started = time.perf_counter()
+    report = detector.fit(training)
+    save_detector(detector, args.model)
+    print(
+        f"trained {report.kernels} kernels "
+        f"(feedback={report.feedback_trained}) in "
+        f"{time.perf_counter() - started:.1f}s -> {args.model}"
+    )
+    return 0
+
+
+def cmd_scan(args) -> int:
+    detector = load_detector(args.model)
+    layout = load_layout_auto(args.layout)
+    result = detector.detect(layout, layer=args.layer, threshold=args.threshold)
+    print(
+        f"{result.extraction.candidate_count} candidates, "
+        f"{result.report_count} hotspot reports "
+        f"({result.eval_seconds:.1f}s)"
+    )
+    for clip in result.reports:
+        print(f"  core ({clip.core.x0}, {clip.core.y0}) - ({clip.core.x1}, {clip.core.y1})")
+    if args.report is not None:
+        library = GdsLibrary(name="HOTSPOTS")
+        top = library.new_structure("HOTSPOT_MARKERS")
+        for clip in result.reports:
+            top.add(GdsBoundary(63, 0, list(clip.core.corners())))
+        write_library_file(library, args.report)
+        print(f"marker overlay -> {args.report}")
+    return 0
+
+
+def cmd_score(args) -> int:
+    bench = generate_benchmark(args.benchmark, args.scale)
+    detector = HotspotDetector(_config_for(args.variant))
+    detector.fit(bench.training)
+    result = detector.score(bench.testing)
+    score = result.score
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "benchmark": args.benchmark,
+                    "variant": args.variant,
+                    "hits": score.hits,
+                    "actual": score.actual_hotspots,
+                    "extras": score.extras,
+                    "accuracy": score.accuracy,
+                }
+            )
+        )
+    else:
+        print(
+            f"{args.benchmark} [{args.variant}]: "
+            f"{score.hits}/{score.actual_hotspots} hits, "
+            f"{score.extras} extras, accuracy {score.accuracy:.2%}"
+        )
+    return 0
+
+
+def cmd_info(args) -> int:
+    detector = load_detector(args.model)
+    model = detector.model_
+    assert model is not None
+    print(f"model: {args.model}")
+    print(f"  clip spec: core {detector.config.spec.core_side}, clip {detector.config.spec.clip_side}")
+    print(f"  kernels: {len(model.kernels)}")
+    for kernel in model.kernels:
+        gate = len(kernel.key_set) if kernel.key_set is not None else "open"
+        print(
+            f"    #{kernel.cluster_index}: {kernel.hotspot_count} hs / "
+            f"{kernel.nonhotspot_count} nhs, {kernel.model.n_support_} SVs, "
+            f"gate keys: {gate}"
+        )
+    print(f"  feedback kernel: {'yes' if detector.feedback_ else 'no'}")
+    print(f"  decision threshold: {detector.config.decision_threshold:+.2f}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.core.inspect import explain_clip
+    from repro.geometry.rect import Rect
+
+    detector = load_detector(args.model)
+    layout = load_layout_auto(args.layout)
+    spec = detector.config.spec
+    core = Rect(args.x, args.y, args.x + spec.core_side, args.y + spec.core_side)
+    clip = layout.cut_clip_at_core(spec, core, args.layer)
+    explanation = explain_clip(detector, clip)
+    print(f"site ({args.x}, {args.y}) + {spec.core_side} core:")
+    for line in explanation.summary_lines():
+        print(f"  {line}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ML lithography hotspot detection (DAC 2013 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_train(subparsers)
+    _add_scan(subparsers)
+    _add_score(subparsers)
+    _add_info(subparsers)
+    _add_explain(subparsers)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "train": cmd_train,
+        "scan": cmd_scan,
+        "score": cmd_score,
+        "info": cmd_info,
+        "explain": cmd_explain,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

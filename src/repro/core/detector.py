@@ -1,0 +1,207 @@
+"""The hotspot-detection facade (Fig. 3).
+
+:class:`HotspotDetector` wires the whole framework together:
+
+- ``fit`` runs the training phase: data shifting, topological
+  classification, population balancing, multiple-kernel learning and
+  feedback-kernel learning;
+- ``detect`` runs the evaluation phase on a layout: density-driven clip
+  extraction, multiple-kernel evaluation, feedback filtering, redundant
+  clip removal;
+- ``score`` additionally grades the reports against ground truth.
+
+Typical use::
+
+    from repro import HotspotDetector, DetectorConfig, generate_benchmark
+
+    bench = generate_benchmark("benchmark1", scale=0.3)
+    detector = HotspotDetector(DetectorConfig.ours())
+    detector.fit(bench.training)
+    result = detector.score(bench.testing)
+    print(result.score.accuracy, result.score.extras)
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.extraction import ExtractionReport, extract_for_detector
+from repro.core.feedback import FeedbackKernel, train_feedback_kernel
+from repro.core.metrics import DetectionScore, score_reports
+from repro.core.removal import remove_redundant_clips
+from repro.core.training import MultiKernelModel, train_multi_kernel
+from repro.data.synth import TestingLayout
+from repro.errors import NotFittedError
+from repro.layout.clip import Clip, ClipLabel, ClipSet
+from repro.layout.layout import Layout
+
+
+@dataclass
+class TrainingReport:
+    """Telemetry of one ``fit`` call."""
+
+    hotspot_clusters: int
+    nonhotspot_centroids: int
+    kernels: int
+    feedback_trained: bool
+    upsampled_hotspots: int
+    train_seconds: float
+
+    def total_rounds(self, model: MultiKernelModel) -> int:
+        return sum(len(kernel.history) for kernel in model.kernels)
+
+
+@dataclass
+class DetectionReport:
+    """Everything one ``detect`` call produced."""
+
+    reports: list[Clip]
+    extraction: ExtractionReport
+    flagged_before_feedback: int
+    flagged_after_feedback: int
+    eval_seconds: float
+    score: Optional[DetectionScore] = None
+
+    @property
+    def report_count(self) -> int:
+        return len(self.reports)
+
+
+@dataclass
+class HotspotDetector:
+    """The complete machine-learning hotspot-detection framework."""
+
+    config: DetectorConfig = field(default_factory=DetectorConfig)
+    model_: Optional[MultiKernelModel] = field(default=None, repr=False)
+    feedback_: Optional[FeedbackKernel] = field(default=None, repr=False)
+    training_report_: Optional[TrainingReport] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # training phase
+    # ------------------------------------------------------------------
+    def fit(self, training: ClipSet) -> TrainingReport:
+        """Run the training phase on a labelled clip set."""
+        started = time.perf_counter()
+        self.model_ = train_multi_kernel(training, self.config)
+        self.feedback_ = (
+            train_feedback_kernel(self.model_, self.config)
+            if self.config.use_feedback
+            else None
+        )
+        self.training_report_ = TrainingReport(
+            hotspot_clusters=len(self.model_.hotspot_clusters),
+            nonhotspot_centroids=len(self.model_.nonhotspot_centroids),
+            kernels=len(self.model_.kernels),
+            feedback_trained=self.feedback_ is not None,
+            upsampled_hotspots=len(self.model_.hotspot_clips),
+            train_seconds=time.perf_counter() - started,
+        )
+        return self.training_report_
+
+    def _require_model(self) -> MultiKernelModel:
+        if self.model_ is None:
+            raise NotFittedError("HotspotDetector used before fit()")
+        return self.model_
+
+    # ------------------------------------------------------------------
+    # clip-level prediction
+    # ------------------------------------------------------------------
+    def margins(self, clips: Sequence[Clip]) -> np.ndarray:
+        """Best kernel margin per clip (before feedback)."""
+        return self._require_model().margins(clips)
+
+    def predict_clips(
+        self, clips: Sequence[Clip], threshold: Optional[float] = None
+    ) -> np.ndarray:
+        """Boolean hotspot flags, including the feedback stage."""
+        model = self._require_model()
+        threshold = (
+            self.config.decision_threshold if threshold is None else threshold
+        )
+        if not clips:
+            return np.zeros(0, dtype=bool)
+        flags = model.margins(clips) >= threshold
+        if self.feedback_ is not None and np.any(flags):
+            flagged = [clip for clip, f in zip(clips, flags) if f]
+            keep = self.feedback_.keep_mask(flagged)
+            cursor = 0
+            for index in np.flatnonzero(flags):
+                if not keep[cursor]:
+                    flags[index] = False
+                cursor += 1
+        return flags
+
+    # ------------------------------------------------------------------
+    # layout-level evaluation
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        layout: Layout,
+        layer: int = 1,
+        threshold: Optional[float] = None,
+    ) -> DetectionReport:
+        """Evaluate a full layout and return hotspot reports."""
+        model = self._require_model()
+        threshold = (
+            self.config.decision_threshold if threshold is None else threshold
+        )
+        started = time.perf_counter()
+        extraction = extract_for_detector(layout, self.config, layer)
+        candidates = extraction.clips
+
+        if self.config.parallel and len(candidates) > 64:
+            chunk = (len(candidates) + self.config.worker_count - 1) // self.config.worker_count
+            parts = [
+                candidates[i : i + chunk]
+                for i in range(0, len(candidates), chunk)
+            ]
+            with ThreadPoolExecutor(max_workers=self.config.worker_count) as pool:
+                margin_parts = list(pool.map(model.margins, parts))
+            margins = np.concatenate(margin_parts) if margin_parts else np.zeros(0)
+        else:
+            margins = model.margins(candidates)
+        flags = margins >= threshold
+        flagged = [clip for clip, f in zip(candidates, flags) if f]
+        before_feedback = len(flagged)
+
+        if self.feedback_ is not None and flagged:
+            keep = self.feedback_.keep_mask(flagged)
+            flagged = [clip for clip, k in zip(flagged, keep) if k]
+        after_feedback = len(flagged)
+
+        if self.config.use_removal and flagged:
+            def clip_factory(core):
+                return layout.cut_clip_at_core(self.config.spec, core, layer)
+
+            reports = remove_redundant_clips(
+                flagged, self.config.spec, self.config.removal, clip_factory
+            )
+        else:
+            reports = flagged
+        reports = [r.with_label(ClipLabel.HOTSPOT) for r in reports]
+        return DetectionReport(
+            reports=reports,
+            extraction=extraction,
+            flagged_before_feedback=before_feedback,
+            flagged_after_feedback=after_feedback,
+            eval_seconds=time.perf_counter() - started,
+        )
+
+    def score(
+        self,
+        testing: TestingLayout,
+        layer: int = 1,
+        threshold: Optional[float] = None,
+    ) -> DetectionReport:
+        """Detect on a testing layout and grade against its ground truth."""
+        report = self.detect(testing.layout, layer, threshold)
+        report.score = score_reports(
+            report.reports, testing.hotspot_cores(), testing.area_um2
+        )
+        return report

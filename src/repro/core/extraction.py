@@ -1,0 +1,145 @@
+"""Layout clip extraction (Section III-E).
+
+Instead of scanning every window position of a testing layout, candidate
+clips are derived from the polygon geometry itself:
+
+1. every layout polygon is horizontally sliced into rectangles,
+2. rectangles wider or taller than the hotspot core side are cut down,
+3. a core window is anchored at the bottom-left corner of each rectangle,
+   and the surrounding clip is extracted when the polygon distribution
+   inside it meets the requirements (density bounds, polygon count, and
+   geometry bounding-box proximity to the clip boundary).
+
+The window-sliding baseline of Table V lives in
+:mod:`repro.baselines.window_scan`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import DetectorConfig, ExtractionConfig
+from repro.geometry.dissect import cut_to_max_size
+from repro.geometry.rect import Rect, bounding_box
+from repro.layout.clip import Clip, ClipSpec
+from repro.layout.layout import Layout
+
+
+@dataclass
+class ExtractionReport:
+    """Candidate clips plus funnel statistics for diagnostics."""
+
+    clips: list[Clip]
+    anchor_count: int
+    rejected_density: int = 0
+    rejected_count: int = 0
+    rejected_boundary: int = 0
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.clips)
+
+
+def _meets_distribution(
+    clip: Clip, config: ExtractionConfig
+) -> tuple[bool, str]:
+    """Check the Section III-E polygon-distribution requirements."""
+    core_rects = clip.core_rects()
+    if len(core_rects) < config.min_polygon_count:
+        return False, "count"
+    density = clip.core_density()
+    if not config.min_core_density <= density <= config.max_core_density:
+        return False, "density"
+    box = bounding_box(clip.rects)
+    if box is None:
+        return False, "count"
+    window = clip.window
+    worst = max(
+        box.x0 - window.x0,
+        window.x1 - box.x1,
+        box.y0 - window.y0,
+        window.y1 - box.y1,
+    )
+    if worst > config.max_boundary_distance:
+        return False, "boundary"
+    return True, ""
+
+
+def extract_candidate_clips(
+    layout: Layout,
+    spec: ClipSpec,
+    config: ExtractionConfig = ExtractionConfig(),
+    layer: int = 1,
+    region: Optional[Rect] = None,
+    parallel_workers: int = 1,
+) -> ExtractionReport:
+    """Extract every candidate clip of a layout layer.
+
+    ``region`` restricts extraction to a window (used to chunk large
+    layouts across workers, Section III-G).  Cores are deduplicated by
+    anchor position, so overlapping source rectangles do not multiply
+    candidates.
+    """
+    rects = layout.layer(layer).rects
+    if region is not None:
+        rects = [r for r in rects if r.overlaps(region)]
+    pieces = cut_to_max_size(rects, spec.core_side)
+    anchors = sorted({(piece.x0, piece.y0) for piece in pieces})
+
+    if parallel_workers > 1 and len(anchors) > 64:
+        chunk = (len(anchors) + parallel_workers - 1) // parallel_workers
+        parts = [
+            anchors[i : i + chunk] for i in range(0, len(anchors), chunk)
+        ]
+        with ThreadPoolExecutor(max_workers=parallel_workers) as pool:
+            reports = list(
+                pool.map(
+                    lambda part: _extract_from_anchors(layout, spec, config, layer, part),
+                    parts,
+                )
+            )
+        merged = ExtractionReport(clips=[], anchor_count=len(anchors))
+        for report in reports:
+            merged.clips.extend(report.clips)
+            merged.rejected_density += report.rejected_density
+            merged.rejected_count += report.rejected_count
+            merged.rejected_boundary += report.rejected_boundary
+        return merged
+    report = _extract_from_anchors(layout, spec, config, layer, anchors)
+    report.anchor_count = len(anchors)
+    return report
+
+
+def _extract_from_anchors(
+    layout: Layout,
+    spec: ClipSpec,
+    config: ExtractionConfig,
+    layer: int,
+    anchors: list[tuple[int, int]],
+) -> ExtractionReport:
+    report = ExtractionReport(clips=[], anchor_count=len(anchors))
+    for x, y in anchors:
+        core = Rect(x, y, x + spec.core_side, y + spec.core_side)
+        clip = layout.cut_clip_at_core(spec, core, layer)
+        ok, reason = _meets_distribution(clip, config)
+        if ok:
+            report.clips.append(clip)
+        elif reason == "density":
+            report.rejected_density += 1
+        elif reason == "count":
+            report.rejected_count += 1
+        else:
+            report.rejected_boundary += 1
+    return report
+
+
+def extract_for_detector(
+    layout: Layout, config: DetectorConfig, layer: int = 1
+) -> ExtractionReport:
+    """Candidate extraction using a detector's configuration."""
+    workers = config.worker_count if config.parallel else 1
+    return extract_candidate_clips(
+        layout, config.spec, config.extraction, layer, parallel_workers=workers
+    )

@@ -1,0 +1,142 @@
+"""Model introspection: why was this clip flagged (or not)?
+
+Physical-verification engineers do not act on black-box flags; a report
+needs to say which pattern class fired, how confidently, and on what
+features.  :func:`explain_clip` assembles that story for one clip from a
+fitted detector:
+
+- the topological route (string key; which kernels' gates admit it),
+- each admitting kernel's margin and its most similar training hotspot,
+- the extracted critical features,
+- the feedback kernel's verdict, when one is trained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.detector import HotspotDetector
+from repro.core.training import GATED_OUT, core_string_key
+from repro.errors import NotFittedError
+from repro.features.nontopo import NonTopoFeatures
+from repro.layout.clip import Clip
+from repro.mtcg.rules import RuleRect
+
+
+@dataclass
+class KernelVerdict:
+    """One kernel's view of the clip."""
+
+    cluster_index: int
+    admitted: bool
+    margin: Optional[float] = None
+    support_similarity: Optional[float] = None
+
+
+@dataclass
+class Explanation:
+    """The full story of one clip's evaluation."""
+
+    string_key: tuple
+    kernels: list[KernelVerdict] = field(default_factory=list)
+    rules: tuple[RuleRect, ...] = ()
+    nontopo: Optional[NonTopoFeatures] = None
+    best_margin: float = GATED_OUT
+    flagged: bool = False
+    feedback_margin: Optional[float] = None
+    feedback_keeps: Optional[bool] = None
+
+    @property
+    def admitted_anywhere(self) -> bool:
+        return any(verdict.admitted for verdict in self.kernels)
+
+    @property
+    def verdict(self) -> str:
+        """One-line human-readable outcome."""
+        if not self.admitted_anywhere:
+            return "not a known hotspot topology (gated out by every kernel)"
+        if not self.flagged:
+            return (
+                f"known topology, classified nonhotspot "
+                f"(best margin {self.best_margin:+.3f})"
+            )
+        if self.feedback_keeps is False:
+            return (
+                f"flagged by the kernels (margin {self.best_margin:+.3f}) "
+                f"but reclaimed by the feedback kernel "
+                f"(ambit margin {self.feedback_margin:+.3f})"
+            )
+        return f"hotspot (margin {self.best_margin:+.3f})"
+
+    def summary_lines(self) -> list[str]:
+        """A printable multi-line report."""
+        lines = [f"verdict : {self.verdict}"]
+        admitted = [v for v in self.kernels if v.admitted]
+        lines.append(
+            f"gates   : admitted by {len(admitted)}/{len(self.kernels)} kernels"
+        )
+        for verdict in admitted:
+            lines.append(
+                f"  kernel #{verdict.cluster_index}: margin "
+                f"{verdict.margin:+.3f}, support similarity "
+                f"{verdict.support_similarity:.3f}"
+            )
+        if self.nontopo is not None:
+            lines.append(
+                "features: "
+                f"{len(self.rules)} rule rects; corners="
+                f"{self.nontopo.corner_count}, min width="
+                f"{self.nontopo.min_internal}, min spacing="
+                f"{self.nontopo.min_external}, density="
+                f"{self.nontopo.density:.2%}"
+            )
+        if self.feedback_margin is not None:
+            lines.append(f"feedback: margin {self.feedback_margin:+.3f}")
+        return lines
+
+
+def explain_clip(
+    detector: HotspotDetector, clip: Clip, threshold: Optional[float] = None
+) -> Explanation:
+    """Explain a fitted detector's decision for one clip."""
+    model = detector.model_
+    if model is None:
+        raise NotFittedError("explain_clip needs a fitted detector")
+    threshold = (
+        detector.config.decision_threshold if threshold is None else threshold
+    )
+
+    key = core_string_key(clip)
+    extraction = model.extractor.extract(clip)
+    explanation = Explanation(
+        string_key=key, rules=extraction.rules, nontopo=extraction.nontopo
+    )
+
+    for kernel in model.kernels:
+        admitted = kernel.key_set is None or key in kernel.key_set
+        verdict = KernelVerdict(kernel.cluster_index, admitted)
+        if admitted:
+            vector = model.extractor.vectorize(extraction, kernel.schema)
+            verdict.margin = float(kernel.model.decision_function(vector))
+            verdict.support_similarity = float(
+                kernel.model.support_similarity(vector)[0]
+            )
+            explanation.best_margin = max(explanation.best_margin, verdict.margin)
+        explanation.kernels.append(verdict)
+
+    explanation.flagged = (
+        explanation.admitted_anywhere and explanation.best_margin >= threshold
+    )
+    if explanation.flagged and detector.feedback_ is not None:
+        explanation.feedback_margin = float(
+            detector.feedback_.margins([clip])[0]
+        )
+        explanation.feedback_keeps = bool(
+            detector.feedback_.keep_mask([clip])[0]
+        )
+        if not explanation.feedback_keeps:
+            explanation.flagged = False
+    return explanation

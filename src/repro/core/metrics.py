@@ -1,0 +1,96 @@
+"""Hit/extra scoring per the contest definitions (Section II).
+
+- A reported hotspot is a **hit** when its clip fully covers the core of an
+  actual hotspot and the two cores overlap (Fig. 2).
+- **Accuracy** is hits over actual hotspots (each actual hotspot counts at
+  most once however many reports hit it).
+- An **extra** is a report that hits no actual hotspot; the **false
+  alarm** is extras over testing-layout area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Scoring of one detection run against ground truth."""
+
+    hits: int
+    extras: int
+    actual_hotspots: int
+    layout_area_um2: float
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of actual hotspots that were hit (Definition 2)."""
+        if self.actual_hotspots == 0:
+            return 1.0
+        return self.hits / self.actual_hotspots
+
+    @property
+    def false_alarm_per_um2(self) -> float:
+        """Extras per square micron of layout (Definition 3)."""
+        if self.layout_area_um2 <= 0:
+            return 0.0
+        return self.extras / self.layout_area_um2
+
+    @property
+    def hit_extra_ratio(self) -> float:
+        """Hits per extra — the secondary objective of Table II."""
+        if self.extras == 0:
+            return float("inf") if self.hits else 0.0
+        return self.hits / self.extras
+
+    def as_row(self) -> dict:
+        """Table II-style result row."""
+        return {
+            "hit": self.hits,
+            "extra": self.extras,
+            "accuracy": round(self.accuracy, 4),
+            "hit/extra": round(self.hit_extra_ratio, 4)
+            if self.extras
+            else float("inf"),
+            "false_alarm_per_um2": round(self.false_alarm_per_um2, 6),
+        }
+
+
+def is_hit(report: Clip, actual_core: Rect) -> bool:
+    """Whether one reported clip hits one actual hotspot core (Fig. 2)."""
+    return report.window.contains_rect(actual_core) and report.core.overlaps(
+        actual_core
+    )
+
+
+def score_reports(
+    reports: Sequence[Clip],
+    actual_cores: Sequence[Rect],
+    layout_area_um2: float,
+) -> DetectionScore:
+    """Score a report list against ground-truth hotspot cores.
+
+    Hits are counted over *actual hotspots* (one hit per actual hotspot at
+    most); a report hitting several actual cores credits all of them, per
+    the contest's scoring script semantics.
+    """
+    hit_actuals: set[int] = set()
+    extras = 0
+    for report in reports:
+        matched = False
+        for index, core in enumerate(actual_cores):
+            if is_hit(report, core):
+                hit_actuals.add(index)
+                matched = True
+        if not matched:
+            extras += 1
+    return DetectionScore(
+        hits=len(hit_actuals),
+        extras=extras,
+        actual_hotspots=len(actual_cores),
+        layout_area_um2=layout_area_um2,
+    )

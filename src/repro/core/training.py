@@ -1,0 +1,282 @@
+"""Multiple SVM-kernel training (Section III-D3, Fig. 9(a)).
+
+One C-SVM kernel is trained per hotspot cluster, against the downsampled
+nonhotspot centroid set.  Each kernel owns the feature schema of its
+cluster, so it concentrates on the critical features specific to that
+topology.  Kernels are independent, so training parallelises trivially
+(Section III-G).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.resample import (
+    balancing_class_weights,
+    downsample_to_centroids,
+    shift_derivatives,
+)
+from repro.errors import SvmError
+from repro.features.vector import FeatureExtractor, FeatureSchema
+from repro.layout.clip import Clip, ClipSet
+from repro.svm.grid_search import IterativeConfig, TrainingRound, train_iterative
+from repro.svm.model import SupportVectorClassifier
+from repro.topology.cluster import Cluster, TopologicalClassifier
+from repro.topology.strings import canonical_string_key
+
+#: Margin assigned by a kernel to clips outside its topological gate.
+GATED_OUT = -1e9
+
+
+def core_string_key(clip: Clip) -> tuple:
+    """D8-canonical directional-string key of a clip's core region."""
+    return canonical_string_key(clip.core_rects(), clip.core)
+
+#: Numeric labels used throughout: +1 hotspot, -1 nonhotspot.
+HOTSPOT, NON_HOTSPOT = 1, -1
+
+
+@dataclass
+class TrainedKernel:
+    """One per-cluster SVM kernel with its schema and telemetry.
+
+    ``key_set`` is the kernel's topological gate: the canonical string
+    keys of every hotspot pattern (including shifted derivatives) the
+    kernel was trained on.  At evaluation the kernel judges only clips
+    whose core topology appears in this set — vectorizing an
+    alien-topology clip under this cluster's schema would be meaningless,
+    and an RBF kernel's decision at such far-field points degenerates to
+    its bias.  ``None`` disables gating (the 'Basic' single-kernel
+    baseline).
+    """
+
+    cluster_index: int
+    schema: FeatureSchema
+    model: SupportVectorClassifier
+    history: list[TrainingRound] = field(default_factory=list)
+    hotspot_count: int = 0
+    nonhotspot_count: int = 0
+    key_set: Optional[frozenset] = None
+
+
+@dataclass
+class MultiKernelModel:
+    """The trained multiple-kernel stage.
+
+    Holds everything evaluation and feedback training need: the kernels,
+    the upsampled hotspot population with its clusters, the nonhotspot
+    centroids, and the shared core-region feature extractor.
+    """
+
+    kernels: list[TrainedKernel]
+    hotspot_clips: list[Clip]
+    hotspot_clusters: list[Cluster]
+    nonhotspot_centroids: list[Clip]
+    extractor: FeatureExtractor
+    classifier: TopologicalClassifier
+
+    def kernel_margins(self, clips: Sequence[Clip]) -> np.ndarray:
+        """Margin matrix ``(len(clips), len(kernels))``.
+
+        Clips are first routed through each kernel's topological gate;
+        gated-out entries get :data:`GATED_OUT`.  Features are extracted
+        once per clip that passes at least one gate (vectorization is
+        per-kernel because schemas differ).
+        """
+        if not clips:
+            return np.zeros((0, len(self.kernels)))
+        margins = np.full((len(clips), len(self.kernels)), GATED_OUT)
+
+        gated = any(kernel.key_set is not None for kernel in self.kernels)
+        keys = [core_string_key(clip) for clip in clips] if gated else None
+
+        # Which clips does each kernel accept?
+        accept: list[list[int]] = []
+        needed: set[int] = set()
+        for kernel in self.kernels:
+            if kernel.key_set is None:
+                wanted = list(range(len(clips)))
+            else:
+                assert keys is not None
+                wanted = [i for i, key in enumerate(keys) if key in kernel.key_set]
+            accept.append(wanted)
+            needed.update(wanted)
+
+        extractions = {
+            i: self.extractor.extract(clips[i]) for i in sorted(needed)
+        }
+        for k, kernel in enumerate(self.kernels):
+            wanted = accept[k]
+            if not wanted:
+                continue
+            matrix = np.vstack(
+                [
+                    self.extractor.vectorize(extractions[i], kernel.schema)
+                    for i in wanted
+                ]
+            )
+            margins[wanted, k] = kernel.model.decision_function(matrix)
+        return margins
+
+    def margins(self, clips: Sequence[Clip]) -> np.ndarray:
+        """Best (max over kernels) margin per clip.
+
+        A clip is flagged hotspot when any kernel classifies it as one, so
+        the effective score is the kernel maximum.
+        """
+        per_kernel = self.kernel_margins(clips)
+        if per_kernel.size == 0:
+            return np.zeros(len(clips))
+        return per_kernel.max(axis=1)
+
+    def predict(self, clips: Sequence[Clip], threshold: float = 0.0) -> np.ndarray:
+        """Boolean hotspot flags at a decision threshold."""
+        return self.margins(clips) >= threshold
+
+
+def _single_cluster(clips: Sequence[Clip]) -> Cluster:
+    """A degenerate cluster holding everything (the 'Basic' baseline)."""
+    cluster = Cluster(string_key=("basic",))
+    for index, _clip in enumerate(clips):
+        cluster.members.append(index)
+    return cluster
+
+
+def _train_one_kernel(
+    cluster_index: int,
+    cluster_hotspots: list[Clip],
+    nonhotspot_centroids: list[Clip],
+    extractor: FeatureExtractor,
+    svm_config: IterativeConfig,
+    gate: bool,
+) -> TrainedKernel:
+    # The kernel trains against the nonhotspot centroids that pass its
+    # gate, plus every nonhotspot sharing no key (kept out by gating
+    # anyway); restricting to gate-compatible centroids would starve small
+    # kernels of negatives, so all centroids participate.
+    clips = cluster_hotspots + nonhotspot_centroids
+    labels = np.array(
+        [HOTSPOT] * len(cluster_hotspots) + [NON_HOTSPOT] * len(nonhotspot_centroids)
+    )
+    matrix, schema = extractor.build_matrix(clips)
+    # Population balancing (Section III-D3): the residual imbalance after
+    # resampling is absorbed by per-class C weights, biased toward the
+    # hotspot class — accuracy is the primary objective, extras secondary.
+    weights = svm_config.class_weight or balancing_class_weights(
+        len(cluster_hotspots), len(nonhotspot_centroids)
+    )
+    config = IterativeConfig(
+        initial_c=svm_config.initial_c,
+        initial_gamma=svm_config.initial_gamma,
+        target_accuracy=svm_config.target_accuracy,
+        max_rounds=svm_config.max_rounds,
+        class_weight=weights or None,
+        kernel=svm_config.kernel,
+        far_field_floor=svm_config.far_field_floor,
+    )
+    result = train_iterative(matrix, labels, config)
+    key_set = (
+        frozenset(core_string_key(clip) for clip in cluster_hotspots)
+        if gate
+        else None
+    )
+    return TrainedKernel(
+        cluster_index=cluster_index,
+        schema=schema,
+        model=result.model,
+        history=result.history,
+        hotspot_count=len(cluster_hotspots),
+        nonhotspot_count=len(nonhotspot_centroids),
+        key_set=key_set,
+    )
+
+
+def train_multi_kernel(
+    training: ClipSet,
+    config: DetectorConfig,
+    classifier: Optional[TopologicalClassifier] = None,
+) -> MultiKernelModel:
+    """Run the full training phase of Fig. 9(a).
+
+    1. Upsample hotspots by data shifting.
+    2. Topologically classify hotspots and nonhotspots (unless the
+       'Basic' ablation disabled clustering).
+    3. Downsample nonhotspots to cluster centroids.
+    4. Train one kernel per hotspot cluster.
+    """
+    hotspots, nonhotspots = training.split()
+    if not hotspots or not nonhotspots:
+        raise SvmError(
+            "training set needs both hotspot and nonhotspot patterns, got "
+            f"{len(hotspots)} / {len(nonhotspots)}"
+        )
+    classifier = classifier or TopologicalClassifier(config.classifier)
+    extractor = FeatureExtractor(config.features)
+
+    # Upsample each hotspot; remember which derivatives belong to which
+    # original so derivatives join their parent's cluster (the shifting is
+    # meant to add fuzziness *inside* a cluster, not to spawn new ones).
+    upsampled: list[Clip] = []
+    derivative_groups: list[list[int]] = []
+    for clip in hotspots:
+        derivatives = shift_derivatives(clip, config.shift_amount)
+        indices = list(range(len(upsampled), len(upsampled) + len(derivatives)))
+        upsampled.extend(derivatives)
+        derivative_groups.append(indices)
+
+    if config.use_topology:
+        original_clusters = classifier.classify(hotspots)
+        hotspot_clusters = []
+        for original in original_clusters:
+            expanded = Cluster(
+                string_key=original.string_key, radius=original.radius
+            )
+            expanded.centroid_grid = original.centroid_grid
+            for original_index in original.members:
+                expanded.members.extend(derivative_groups[original_index])
+            hotspot_clusters.append(expanded)
+        nonhotspot_clusters = classifier.classify(nonhotspots)
+        centroids = downsample_to_centroids(nonhotspots, nonhotspot_clusters)
+    else:
+        hotspot_clusters = [_single_cluster(upsampled)]
+        centroids = list(nonhotspots)
+
+    jobs = [
+        (index, [upsampled[i] for i in cluster.members])
+        for index, cluster in enumerate(hotspot_clusters)
+    ]
+    if config.parallel and len(jobs) > 1:
+        with ThreadPoolExecutor(max_workers=config.worker_count) as pool:
+            kernels = list(
+                pool.map(
+                    lambda job: _train_one_kernel(
+                        job[0],
+                        job[1],
+                        centroids,
+                        extractor,
+                        config.svm,
+                        config.use_topology,
+                    ),
+                    jobs,
+                )
+            )
+    else:
+        kernels = [
+            _train_one_kernel(
+                index, members, centroids, extractor, config.svm, config.use_topology
+            )
+            for index, members in jobs
+        ]
+    return MultiKernelModel(
+        kernels=kernels,
+        hotspot_clips=upsampled,
+        hotspot_clusters=hotspot_clusters,
+        nonhotspot_centroids=centroids,
+        extractor=extractor,
+        classifier=classifier,
+    )

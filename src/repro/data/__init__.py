@@ -1,0 +1,52 @@
+"""Synthetic benchmark data: motif zoo, fabric, ICCAD-2012-like pairs."""
+
+from repro.data.patterns import MOTIFS, Motif, generate_motif, motif_by_name
+from repro.data.synth import (
+    FABRIC_PITCH,
+    FABRIC_SPACING,
+    FABRIC_WIDTH,
+    PlantedSite,
+    TestingLayout,
+    anchor_of,
+    build_fabric_clip,
+    build_testing_layout,
+    build_training_clip,
+    fabric_rects,
+)
+from repro.data.benchmarks import (
+    BENCHMARKS,
+    ICCAD_SPEC,
+    Benchmark,
+    BenchmarkConfig,
+    benchmark_config,
+    generate_all,
+    generate_benchmark,
+    generate_testing_layout,
+    generate_training_set,
+)
+
+__all__ = [
+    "MOTIFS",
+    "Motif",
+    "motif_by_name",
+    "generate_motif",
+    "FABRIC_PITCH",
+    "FABRIC_WIDTH",
+    "FABRIC_SPACING",
+    "fabric_rects",
+    "build_training_clip",
+    "build_fabric_clip",
+    "anchor_of",
+    "build_testing_layout",
+    "PlantedSite",
+    "TestingLayout",
+    "BENCHMARKS",
+    "ICCAD_SPEC",
+    "Benchmark",
+    "BenchmarkConfig",
+    "benchmark_config",
+    "generate_benchmark",
+    "generate_training_set",
+    "generate_testing_layout",
+    "generate_all",
+]

@@ -1,0 +1,149 @@
+"""Two-layer and double-patterning benchmark data (Section IV workloads).
+
+The multilayer mechanism mirrors Fig. 13's premise: a metal-1 tip-to-tip
+pair at a *dead-zone* gap is harmless on its own, but becomes a hotspot
+when a metal-2 wire crosses directly over the gap (the crossing couples
+the layers optically/electrically through the via region).  Single-layer
+features cannot separate the two cases; the Section IV-A overlap features
+can.
+
+The DPT workload plants patterns whose combined geometry is identical but
+whose decomposition differs in same-mask spacing — the Fig. 14 situation
+where mask-aware features are required.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.patterns import _gap, _rint, _wire_width  # shared jitter helpers
+from repro.data.synth import FABRIC_SPACING, anchor_of, fabric_rects
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipLabel, ClipSpec
+from repro.multilayer.features import MultiLayerClip
+
+#: Layer numbering for the two-layer workload.
+METAL1, METAL2 = 1, 2
+
+
+def build_multilayer_clip(
+    rng: np.random.Generator,
+    spec: ClipSpec,
+    hotspot: bool,
+) -> MultiLayerClip:
+    """One labelled two-layer clip (the Fig. 13-style workload).
+
+    Metal 1 carries a tip-to-tip pair at a dead-zone gap (identical
+    distribution for both labels); metal 2 carries vertical routing.  In
+    the hotspot variant one metal-2 wire crosses exactly over the metal-1
+    gap; in the safe variant the crossing keeps clear of it.
+    """
+    nominal = spec.core_of(spec.clip_at(0, 0))
+    width = _wire_width(rng)
+    gap = _rint(rng, 76, 84)  # dead zone: label is decided by metal 2
+    y = nominal.y0 + nominal.height // 3 + _rint(rng, -60, 60)
+    x0 = nominal.x0 + _rint(rng, 40, 120)
+    mid = nominal.x0 + nominal.width // 2 + _rint(rng, -80, 80)
+    right = nominal.x1 - _rint(rng, 20, 60)
+    metal1 = [
+        Rect(x0, y, mid - gap // 2, y + width),
+        Rect(mid + (gap + 1) // 2, y, right, y + width),
+    ]
+
+    ax, ay = anchor_of(metal1, spec.core_side)
+    core = Rect(ax, ay, ax + spec.core_side, ay + spec.core_side)
+    window = spec.clip_for_core(core)
+
+    # Metal 2: vertical wires across the core; the critical one either
+    # crosses the metal-1 gap (hotspot) or keeps a half-core clear of it.
+    m2_width = _wire_width(rng)
+    if hotspot:
+        cross_x = mid - m2_width // 2
+    else:
+        cross_x = mid + spec.core_side // 2 + _rint(rng, 0, 150)
+    metal2 = [
+        Rect(cross_x, core.y0 - 600, cross_x + m2_width, core.y1 + 600),
+        Rect(
+            core.x0 - 500,
+            core.y0 - 600,
+            core.x0 - 500 + m2_width,
+            core.y1 + 600,
+        ),
+    ]
+
+    # Fabric ambit on metal 1 only, outside the anchored core.
+    ambit = fabric_rects(rng, window, [core.expanded(FABRIC_SPACING)])
+    label = ClipLabel.HOTSPOT if hotspot else ClipLabel.NON_HOTSPOT
+    return MultiLayerClip.build(
+        window,
+        spec,
+        {METAL1: metal1 + ambit, METAL2: metal2},
+        label,
+    )
+
+
+def generate_multilayer_set(
+    hotspot_count: int,
+    nonhotspot_count: int,
+    spec: Optional[ClipSpec] = None,
+    seed: int = 404,
+) -> list[MultiLayerClip]:
+    """A labelled two-layer clip population."""
+    spec = spec or ClipSpec()
+    rng = np.random.default_rng(seed)
+    clips = [build_multilayer_clip(rng, spec, True) for _ in range(hotspot_count)]
+    clips += [build_multilayer_clip(rng, spec, False) for _ in range(nonhotspot_count)]
+    return clips
+
+
+def build_dpt_clip(
+    rng: np.random.Generator,
+    spec: ClipSpec,
+    hotspot: bool,
+) -> Clip:
+    """One labelled single-layer clip for the DPT workload (Fig. 14).
+
+    The pattern is a three-wire comb at a pitch that *requires* double
+    patterning.  In the safe variant the wires alternate masks cleanly
+    (even count of conflicts); in the hotspot variant a fourth wire closes
+    an odd conflict cycle region — after decomposition two same-mask wires
+    end up at sub-threshold same-mask spacing.
+    """
+    nominal = spec.core_of(spec.clip_at(0, 0))
+    width = _wire_width(rng)
+    # below the same-mask threshold: adjacent wires must alternate masks
+    tight = _rint(rng, 50, 70)
+    x = nominal.x0 + _rint(rng, 80, 160)
+    y0 = nominal.y0 + _rint(rng, 100, 200)
+    y1 = nominal.y1 - _rint(rng, 100, 200)
+    pitch = width + tight
+    wires = [Rect(x + i * pitch, y0, x + i * pitch + width, y1) for i in range(3)]
+    if hotspot:
+        # An L-hook off wire 0 that approaches wire 2's mask partner,
+        # forcing a same-mask sub-threshold pair after 2-colouring.
+        hook_y = y1 - width
+        wires.append(
+            Rect(x, hook_y + width + tight, x + 2 * pitch + width, hook_y + 2 * width + tight)
+        )
+    ax, ay = anchor_of(wires, spec.core_side)
+    core = Rect(ax, ay, ax + spec.core_side, ay + spec.core_side)
+    window = spec.clip_for_core(core)
+    ambit = fabric_rects(rng, window, [core.expanded(FABRIC_SPACING)])
+    label = ClipLabel.HOTSPOT if hotspot else ClipLabel.NON_HOTSPOT
+    return Clip.build(window, spec, wires + ambit, label)
+
+
+def generate_dpt_set(
+    hotspot_count: int,
+    nonhotspot_count: int,
+    spec: Optional[ClipSpec] = None,
+    seed: int = 505,
+) -> list[Clip]:
+    """A labelled DPT clip population."""
+    spec = spec or ClipSpec()
+    rng = np.random.default_rng(seed)
+    clips = [build_dpt_clip(rng, spec, True) for _ in range(hotspot_count)]
+    clips += [build_dpt_clip(rng, spec, False) for _ in range(nonhotspot_count)]
+    return clips

@@ -1,0 +1,354 @@
+"""Parametric lithography hotspot / nonhotspot pattern zoo.
+
+The ICCAD-2012 contest benchmarks are proprietary, so the reproduction
+plants synthetic failure motifs whose geometry mirrors the classic 32/28 nm
+metal-layer lithography weak points:
+
+- ``tip2tip``   — two wire ends facing across a sub-resolution gap,
+- ``tip2side``  — a wire end too close to the flank of a crossing wire,
+- ``pinch``     — a neck in a wire narrow enough to break,
+- ``bridge``    — a long parallel run at sub-threshold spacing,
+- ``corner``    — convex corners in a diagonal near-touch,
+- ``comb``      — a line sandwiched inside a dense comb,
+- ``ushape``    — a U bend whose notch is too tight,
+- ``jog``       — a staircase jog with a tight diagonal step.
+
+Each motif generator emits rectangle geometry for a core window in both a
+*hotspot* regime (critical dimension below the failure threshold) and a
+*nonhotspot* regime (comfortably above it).  The margin between regimes is
+what makes the planted ground truth learnable — the role lithography
+simulation plays for real foundry training sets.
+
+**Structural stability invariant.**  Within one motif family the rectangle
+*structure* is fixed — the same rectangle count, the same edge ordering,
+the same window-boundary contacts — and only dimensions jitter.  Instances
+of a family therefore share their directional-string topology, which is
+the property the paper's clustering premise rests on ("the patterns within
+one cluster have very similar geometrical characteristics").  Each family
+also pins a unique lexicographically-least rectangle corner so the
+extraction-anchor rule (:func:`repro.data.synth.anchor_of`) lands on the
+same structural corner for every instance.
+
+All dimensions are in DBU (1 nm); wire widths sit at 60-100 nm, matching
+32/28 nm-node metal layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.geometry.rect import Rect
+
+MotifGenerator = Callable[[np.random.Generator, bool, Rect], list[Rect]]
+
+
+def _rint(rng: np.random.Generator, low: int, high: int) -> int:
+    """Uniform integer in [low, high], inclusive, as a Python int."""
+    return int(rng.integers(low, high + 1))
+
+
+#: Gap regimes in nm.  ``hotspot`` fails lithography, ``safe`` prints,
+#: ``borderline`` prints but sits just above the dead zone — decoys drawn
+#: from it create the false-alarm pressure the paper's feedback kernel and
+#: redundant clip removal exist to handle.  The 76-84 nm dead zone keeps
+#: labels consistent.
+GAP_REGIMES = {
+    "hotspot": (40, 75),
+    "safe": (85, 200),
+    "borderline": (85, 110),
+}
+
+
+def _gap(rng: np.random.Generator, hotspot) -> int:
+    """A critical spacing drawn from the requested regime.
+
+    ``hotspot`` may be a bool (True = hotspot regime, False = safe) or a
+    regime name from :data:`GAP_REGIMES`.
+    """
+    if isinstance(hotspot, bool):
+        regime = "hotspot" if hotspot else "safe"
+    else:
+        regime = hotspot
+    low, high = GAP_REGIMES[regime]
+    return _rint(rng, low, high)
+
+
+def _wire_width(rng: np.random.Generator) -> int:
+    return _rint(rng, 60, 100)
+
+
+def tip2tip(rng: np.random.Generator, hotspot: bool, window: Rect) -> list[Rect]:
+    """Two collinear wires with facing ends, plus a track above.
+
+    Structure (left to right, bottom to top): left wire (the anchor
+    rectangle — strictly smallest x0), gap, right wire reaching the right
+    window edge; a full-width companion track above both.
+    """
+    width = _wire_width(rng)
+    gap = _gap(rng, hotspot)
+    y = window.y0 + window.height // 3 + _rint(rng, -60, 60)
+    x0 = window.x0 + _rint(rng, 40, 120)
+    mid = window.x0 + window.width // 2 + _rint(rng, -80, 80)
+    track_y = y + width + _rint(rng, 170, 280)
+    # One shared right margin keeps the wire and track ends aligned, so
+    # the slice structure (and hence the string key) is family-stable.
+    right = window.x1 - _rint(rng, 20, 60)
+    return [
+        Rect(x0, y, mid - gap // 2, y + width),
+        Rect(mid + (gap + 1) // 2, y, right, y + width),
+        Rect(x0 + 200, track_y, right, track_y + width),
+    ]
+
+
+def tip2side(rng: np.random.Generator, hotspot: bool, window: Rect) -> list[Rect]:
+    """A vertical wire end approaching the flank of a horizontal wire.
+
+    Structure: a near-full-width horizontal wire (anchor), and a vertical
+    wire rising from ``gap`` above it to the top window edge.
+    """
+    width = _wire_width(rng)
+    gap = _gap(rng, hotspot)
+    base_y = window.y0 + _rint(rng, 160, 280)
+    x0 = window.x0 + _rint(rng, 40, 120)
+    x = window.x0 + window.width // 2 + _rint(rng, -120, 120)
+    return [
+        Rect(x0, base_y, window.x1 - _rint(rng, 20, 60), base_y + width),
+        Rect(x, base_y + width + gap, x + width, window.y1),
+    ]
+
+
+def pinch(rng: np.random.Generator, hotspot: bool, window: Rect) -> list[Rect]:
+    """A wide wire with a narrow neck in the middle (necking/pinching).
+
+    Structure: wide arm (anchor), centred neck, wide arm.
+    """
+    wide = _rint(rng, 180, 260)
+    neck = _rint(rng, 30, 50) if hotspot else _rint(rng, 120, 170)
+    y = window.y0 + window.height // 2 + _rint(rng, -80, 80)
+    x0 = window.x0 + _rint(rng, 40, 120)
+    neck_x0 = window.x0 + window.width // 2 - _rint(rng, 60, 140)
+    neck_x1 = neck_x0 + _rint(rng, 140, 260)
+    neck_y = y + (wide - neck) // 2
+    return [
+        Rect(x0, y, neck_x0, y + wide),
+        Rect(neck_x0, neck_y, neck_x1, neck_y + neck),
+        Rect(neck_x1, y, window.x1 - _rint(rng, 20, 60), y + wide),
+    ]
+
+
+def bridge(rng: np.random.Generator, hotspot: bool, window: Rect) -> list[Rect]:
+    """Two long parallel wires at (sub)threshold spacing, stub below.
+
+    Structure: lower wire (anchor) and upper wire sharing x extents, plus
+    a vertical stub dropping from below the pair to the bottom edge.
+    """
+    width = _wire_width(rng)
+    gap = _gap(rng, hotspot)
+    y = window.y0 + window.height // 2 + _rint(rng, -60, 60)
+    x0 = window.x0 + _rint(rng, 40, 120)
+    x1 = window.x1 - _rint(rng, 20, 60)
+    stub_x = x0 + 300 + _rint(rng, 0, 200)
+    return [
+        Rect(x0, y, x1, y + width),
+        Rect(x0, y + width + gap, x1, y + 2 * width + gap),
+        Rect(stub_x, window.y0, stub_x + width, y - _rint(rng, 150, 260)),
+    ]
+
+
+def corner(rng: np.random.Generator, hotspot: bool, window: Rect) -> list[Rect]:
+    """Two rectangles in diagonal corner-to-corner proximity.
+
+    Structure: lower-left box (anchor) and upper-right box separated
+    diagonally by ``gap`` on both axes.
+    """
+    gap = _gap(rng, hotspot)
+    size_a = _rint(rng, 220, 380)
+    size_b = _rint(rng, 220, 380)
+    cx = window.x0 + window.width // 2 + _rint(rng, -60, 60)
+    cy = window.y0 + window.height // 2 + _rint(rng, -60, 60)
+    return [
+        Rect(cx - size_a, cy - size_a, cx, cy),
+        Rect(cx + gap, cy + gap, cx + gap + size_b, cy + gap + size_b),
+    ]
+
+
+def comb(rng: np.random.Generator, hotspot: bool, window: Rect) -> list[Rect]:
+    """Comb fingers at critical pitch filling the window width.
+
+    Structure: vertical fingers (the leftmost is the anchor) spanning
+    most of the window height at pitch ``width + gap``, repeated across
+    the window.  The finger count is a function of the pitch, so
+    instances at the same pitch share topology; planting the comb in a
+    wide (multi-core) window yields a periodic array whose every finger
+    corner anchors a topologically identical candidate — the redundancy
+    redundant clip removal collapses (Fig. 12).
+    """
+    width = _wire_width(rng)
+    gap = _gap(rng, hotspot)
+    pitch = width + gap
+    x = window.x0 + _rint(rng, 60, 140)
+    y0 = window.y0 + _rint(rng, 100, 200)
+    y1 = window.y1 - _rint(rng, 100, 200)
+    out = []
+    while x + width <= window.x1 - 60:
+        out.append(Rect(x, y0, x + width, y1))
+        x += pitch
+    return out
+
+
+def ushape(rng: np.random.Generator, hotspot: bool, window: Rect) -> list[Rect]:
+    """A U bend whose inner notch spacing is the critical dimension.
+
+    Structure: bottom bar (anchor — smallest x0 and y0), left arm, right
+    arm across the notch.
+    """
+    width = _wire_width(rng)
+    notch = _gap(rng, hotspot)
+    x0 = window.x0 + _rint(rng, 60, 150)
+    y0 = window.y0 + _rint(rng, 200, 320)
+    height = _rint(rng, 420, 680)
+    return [
+        Rect(x0, y0 - width, x0 + 2 * width + notch, y0),
+        Rect(x0, y0, x0 + width, y0 + height),
+        Rect(x0 + width + notch, y0, x0 + 2 * width + notch, y0 + height),
+    ]
+
+
+def jog(rng: np.random.Generator, hotspot: bool, window: Rect) -> list[Rect]:
+    """A staircase jog with a tight diagonal step.
+
+    Structure: lower wire (anchor) from the left edge region to mid, upper
+    wire from mid+gap to the right edge region one step up, and a short
+    riser under the upper wire's start.
+    """
+    width = _wire_width(rng)
+    gap = _gap(rng, hotspot)
+    y = window.y0 + window.height // 2 + _rint(rng, -60, 60)
+    x_mid = window.x0 + window.width // 2 + _rint(rng, -80, 80)
+    step = width + gap
+    riser_drop = _rint(rng, 30, 60)
+    return [
+        Rect(window.x0 + _rint(rng, 40, 120), y, x_mid, y + width),
+        Rect(x_mid + gap, y + step, window.x1 - _rint(rng, 20, 60), y + step + width),
+        Rect(x_mid + gap, y + step - riser_drop, x_mid + gap + width, y + step),
+    ]
+
+
+def ambit_t2t(
+    rng: np.random.Generator, hotspot: bool, window: Rect
+) -> tuple[list[Rect], list[Rect]]:
+    """The Fig. 10 pattern: identical cores, ambit decides the label.
+
+    The core holds a tip-to-tip pair whose gap sits in the *dead zone*
+    (76-84 nm) — printable in isolation, failing under optical crowding.
+    The hotspot variant surrounds the core with dense ambit tracks; the
+    safe variant leaves the ambit empty.  Core-region features cannot
+    separate the two, which is precisely the situation the paper's
+    feedback kernel exists for.
+
+    Returns ``(core_rects, ambit_rects)``; ambit rectangles lie outside
+    the anchored core window.
+    """
+    width = _wire_width(rng)
+    gap = _rint(rng, 76, 84)
+    y = window.y0 + window.height // 3 + _rint(rng, -60, 60)
+    x0 = window.x0 + _rint(rng, 40, 120)
+    mid = window.x0 + window.width // 2 + _rint(rng, -80, 80)
+    right = window.x1 - _rint(rng, 20, 60)
+    core_rects = [
+        Rect(x0, y, mid - gap // 2, y + width),
+        Rect(mid + (gap + 1) // 2, y, right, y + width),
+    ]
+    ambit_rects: list[Rect] = []
+    if hotspot:
+        # Dense crowding tracks above and below the anchored core window.
+        ax, ay = x0, y  # the anchor corner (left wire, smallest x0/y0)
+        core_side = window.height  # plant callers pass a core-sized window
+        for row in range(3):
+            ty = ay + core_side + 150 + row * 260
+            ambit_rects.append(Rect(ax - 300, ty, ax + core_side + 300, ty + 120))
+        for row in range(3):
+            ty = ay - 270 - row * 260
+            ambit_rects.append(Rect(ax - 300, ty, ax + core_side + 300, ty + 120))
+    return core_rects, ambit_rects
+
+
+#: Name of the ambit-sensitive motif; it is generated via
+#: :func:`generate_ambit_motif` rather than :func:`generate_motif`.
+AMBIT_MOTIF = "ambit_t2t"
+
+
+def generate_ambit_motif(
+    rng: np.random.Generator, hotspot: bool, window: Rect
+) -> tuple[list[Rect], list[Rect]]:
+    """Generate the ambit-sensitive motif (core rects, ambit rects)."""
+    core_rects, ambit_rects = ambit_t2t(rng, hotspot, window)
+    return core_rects, ambit_rects
+
+
+@dataclass(frozen=True)
+class Motif:
+    """A named motif generator."""
+
+    name: str
+    generate: MotifGenerator
+
+
+MOTIFS: tuple[Motif, ...] = (
+    Motif("tip2tip", tip2tip),
+    Motif("tip2side", tip2side),
+    Motif("pinch", pinch),
+    Motif("bridge", bridge),
+    Motif("corner", corner),
+    Motif("comb", comb),
+    Motif("ushape", ushape),
+    Motif("jog", jog),
+)
+
+_MOTIF_BY_NAME = {m.name: m for m in MOTIFS}
+
+
+def motif_by_name(name: str) -> Motif:
+    """Look up a motif; raises :class:`~repro.errors.DataError` if unknown."""
+    try:
+        return _MOTIF_BY_NAME[name]
+    except KeyError:
+        raise DataError(
+            f"unknown motif {name!r}; available: {sorted(_MOTIF_BY_NAME)}"
+        ) from None
+
+
+def generate_motif(
+    name: str,
+    rng: np.random.Generator,
+    hotspot,
+    window: Rect,
+) -> list[Rect]:
+    """Generate one motif instance, clipped to stay inside the window.
+
+    ``hotspot`` is a bool or a regime name ("hotspot" / "safe" /
+    "borderline") forwarded to the gap draw.
+    """
+    rects = motif_by_name(name).generate(rng, hotspot, window)
+    clipped = [r for r in (rect.intersection(window) for rect in rects) if r]
+    if not clipped:
+        raise DataError(f"motif {name!r} generated no in-window geometry")
+    return _remove_overlaps(clipped)
+
+
+def _remove_overlaps(rects: Sequence[Rect]) -> list[Rect]:
+    """Drop later rectangles that overlap earlier ones.
+
+    Motif geometry is disjoint by construction; this guards the invariant
+    against future motif edits rather than silently producing double
+    coverage.
+    """
+    out: list[Rect] = []
+    for rect in rects:
+        if not any(rect.overlaps(kept) for kept in out):
+            out.append(rect)
+    return out

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` hotspot-detection library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class at API boundaries.  Subsystems raise the most
+specific subclass available; nothing in the library raises a bare
+``Exception`` or ``ValueError`` for conditions that are specific to this
+domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate rectangle, open polygon, ...)."""
+
+
+class GdsiiError(ReproError):
+    """Malformed GDSII stream data or unsupported record usage."""
+
+
+class GdsiiRecordError(GdsiiError):
+    """A single GDSII record could not be decoded or encoded."""
+
+
+class LayoutError(ReproError):
+    """Inconsistent layout-model operation (unknown layer, bad clip...)."""
+
+
+class TopologyError(ReproError):
+    """Topological classification failure (empty pattern, bad radix...)."""
+
+
+class TilingError(ReproError):
+    """MTCG tiling or constraint-graph construction failure."""
+
+
+class FeatureError(ReproError):
+    """Critical-feature extraction failure."""
+
+
+class SvmError(ReproError):
+    """SVM training or prediction failure."""
+
+
+class NotFittedError(SvmError):
+    """A model was used for prediction before being trained."""
+
+
+class ConvergenceError(SvmError):
+    """The SMO solver failed to reach the requested tolerance."""
+
+
+class ConfigError(ReproError):
+    """Invalid detector configuration value."""
+
+
+class DataError(ReproError):
+    """Benchmark-data generation or loading failure."""

@@ -1,0 +1,32 @@
+"""Critical-feature pipeline: rule rectangles, nontopological features,
+fixed-length vectorization."""
+
+from repro.mtcg.rules import RULE_RECT_SLOTS, FeatureType, RuleRect
+from repro.features.nontopo import (
+    NONTOPO_SLOTS,
+    NonTopoFeatures,
+    corner_and_touch_counts,
+    extract_nontopo_features,
+)
+from repro.features.vector import (
+    TYPE_ORDER,
+    ExtractedFeatures,
+    FeatureConfig,
+    FeatureExtractor,
+    FeatureSchema,
+)
+
+__all__ = [
+    "FeatureType",
+    "RuleRect",
+    "RULE_RECT_SLOTS",
+    "NonTopoFeatures",
+    "NONTOPO_SLOTS",
+    "corner_and_touch_counts",
+    "extract_nontopo_features",
+    "TYPE_ORDER",
+    "ExtractedFeatures",
+    "FeatureConfig",
+    "FeatureExtractor",
+    "FeatureSchema",
+]

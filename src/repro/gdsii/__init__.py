@@ -1,0 +1,58 @@
+"""From-scratch GDSII stream-format substrate.
+
+Replaces the Anuvad C++ GDSII library the paper used.  Provides a binary
+record codec, an object model (library / structure / element), a reader, a
+writer and hierarchy flattening.
+"""
+
+from repro.gdsii.library import (
+    GdsARef,
+    GdsBoundary,
+    GdsBox,
+    GdsLibrary,
+    GdsPath,
+    GdsSRef,
+    GdsStructure,
+    GdsTransform,
+    check_reference_closure,
+)
+from repro.gdsii.reader import read_library, read_library_file
+from repro.gdsii.records import (
+    DataType,
+    Record,
+    RecordType,
+    decode_real8,
+    decode_record,
+    encode_real8,
+    encode_record,
+    iter_records,
+)
+from repro.gdsii.writer import write_library, write_library_file
+from repro.gdsii.flatten import FlatShape, flatten_structure, flatten_top
+
+__all__ = [
+    "GdsLibrary",
+    "GdsStructure",
+    "GdsBoundary",
+    "GdsPath",
+    "GdsBox",
+    "GdsSRef",
+    "GdsARef",
+    "GdsTransform",
+    "check_reference_closure",
+    "read_library",
+    "read_library_file",
+    "write_library",
+    "write_library_file",
+    "flatten_structure",
+    "flatten_top",
+    "FlatShape",
+    "Record",
+    "RecordType",
+    "DataType",
+    "encode_record",
+    "decode_record",
+    "iter_records",
+    "encode_real8",
+    "decode_real8",
+]

@@ -1,0 +1,103 @@
+"""Hierarchy flattening: resolve SREF/AREF into plain polygons.
+
+The detection pipeline works on flat geometry.  :func:`flatten_structure`
+expands a structure's reference tree into a list of ``(layer, datatype,
+Polygon)`` tuples, applying GDSII placement transforms (reflection first,
+then rotation, then translation) at every level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import GdsiiError
+from repro.gdsii.library import (
+    GdsARef,
+    GdsBoundary,
+    GdsBox,
+    GdsLibrary,
+    GdsPath,
+    GdsSRef,
+    GdsStructure,
+    GdsTransform,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+FlatShape = tuple[int, int, Polygon]
+
+_MAX_DEPTH = 64
+
+
+def flatten_structure(library: GdsLibrary, structure: GdsStructure) -> list[FlatShape]:
+    """Flatten one structure (and its reference tree) to polygons."""
+    return list(_flatten(library, structure, GdsTransform(), Point(0, 0), depth=0))
+
+
+def flatten_top(library: GdsLibrary) -> list[FlatShape]:
+    """Flatten the unique top structure of a library."""
+    return flatten_structure(library, library.single_top())
+
+
+def _compose_point(
+    outer: GdsTransform, outer_origin: Point, inner_point: Point
+) -> Point:
+    moved = outer.apply(inner_point)
+    return Point(moved.x + outer_origin.x, moved.y + outer_origin.y)
+
+
+def _compose_transforms(outer: GdsTransform, inner: GdsTransform) -> GdsTransform:
+    """Compose placement transforms (outer applied after inner).
+
+    With reflection R (about x) and rotation by theta, a GDSII transform is
+    ``T(p) = Rot(theta) . Mirror^m (p)``.  Composition stays in the same
+    family: the combined mirror flag is the XOR and the combined angle is
+    ``outer_angle + (-1)^{outer_mirror} * inner_angle``.
+    """
+    reflect = outer.reflect_x != inner.reflect_x
+    sign = -1 if outer.reflect_x else 1
+    rotation = (outer.rotation_degrees + sign * inner.rotation_degrees) % 360
+    return GdsTransform(reflect, rotation)
+
+
+def _flatten(
+    library: GdsLibrary,
+    structure: GdsStructure,
+    transform: GdsTransform,
+    origin: Point,
+    depth: int,
+) -> Iterator[FlatShape]:
+    if depth > _MAX_DEPTH:
+        raise GdsiiError(
+            f"reference depth exceeds {_MAX_DEPTH}; cycle through {structure.name!r}?"
+        )
+    for element in structure.elements:
+        if isinstance(element, GdsBoundary):
+            vertices = [_compose_point(transform, origin, p) for p in element.xy]
+            yield element.layer, element.datatype, Polygon(vertices)
+        elif isinstance(element, GdsBox):
+            vertices = [_compose_point(transform, origin, p) for p in element.xy]
+            yield element.layer, element.boxtype, Polygon(vertices)
+        elif isinstance(element, GdsPath):
+            for polygon in element.to_polygons():
+                vertices = [
+                    _compose_point(transform, origin, p) for p in polygon.vertices
+                ]
+                yield element.layer, element.datatype, Polygon(vertices)
+        elif isinstance(element, GdsSRef):
+            child = library.get(element.sname)
+            child_origin = _compose_point(transform, origin, element.origin)
+            child_transform = _compose_transforms(transform, element.transform)
+            yield from _flatten(
+                library, child, child_transform, child_origin, depth + 1
+            )
+        elif isinstance(element, GdsARef):
+            child = library.get(element.sname)
+            child_transform = _compose_transforms(transform, element.transform)
+            for placement in element.placements():
+                child_origin = _compose_point(transform, origin, placement)
+                yield from _flatten(
+                    library, child, child_transform, child_origin, depth + 1
+                )
+        else:
+            raise GdsiiError(f"cannot flatten element {type(element).__name__}")

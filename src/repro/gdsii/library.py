@@ -1,0 +1,226 @@
+"""In-memory GDSII object model: libraries, structures, elements.
+
+Mirrors the stream format's hierarchy: a :class:`GdsLibrary` holds named
+:class:`GdsStructure` cells, each containing geometry elements (boundaries,
+paths, boxes) and hierarchy references (:class:`GdsSRef`,
+:class:`GdsARef`).  Coordinates are integer database units (DBU); the
+library records how many metres one DBU is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.errors import GdsiiError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+@dataclass
+class GdsBoundary:
+    """A filled polygon on ``layer``/``datatype``.
+
+    ``xy`` is the closed vertex loop *without* the repeated final vertex
+    (the stream format repeats it; the model does not).
+    """
+
+    layer: int
+    datatype: int
+    xy: list[Point]
+
+    def to_polygon(self) -> Polygon:
+        """Convert to the geometry engine's polygon type."""
+        return Polygon(self.xy)
+
+    @staticmethod
+    def from_rect(layer: int, datatype: int, rect: Rect) -> "GdsBoundary":
+        return GdsBoundary(layer, datatype, list(rect.corners()))
+
+
+@dataclass
+class GdsPath:
+    """A wire path with a width; flush (pathtype 0) ends only.
+
+    Paths are converted to boundaries on read by :meth:`to_polygons`, since
+    the detection pipeline operates purely on polygons.
+    """
+
+    layer: int
+    datatype: int
+    width: int
+    xy: list[Point]
+    pathtype: int = 0
+
+    def to_polygons(self) -> list[Polygon]:
+        """Expand each axis-parallel segment to a width-``width`` rectangle."""
+        if self.width <= 0:
+            raise GdsiiError(f"path on layer {self.layer} has width {self.width}")
+        half = self.width // 2
+        out: list[Polygon] = []
+        for a, b in zip(self.xy, self.xy[1:]):
+            if a.x == b.x:
+                y0, y1 = min(a.y, b.y), max(a.y, b.y)
+                out.append(Polygon.from_rect(Rect(a.x - half, y0, a.x + half, y1)))
+            elif a.y == b.y:
+                x0, x1 = min(a.x, b.x), max(a.x, b.x)
+                out.append(Polygon.from_rect(Rect(x0, a.y - half, x1, a.y + half)))
+            else:
+                raise GdsiiError("non-Manhattan path segments are unsupported")
+        return out
+
+
+@dataclass
+class GdsBox:
+    """A BOX element; semantically a labelled rectangle."""
+
+    layer: int
+    boxtype: int
+    xy: list[Point]
+
+    def to_polygon(self) -> Polygon:
+        return Polygon(self.xy)
+
+
+@dataclass
+class GdsTransform:
+    """Placement transform of a structure reference.
+
+    Only the manufacturable subset is supported: right-angle rotations and
+    an optional x-axis reflection (STRANS bit 0), with unit magnification.
+    """
+
+    reflect_x: bool = False
+    rotation_degrees: int = 0
+    magnification: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rotation_degrees % 90:
+            raise GdsiiError(
+                f"only right-angle rotations supported, got {self.rotation_degrees}"
+            )
+        if not math.isclose(self.magnification, 1.0):
+            raise GdsiiError("non-unit magnification is unsupported")
+
+    def apply(self, p: Point) -> Point:
+        """Transform a point (reflection first, then rotation — GDSII order)."""
+        x, y = p.x, p.y
+        if self.reflect_x:
+            y = -y
+        quarter_turns = (self.rotation_degrees // 90) % 4
+        for _ in range(quarter_turns):
+            x, y = -y, x
+        return Point(x, y)
+
+
+@dataclass
+class GdsSRef:
+    """A single placement of structure ``sname`` at ``origin``."""
+
+    sname: str
+    origin: Point
+    transform: GdsTransform = field(default_factory=GdsTransform)
+
+
+@dataclass
+class GdsARef:
+    """An array placement: ``columns`` x ``rows`` copies of ``sname``.
+
+    ``col_step`` / ``row_step`` are the displacement vectors between
+    adjacent columns and rows (derived from the three XY points of the
+    stream AREF record).
+    """
+
+    sname: str
+    origin: Point
+    columns: int
+    rows: int
+    col_step: Point
+    row_step: Point
+    transform: GdsTransform = field(default_factory=GdsTransform)
+
+    def placements(self) -> Iterator[Point]:
+        """The origin of every array instance."""
+        for row in range(self.rows):
+            for col in range(self.columns):
+                yield Point(
+                    self.origin.x + col * self.col_step.x + row * self.row_step.x,
+                    self.origin.y + col * self.col_step.y + row * self.row_step.y,
+                )
+
+
+GdsElement = Union[GdsBoundary, GdsPath, GdsBox, GdsSRef, GdsARef]
+
+
+@dataclass
+class GdsStructure:
+    """A named cell holding geometry and references."""
+
+    name: str
+    elements: list[GdsElement] = field(default_factory=list)
+
+    def boundaries(self) -> list[GdsBoundary]:
+        return [e for e in self.elements if isinstance(e, GdsBoundary)]
+
+    def references(self) -> list[Union[GdsSRef, GdsARef]]:
+        return [e for e in self.elements if isinstance(e, (GdsSRef, GdsARef))]
+
+    def add(self, element: GdsElement) -> None:
+        self.elements.append(element)
+
+
+@dataclass
+class GdsLibrary:
+    """A GDSII library: named structures plus unit metadata.
+
+    ``user_unit`` is DBU size in user units (typically 1e-3 for nm DBU with
+    micron user units); ``meters_per_dbu`` the physical DBU size.
+    """
+
+    name: str = "LIB"
+    user_unit: float = 1e-3
+    meters_per_dbu: float = 1e-9
+    structures: dict[str, GdsStructure] = field(default_factory=dict)
+
+    def add_structure(self, structure: GdsStructure) -> GdsStructure:
+        if structure.name in self.structures:
+            raise GdsiiError(f"duplicate structure name {structure.name!r}")
+        self.structures[structure.name] = structure
+        return structure
+
+    def new_structure(self, name: str) -> GdsStructure:
+        return self.add_structure(GdsStructure(name))
+
+    def get(self, name: str) -> GdsStructure:
+        try:
+            return self.structures[name]
+        except KeyError:
+            raise GdsiiError(f"unknown structure {name!r}") from None
+
+    def top_structures(self) -> list[GdsStructure]:
+        """Structures not referenced by any other structure."""
+        referenced = {
+            ref.sname
+            for structure in self.structures.values()
+            for ref in structure.references()
+        }
+        return [s for s in self.structures.values() if s.name not in referenced]
+
+    def single_top(self) -> GdsStructure:
+        """The unique top structure, erroring when it is ambiguous."""
+        tops = self.top_structures()
+        if len(tops) != 1:
+            names = sorted(s.name for s in tops)
+            raise GdsiiError(f"expected one top structure, found {names}")
+        return tops[0]
+
+
+def check_reference_closure(library: GdsLibrary) -> Optional[str]:
+    """Return the first dangling reference name, or ``None`` when closed."""
+    for structure in library.structures.values():
+        for ref in structure.references():
+            if ref.sname not in library.structures:
+                return ref.sname
+    return None

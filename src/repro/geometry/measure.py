@@ -1,0 +1,188 @@
+"""Spacing and width measurements over rectilinear geometry.
+
+Two of the paper's five nontopological features are distances between
+*internally facing* and *externally facing* polygon-edge pairs
+(Fig. 7(e)).  In DRC terms these are the classic ``width`` and ``space``
+checks.  A third feature, the number of *touched points*, counts locations
+where polygons meet only at a point or edge endpoint.
+
+Measurements are taken from directed polygon edges: vertices are stored
+counter-clockwise, so the polygon interior lies to the *left* of every
+directed edge.  Two parallel edges "face" each other when their projections
+overlap and their interior sides point at one another (internal) or away
+from one another (external).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class DirectedEdge:
+    """An axis-parallel edge annotated with where the polygon interior is.
+
+    ``axis`` is ``"v"`` for vertical edges (constant x) or ``"h"`` for
+    horizontal edges (constant y).  ``position`` is that constant
+    coordinate, ``lo``/``hi`` the spanning interval on the other axis, and
+    ``interior_positive`` records whether the interior lies toward the
+    positive direction of the constant axis.
+    """
+
+    axis: str
+    position: int
+    lo: int
+    hi: int
+    interior_positive: bool
+    polygon_index: int
+
+
+def directed_edges(polygons: Iterable[Polygon]) -> list[DirectedEdge]:
+    """Annotated edges of every polygon, tagged with the polygon index."""
+    out: list[DirectedEdge] = []
+    for index, polygon in enumerate(polygons):
+        for edge in polygon.edges():
+            a, b = edge.start, edge.end
+            if a.x == b.x:
+                # Vertical edge; CCW interior is on the left of travel:
+                # travelling up (+y) puts interior toward -x.
+                going_up = b.y > a.y
+                out.append(
+                    DirectedEdge(
+                        axis="v",
+                        position=a.x,
+                        lo=min(a.y, b.y),
+                        hi=max(a.y, b.y),
+                        interior_positive=not going_up,
+                        polygon_index=index,
+                    )
+                )
+            else:
+                # Horizontal edge; travelling right (+x) puts interior
+                # toward +y.
+                going_right = b.x > a.x
+                out.append(
+                    DirectedEdge(
+                        axis="h",
+                        position=a.y,
+                        lo=min(a.x, b.x),
+                        hi=max(a.x, b.x),
+                        interior_positive=going_right,
+                        polygon_index=index,
+                    )
+                )
+    return out
+
+
+def _facing_distance(
+    first: DirectedEdge, second: DirectedEdge, *, internal: bool
+) -> Optional[int]:
+    """Distance between two facing parallel edges, or ``None``.
+
+    ``internal=True`` selects pairs whose interiors point toward each other
+    through solid material (width checks); ``internal=False`` selects pairs
+    whose interiors point away, i.e. the gap between them is empty space
+    (spacing checks).
+    """
+    if first.axis != second.axis:
+        return None
+    if first.position == second.position:
+        return None
+    lower, upper = (
+        (first, second) if first.position < second.position else (second, first)
+    )
+    # Projection overlap on the running axis is required for facing.
+    if min(lower.hi, upper.hi) <= max(lower.lo, upper.lo):
+        return None
+    if internal:
+        faces = lower.interior_positive and not upper.interior_positive
+    else:
+        faces = (not lower.interior_positive) and upper.interior_positive
+    if not faces:
+        return None
+    return upper.position - lower.position
+
+
+def min_internal_distance(polygons: list[Polygon]) -> Optional[int]:
+    """Minimum width of any polygon: closest internally facing edge pair.
+
+    Only same-polygon pairs are considered — interior material belongs to
+    one polygon.  Returns ``None`` when no facing pair exists (impossible
+    for valid polygons, but guarded for empty input).
+    """
+    edges = directed_edges(polygons)
+    best: Optional[int] = None
+    for i, first in enumerate(edges):
+        for second in edges[i + 1 :]:
+            if first.polygon_index != second.polygon_index:
+                continue
+            d = _facing_distance(first, second, internal=True)
+            if d is not None and (best is None or d < best):
+                best = d
+    return best
+
+
+def min_external_distance(polygons: list[Polygon]) -> Optional[int]:
+    """Minimum spacing between externally facing edge pairs.
+
+    Pairs from the same polygon are included: a "U" shape faces itself
+    across its notch, and that notch spacing is lithographically meaningful.
+    Returns ``None`` when nothing faces anything (e.g. a single rectangle).
+    """
+    edges = directed_edges(polygons)
+    best: Optional[int] = None
+    for i, first in enumerate(edges):
+        for second in edges[i + 1 :]:
+            d = _facing_distance(first, second, internal=False)
+            if d is not None and (best is None or d < best):
+                best = d
+    return best
+
+
+def touch_point_count(polygons: list[Polygon]) -> int:
+    """Number of vertex locations shared by two or more distinct polygons.
+
+    A "touched point" in Fig. 7(e) is a place where polygons abut at a
+    corner.  We count lattice points that appear as vertices of more than
+    one polygon.
+    """
+    seen: dict[tuple[int, int], set[int]] = {}
+    for index, polygon in enumerate(polygons):
+        for vertex in polygon.vertices:
+            seen.setdefault((vertex.x, vertex.y), set()).add(index)
+    return sum(1 for owners in seen.values() if len(owners) > 1)
+
+
+def corner_count(polygons: list[Polygon]) -> int:
+    """Total corner count (convex plus concave) across all polygons."""
+    return sum(len(polygon.corners()) for polygon in polygons)
+
+
+def min_rect_spacing(rects: list[Rect]) -> Optional[int]:
+    """Minimum face-to-face gap between axis-aligned rectangles.
+
+    A cheap rectangle-level surrogate for :func:`min_external_distance`
+    used on dissected geometry where polygon identity is unavailable.  Only
+    pairs with overlapping projections (true facing) count; diagonal
+    neighbours do not.
+    """
+    best: Optional[int] = None
+    for i, first in enumerate(rects):
+        for second in rects[i + 1 :]:
+            if first.overlaps(second):
+                continue
+            x_overlap = min(first.x1, second.x1) > max(first.x0, second.x0)
+            y_overlap = min(first.y1, second.y1) > max(first.y0, second.y0)
+            if y_overlap and not x_overlap:
+                gap = first.gap_x(second)
+            elif x_overlap and not y_overlap:
+                gap = first.gap_y(second)
+            else:
+                continue
+            if gap > 0 and (best is None or gap < best):
+                best = gap
+    return best

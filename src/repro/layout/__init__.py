@@ -1,0 +1,45 @@
+"""Layout model: layers, spatial indexing, clips, serialisation."""
+
+from repro.layout.clip import Clip, ClipLabel, ClipSet, ClipSpec
+from repro.layout.layout import Layer, Layout
+from repro.layout.spatial import RectIndex
+from repro.layout.io import (
+    clipset_from_json,
+    clipset_to_json,
+    clipset_to_library,
+    layout_to_library,
+    library_to_clipset,
+    library_to_layout,
+    load_clipset_gds,
+    load_clipset_json,
+    load_layout_auto,
+    load_layout_gds,
+    save_clipset_gds,
+    save_clipset_json,
+    save_layout_auto,
+    save_layout_gds,
+)
+
+__all__ = [
+    "Clip",
+    "ClipLabel",
+    "ClipSet",
+    "ClipSpec",
+    "Layer",
+    "Layout",
+    "RectIndex",
+    "layout_to_library",
+    "library_to_layout",
+    "save_layout_gds",
+    "load_layout_gds",
+    "load_layout_auto",
+    "save_layout_auto",
+    "clipset_to_library",
+    "library_to_clipset",
+    "save_clipset_gds",
+    "load_clipset_gds",
+    "clipset_to_json",
+    "clipset_from_json",
+    "save_clipset_json",
+    "load_clipset_json",
+]

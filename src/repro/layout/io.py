@@ -1,0 +1,205 @@
+"""Serialisation for layouts and clip sets.
+
+Layouts round-trip through real GDSII (the industry interchange format the
+paper's toolchain used); clip sets additionally round-trip through a JSON
+encoding that carries the labels GDSII has no standard place for.  In the
+GDSII encoding of a clip set, each clip becomes one structure and its label
+is encoded in the structure name, matching how the ICCAD-2012 training
+archives organise clips (one cell per clip).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FsPath
+from typing import Optional, Union
+
+from repro.errors import LayoutError
+from repro.gdsii.flatten import flatten_structure
+from repro.gdsii.library import GdsBoundary, GdsLibrary, GdsStructure
+from repro.gdsii.reader import read_library_file
+from repro.gdsii.writer import write_library_file
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipLabel, ClipSpec, ClipSet
+from repro.layout.layout import Layout
+
+_LABEL_PREFIX = {
+    ClipLabel.HOTSPOT: "HS",
+    ClipLabel.NON_HOTSPOT: "NHS",
+    ClipLabel.UNKNOWN: "UNK",
+}
+_PREFIX_LABEL = {v: k for k, v in _LABEL_PREFIX.items()}
+
+
+# ----------------------------------------------------------------------
+# layout <-> GDSII
+# ----------------------------------------------------------------------
+
+
+def layout_to_library(layout: Layout, name: str = "LAYOUT", top: str = "TOP") -> GdsLibrary:
+    """Convert a layout into a single-top-cell GDSII library."""
+    library = GdsLibrary(name=name)
+    structure = library.new_structure(top)
+    for layer_number in layout.layer_numbers():
+        for polygon in layout.layer(layer_number).polygons:
+            structure.add(GdsBoundary(layer_number, 0, list(polygon.vertices)))
+    return library
+
+
+def library_to_layout(
+    library: GdsLibrary,
+    dissect_max_side: Optional[int] = None,
+    structure_name: Optional[str] = None,
+) -> Layout:
+    """Flatten a GDSII library (or one named structure) into a layout."""
+    structure = (
+        library.get(structure_name) if structure_name else library.single_top()
+    )
+    layout = Layout(dissect_max_side=dissect_max_side)
+    for layer, _datatype, polygon in flatten_structure(library, structure):
+        layout.add_polygon(layer, polygon)
+    return layout
+
+
+def save_layout_gds(layout: Layout, path: Union[str, FsPath]) -> None:
+    """Write a layout to a GDSII file."""
+    write_library_file(layout_to_library(layout), path)
+
+
+def load_layout_gds(
+    path: Union[str, FsPath], dissect_max_side: Optional[int] = None
+) -> Layout:
+    """Read a layout back from a GDSII file."""
+    return library_to_layout(read_library_file(path), dissect_max_side)
+
+
+def save_layout_auto(layout: Layout, path: Union[str, FsPath]) -> None:
+    """Write a layout, picking the format from the file extension.
+
+    ``.oas``/``.oasis`` writes OASIS; anything else writes GDSII.
+    """
+    suffix = FsPath(path).suffix.lower()
+    if suffix in (".oas", ".oasis"):
+        from repro.oasis.writer import write_oasis_file
+
+        write_oasis_file(layout, path)
+    else:
+        save_layout_gds(layout, path)
+
+
+def load_layout_auto(path: Union[str, FsPath]) -> Layout:
+    """Read a layout, sniffing the stream format from the file magic.
+
+    OASIS files start with ``%SEMI-OASIS``; everything else is treated as
+    GDSII.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(13)
+    if head.startswith(b"%SEMI-OASIS"):
+        from repro.oasis.reader import read_oasis_file
+
+        return read_oasis_file(path).layout
+    return load_layout_gds(path)
+
+
+# ----------------------------------------------------------------------
+# clip set <-> GDSII
+# ----------------------------------------------------------------------
+
+
+def clipset_to_library(clip_set: ClipSet, name: str = "CLIPS") -> GdsLibrary:
+    """One structure per clip, label encoded in the structure name."""
+    library = GdsLibrary(name=name)
+    for index, clip in enumerate(clip_set):
+        prefix = _LABEL_PREFIX[clip.label]
+        structure = library.new_structure(f"{prefix}_{index:06d}")
+        for rect in clip.rects:
+            structure.add(GdsBoundary.from_rect(clip.layer, 0, rect))
+        # A zero-datatype-255 marker boundary records the window itself so
+        # the loader can re-anchor the clip without external metadata.
+        structure.add(GdsBoundary(clip.layer, 255, list(clip.window.corners())))
+    return library
+
+
+def library_to_clipset(library: GdsLibrary, spec: ClipSpec) -> ClipSet:
+    """Inverse of :func:`clipset_to_library`."""
+    clip_set = ClipSet(spec)
+    for structure_name in sorted(library.structures):
+        structure = library.structures[structure_name]
+        prefix = structure_name.split("_", 1)[0]
+        if prefix not in _PREFIX_LABEL:
+            raise LayoutError(f"clip structure {structure_name!r} has no label prefix")
+        label = _PREFIX_LABEL[prefix]
+        window: Optional[Rect] = None
+        rects: list[Rect] = []
+        layer = 1
+        for boundary in structure.boundaries():
+            polygon_box = boundary.to_polygon().bbox()
+            if boundary.datatype == 255:
+                window = polygon_box
+            else:
+                rects.append(polygon_box)
+                layer = boundary.layer
+        if window is None:
+            raise LayoutError(f"clip structure {structure_name!r} lacks a window marker")
+        clip_set.add(Clip.build(window, spec, rects, label, layer))
+    return clip_set
+
+
+def save_clipset_gds(clip_set: ClipSet, path: Union[str, FsPath]) -> None:
+    write_library_file(clipset_to_library(clip_set), path)
+
+
+def load_clipset_gds(path: Union[str, FsPath], spec: ClipSpec) -> ClipSet:
+    return library_to_clipset(read_library_file(path), spec)
+
+
+# ----------------------------------------------------------------------
+# clip set <-> JSON
+# ----------------------------------------------------------------------
+
+
+def clipset_to_json(clip_set: ClipSet) -> str:
+    """Serialise a clip set (windows, rects, labels) to a JSON string."""
+    payload = {
+        "spec": {
+            "core_side": clip_set.spec.core_side,
+            "clip_side": clip_set.spec.clip_side,
+        },
+        "clips": [
+            {
+                "window": [clip.window.x0, clip.window.y0, clip.window.x1, clip.window.y1],
+                "label": clip.label.value,
+                "layer": clip.layer,
+                "rects": [[r.x0, r.y0, r.x1, r.y1] for r in clip.rects],
+            }
+            for clip in clip_set
+        ],
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def clipset_from_json(text: str) -> ClipSet:
+    """Inverse of :func:`clipset_to_json`."""
+    try:
+        payload = json.loads(text)
+        spec = ClipSpec(**payload["spec"])
+        clip_set = ClipSet(spec)
+        for entry in payload["clips"]:
+            window = Rect(*entry["window"])
+            rects = [Rect(*r) for r in entry["rects"]]
+            label = ClipLabel(entry["label"])
+            clip_set.add(Clip.build(window, spec, rects, label, entry["layer"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise LayoutError(f"malformed clip-set JSON: {exc}") from exc
+    return clip_set
+
+
+def save_clipset_json(clip_set: ClipSet, path: Union[str, FsPath]) -> None:
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(clipset_to_json(clip_set))
+
+
+def load_clipset_json(path: Union[str, FsPath]) -> ClipSet:
+    with open(path, "r", encoding="ascii") as handle:
+        return clipset_from_json(handle.read())

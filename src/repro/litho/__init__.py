@@ -1,0 +1,30 @@
+"""Lightweight lithography simulation: aerial imaging, resist, defects.
+
+The paper's category-1 comparator ("most accurate, slowest") and the
+labelling oracle role foundry simulation plays for training data.
+"""
+
+from repro.litho.aerial import OpticsConfig, aerial_image, gaussian_psf_fft, rasterize
+from repro.litho.resist import DefectReport, ResistConfig, analyze_defects
+from repro.litho.simulator import (
+    LithoSimConfig,
+    LithoSimDetector,
+    LithoSimReport,
+    label_clip_by_simulation,
+    simulate_clip,
+)
+
+__all__ = [
+    "OpticsConfig",
+    "rasterize",
+    "gaussian_psf_fft",
+    "aerial_image",
+    "ResistConfig",
+    "DefectReport",
+    "analyze_defects",
+    "LithoSimConfig",
+    "simulate_clip",
+    "label_clip_by_simulation",
+    "LithoSimDetector",
+    "LithoSimReport",
+]

@@ -1,0 +1,104 @@
+"""Aerial-image simulation (incoherent Gaussian optics approximation).
+
+The paper cites full lithography simulation as the most accurate — and by
+far the slowest — hotspot oracle (its reference [2]).  This module
+implements the standard lightweight approximation used in hotspot
+research when a real simulator is unavailable: the mask transmission is
+rasterised, biased (a stand-in for OPC), and convolved with a Gaussian
+point-spread function; a constant-threshold resist model then decides
+what prints.
+
+The optical kernel width relates to the process: for a 193 nm immersion
+scanner, lambda/NA ~ 143 nm, and the Gaussian sigma that matches printed
+behaviour is a few tens of nanometres.  Defaults are calibrated against
+the motif zoo's failure thresholds (see ``LithoSimConfig``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class OpticsConfig:
+    """Raster and optics parameters.
+
+    ``pixel_nm`` is the raster pitch; ``sigma_nm`` the Gaussian PSF width;
+    ``mask_bias_nm`` a uniform per-side feature bias standing in for OPC
+    (real flows print biased masks, which is why drawn 60 nm lines print
+    while 60 nm gaps bridge).
+    """
+
+    pixel_nm: int = 10
+    sigma_nm: float = 30.0
+    mask_bias_nm: int = 20
+
+    def __post_init__(self) -> None:
+        if self.pixel_nm <= 0:
+            raise GeometryError("pixel_nm must be positive")
+        if self.sigma_nm <= 0:
+            raise GeometryError("sigma_nm must be positive")
+
+
+def rasterize(
+    rects: Sequence[Rect], window: Rect, config: OpticsConfig
+) -> np.ndarray:
+    """Binary mask raster of (biased) rectangles over ``window``.
+
+    Pixel [row, col] covers the square at
+    ``(window.x0 + col*p, window.y0 + row*p)``; a pixel is lit when its
+    centre falls inside a biased rectangle.
+    """
+    p = config.pixel_nm
+    cols = max(1, window.width // p)
+    rows = max(1, window.height // p)
+    mask = np.zeros((rows, cols), dtype=np.float64)
+    bias = config.mask_bias_nm
+    for rect in rects:
+        biased = rect.expanded(bias)
+        clipped = biased.intersection(window)
+        if clipped is None:
+            continue
+        # Pixel (row, col) is lit when its centre lies inside the rect:
+        # centre_x = window.x0 + col*p + p/2.
+        col0 = max(0, (clipped.x0 - window.x0 + p // 2) // p)
+        col1 = min(cols, (clipped.x1 - window.x0 - p // 2 - 1) // p + 1)
+        row0 = max(0, (clipped.y0 - window.y0 + p // 2) // p)
+        row1 = min(rows, (clipped.y1 - window.y0 - p // 2 - 1) // p + 1)
+        if col0 < col1 and row0 < row1:
+            mask[row0:row1, col0:col1] = 1.0
+    return mask
+
+
+def gaussian_psf_fft(shape: tuple[int, int], sigma_pixels: float) -> np.ndarray:
+    """Frequency-domain Gaussian PSF for an FFT convolution of ``shape``."""
+    rows, cols = shape
+    fy = np.fft.fftfreq(rows)
+    fx = np.fft.fftfreq(cols)
+    # Fourier transform of a unit-integral Gaussian with std sigma (pixels).
+    gy = np.exp(-2.0 * (np.pi * sigma_pixels * fy) ** 2)
+    gx = np.exp(-2.0 * (np.pi * sigma_pixels * fx) ** 2)
+    return np.outer(gy, gx)
+
+
+def aerial_image(
+    rects: Sequence[Rect], window: Rect, config: OpticsConfig = OpticsConfig()
+) -> np.ndarray:
+    """Simulated aerial intensity over ``window`` (values in [0, 1]).
+
+    Incoherent imaging approximation: intensity is the mask transmission
+    convolved with the Gaussian PSF.  FFT convolution wraps at the window
+    edge; callers pass a window with margin (the clip's ambit) so wrap
+    artefacts stay away from the core being judged.
+    """
+    mask = rasterize(rects, window, config)
+    sigma_pixels = config.sigma_nm / config.pixel_nm
+    spectrum = np.fft.fft2(mask) * gaussian_psf_fft(mask.shape, sigma_pixels)
+    intensity = np.real(np.fft.ifft2(spectrum))
+    return np.clip(intensity, 0.0, 1.0)

@@ -1,0 +1,186 @@
+"""Constant-threshold resist model and printability defect analysis.
+
+The printed pattern is where the aerial intensity clears the resist
+threshold.  Two defect classes are extracted by comparing the printed
+raster against the drawn geometry:
+
+- **bridge**: a printed connected component spanning two (or more)
+  distinct drawn features, or printed material extending further from any
+  drawn edge than corner rounding explains (the self-bridging of a tight
+  notch);
+- **pinch**: a drawn feature with a narrow passage — splitting into
+  pieces under sub-CD erosion — whose resist image necks or breaks.
+
+Connectivity (rather than fixed margins) is what makes the bridge check
+track the physics: whether two features join depends on the printed
+contour actually connecting them.  All checks are restricted to features
+touching the analysis window (the clip core) so the ambit provides
+optical context without being judged itself.
+
+Known limitation (documented in EXPERIMENTS.md): purely corner-to-corner
+interactions print weaker than edge interactions under the Gaussian
+threshold model, so diagonal-only hotspots are under-detected — one of
+the reasons the paper's dedicated detectors beat threshold-model
+simulation screens in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import ndimage
+
+from repro.geometry.rect import Rect
+from repro.litho.aerial import OpticsConfig, aerial_image, rasterize
+
+
+@dataclass(frozen=True)
+class ResistConfig:
+    """Resist thresholds.
+
+    ``threshold`` is the print threshold on the biased aerial image
+    (bridging check).  ``pinch_threshold`` is the minimum peak unbiased
+    exposure a drawn feature needs to print reliably; with the default
+    optics (sigma 30 nm) the failing line width works out to ~75 nm,
+    matching the benchmark process's dead zone.
+    """
+
+    threshold: float = 0.5
+    #: Erosion radius (nm) for the necking check: a feature that splits
+    #: under this erosion has a sub-2x-radius passage.
+    pinch_erosion_nm: int = 30
+    #: A split only counts as necking when it separates *wide* bodies —
+    #: pieces whose interior half-width reaches this value.  Uniformly
+    #: thin structures (minimum-width routing) are printable by design;
+    #: necking is a wide-narrow-wide profile.
+    pinch_body_halfwidth_nm: int = 75
+    #: Printed material farther than this from any drawn edge is excess
+    #: (beyond mask bias + edge rounding): self-bridging.
+    excess_tolerance_nm: int = 35
+    #: Concave-corner allowance: excess within this reach of two
+    #: *perpendicular* drawn surfaces is inner-corner rounding, which
+    #: prints outward by design and is not a defect.
+    corner_reach_nm: int = 60
+
+
+@dataclass(frozen=True)
+class DefectReport:
+    """Defects found inside the analysis window."""
+
+    bridge_count: int
+    pinch_count: int
+
+    @property
+    def is_hotspot(self) -> bool:
+        return self.bridge_count > 0 or self.pinch_count > 0
+
+    @property
+    def kind(self) -> str:
+        if self.bridge_count and self.pinch_count:
+            return "bridge+pinch"
+        if self.bridge_count:
+            return "bridge"
+        if self.pinch_count:
+            return "pinch"
+        return "clean"
+
+
+def _zone_mask(shape: tuple[int, int], window: Rect, analysis: Rect, pixel: int) -> np.ndarray:
+    rows, cols = shape
+    zone = np.zeros(shape, dtype=bool)
+    row0 = max(0, (analysis.y0 - window.y0) // pixel)
+    row1 = min(rows, (analysis.y1 - window.y0) // pixel)
+    col0 = max(0, (analysis.x0 - window.x0) // pixel)
+    col1 = min(cols, (analysis.x1 - window.x0) // pixel)
+    zone[row0:row1, col0:col1] = True
+    return zone
+
+
+def analyze_defects(
+    intensity: np.ndarray,
+    drawn_rects: Sequence[Rect],
+    window: Rect,
+    analysis: Rect,
+    optics: OpticsConfig = OpticsConfig(),
+    resist: ResistConfig = ResistConfig(),
+    unbiased_intensity: np.ndarray | None = None,
+) -> DefectReport:
+    """Find bridges and pinches inside ``analysis``.
+
+    ``intensity`` is the biased aerial image over ``window``;
+    ``unbiased_intensity`` (computed on demand when omitted) drives the
+    pinch/underexposure check.
+    """
+    unbiased_optics = OpticsConfig(
+        pixel_nm=optics.pixel_nm, sigma_nm=optics.sigma_nm, mask_bias_nm=0
+    )
+    drawn = rasterize(drawn_rects, window, unbiased_optics).astype(bool)
+    zone = _zone_mask(drawn.shape, window, analysis, optics.pixel_nm)
+
+    drawn_labels, drawn_count = ndimage.label(drawn)
+    if drawn_count == 0:
+        return DefectReport(0, 0)
+    # Features participating in the judgement: those touching the zone.
+    in_zone = set(np.unique(drawn_labels[zone])) - {0}
+
+    pixel = optics.pixel_nm
+
+    # --- bridge 1: printed component spanning >= 2 drawn features ------
+    printed = intensity >= resist.threshold
+    printed_labels, printed_count = ndimage.label(printed)
+    bridge_count = 0
+    for component in range(1, printed_count + 1):
+        member = printed_labels == component
+        touched = set(np.unique(drawn_labels[member])) - {0}
+        if len(touched) >= 2 and touched & in_zone and member[zone].any():
+            bridge_count += 1
+
+    # --- bridge 2: excess printing beyond bias + edge rounding ---------
+    # (self-bridging: a tight notch of one feature filling with resist)
+    tolerance_px = max(1, resist.excess_tolerance_nm // pixel)
+    allowed = ndimage.binary_dilation(drawn, iterations=tolerance_px)
+    excess = printed & ~allowed & zone
+    if excess.any():
+        # Concave-corner allowance: pixels reached by drawn material from
+        # a horizontal AND a vertical direction within corner_reach are
+        # inner-corner rounding.
+        reach_px = max(1, resist.corner_reach_nm // pixel)
+        horizontal = np.zeros_like(drawn)
+        vertical = np.zeros_like(drawn)
+        rolled_pos_x = rolled_neg_x = rolled_pos_y = rolled_neg_y = drawn
+        for _ in range(reach_px):
+            rolled_pos_x = np.roll(rolled_pos_x, 1, axis=1)
+            rolled_neg_x = np.roll(rolled_neg_x, -1, axis=1)
+            rolled_pos_y = np.roll(rolled_pos_y, 1, axis=0)
+            rolled_neg_y = np.roll(rolled_neg_y, -1, axis=0)
+            horizontal |= rolled_pos_x | rolled_neg_x
+            vertical |= rolled_pos_y | rolled_neg_y
+        corner_zone = horizontal & vertical
+        excess &= ~corner_zone
+        if excess.any():
+            bridge_count += int(ndimage.label(excess)[1])
+
+    # --- pinch: a narrow passage between wide bodies --------------------
+    erosion_px = max(1, resist.pinch_erosion_nm // pixel)
+    body_halfwidth_px = resist.pinch_body_halfwidth_nm / pixel
+    pinch_count = 0
+    for label in in_zone:
+        member = drawn_labels == label
+        if not member[zone].any():
+            continue
+        eroded = ndimage.binary_erosion(member, iterations=erosion_px)
+        piece_labels, piece_count = ndimage.label(eroded)
+        if piece_count < 2:
+            continue
+        # Interior half-width of the original feature at each piece.
+        distance = ndimage.distance_transform_cdt(member, metric="taxicab")
+        wide_pieces = sum(
+            1
+            for piece in range(1, piece_count + 1)
+            if float(distance[piece_labels == piece].max()) >= body_halfwidth_px / 2
+        )
+        if wide_pieces >= 2:
+            pinch_count += 1
+    return DefectReport(bridge_count, pinch_count)

@@ -1,0 +1,27 @@
+"""MTCG tilings, constraint graphs and topological feature extraction."""
+
+from repro.mtcg.tiles import Tile, TileKind, Tiling, horizontal_tiling, vertical_tiling
+from repro.mtcg.graph import Mtcg, MtcgEdge, build_mtcg
+from repro.mtcg.features import (
+    diagonal_features,
+    extract_topological_features,
+    external_features,
+    internal_features,
+    segment_features,
+)
+
+__all__ = [
+    "Tile",
+    "TileKind",
+    "Tiling",
+    "horizontal_tiling",
+    "vertical_tiling",
+    "Mtcg",
+    "MtcgEdge",
+    "build_mtcg",
+    "internal_features",
+    "external_features",
+    "diagonal_features",
+    "segment_features",
+    "extract_topological_features",
+]

@@ -1,0 +1,74 @@
+"""Rule rectangles: the record format for extracted topological features.
+
+Section III-C: "Each extracted topological feature is modeled as a rule
+rectangle: a rule rectangle is associated with a width, a height, the
+relative distance (dx, dy) between the reference point and the bottom-left
+corner of this rectangle", where the reference point is the bottom-left
+corner of the pattern window.  Features that touch the window boundary
+carry a special mark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.geometry.rect import Rect
+
+
+class FeatureType(str, Enum):
+    """The four topological critical-feature types of Fig. 7(a)-(d).
+
+    The ``str`` mixin makes members orderable, which lets
+    :class:`RuleRect` derive a total order for canonical feature sorting.
+    """
+
+    INTERNAL = "internal"
+    EXTERNAL = "external"
+    DIAGONAL = "diagonal"
+    SEGMENT = "segment"
+
+
+@dataclass(frozen=True, order=True)
+class RuleRect:
+    """One topological feature as a rule rectangle.
+
+    Ordering is total (type, then position, then size) so feature lists
+    sort canonically — the vectorizer depends on that determinism.
+
+    ``width``/``height`` may be zero for diagonal features whose corners
+    touch exactly.  ``boundary_mark`` is set when the source tile touches
+    the window boundary (the "special mark" of Section III-C).
+    """
+
+    feature_type: FeatureType
+    dx: int
+    dy: int
+    width: int
+    height: int
+    boundary_mark: bool = False
+
+    @staticmethod
+    def from_rect(
+        feature_type: FeatureType,
+        rect: Rect,
+        window: Rect,
+        boundary_mark: bool = False,
+    ) -> "RuleRect":
+        """Build a rule rectangle from a tile rect, relative to the window."""
+        return RuleRect(
+            feature_type=feature_type,
+            dx=rect.x0 - window.x0,
+            dy=rect.y0 - window.y0,
+            width=rect.width,
+            height=rect.height,
+            boundary_mark=boundary_mark,
+        )
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        """Numeric encoding used by the feature vectorizer."""
+        return (self.dx, self.dy, self.width, self.height, int(self.boundary_mark))
+
+
+#: Number of numeric slots one rule rectangle occupies in a feature vector.
+RULE_RECT_SLOTS = 5

@@ -1,0 +1,35 @@
+"""Section IV extensions: multilayer detection and double patterning."""
+
+from repro.multilayer.features import (
+    OVERLAP_TYPES,
+    MultiLayerClip,
+    MultiLayerFeatureExtractor,
+    MultiLayerSchema,
+)
+from repro.multilayer.dpt import (
+    Decomposition,
+    DptFeatureExtractor,
+    DptSchema,
+    decompose,
+)
+from repro.multilayer.detector import (
+    DptDetector,
+    DptKernel,
+    MultiLayerDetector,
+    MultiLayerKernel,
+)
+
+__all__ = [
+    "MultiLayerClip",
+    "MultiLayerFeatureExtractor",
+    "MultiLayerSchema",
+    "OVERLAP_TYPES",
+    "Decomposition",
+    "decompose",
+    "DptFeatureExtractor",
+    "DptSchema",
+    "MultiLayerDetector",
+    "MultiLayerKernel",
+    "DptDetector",
+    "DptKernel",
+]

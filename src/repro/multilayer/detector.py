@@ -1,0 +1,254 @@
+"""Multilayer and double-patterning hotspot detectors (Section IV).
+
+Both detectors reuse the single-layer machinery — topological
+classification on one selected layer, per-cluster kernels with iterative
+self-training, topological gating — but swap the feature vectorization
+for the extended stacks of Sections IV-A and IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.resample import shift_derivatives
+from repro.core.training import HOTSPOT, NON_HOTSPOT
+from repro.errors import NotFittedError, SvmError
+from repro.layout.clip import Clip, ClipLabel
+from repro.multilayer.dpt import DptFeatureExtractor, DptSchema
+from repro.multilayer.features import (
+    MultiLayerClip,
+    MultiLayerFeatureExtractor,
+    MultiLayerSchema,
+)
+from repro.svm.grid_search import IterativeConfig, train_iterative
+from repro.svm.model import SupportVectorClassifier
+from repro.topology.cluster import TopologicalClassifier
+from repro.topology.strings import canonical_string_key
+
+
+def _iterative_config(config: DetectorConfig) -> IterativeConfig:
+    svm = config.svm
+    return IterativeConfig(
+        initial_c=svm.initial_c,
+        initial_gamma=svm.initial_gamma,
+        target_accuracy=svm.target_accuracy,
+        max_rounds=svm.max_rounds,
+        class_weight=svm.class_weight,
+        kernel=svm.kernel,
+        far_field_floor=svm.far_field_floor,
+    )
+
+
+@dataclass
+class MultiLayerKernel:
+    """One per-cluster kernel over the multilayer feature stack."""
+
+    schema: MultiLayerSchema
+    model: SupportVectorClassifier
+    key_set: frozenset
+
+
+@dataclass
+class MultiLayerDetector:
+    """Section IV-A: hotspot detection over stacked metal layers.
+
+    Topological classification (and gating) runs on ``classify_layer``;
+    kernels see the concatenated per-layer + overlap feature vectors.
+    """
+
+    config: DetectorConfig = field(default_factory=DetectorConfig)
+    classify_layer: Optional[int] = None
+    kernels_: list[MultiLayerKernel] = field(default_factory=list, repr=False)
+    extractor_: Optional[MultiLayerFeatureExtractor] = field(default=None, repr=False)
+
+    def _classify_key(self, clip: MultiLayerClip) -> tuple:
+        layer = self.classify_layer if self.classify_layer is not None else clip.layers[0]
+        view = clip.layer_clip(layer)
+        return canonical_string_key(view.core_rects(), view.core)
+
+    def _derivatives(self, clip: MultiLayerClip) -> list[MultiLayerClip]:
+        """Shift derivatives of every layer in lockstep."""
+        amount = self.config.shift_amount
+        if amount == 0:
+            return [clip]
+        out = []
+        for dx, dy in ((0, 0), (0, amount), (0, -amount), (amount, 0), (-amount, 0)):
+            moved_window = clip.window.translated(-dx, -dy)
+            layers = {
+                number: rects for number, rects in clip.layer_rects
+            }
+            out.append(
+                MultiLayerClip.build(moved_window, clip.spec, layers, clip.label)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def fit(self, clips: Sequence[MultiLayerClip]) -> int:
+        """Train per-cluster kernels; returns the kernel count."""
+        hotspots = [c for c in clips if c.label is ClipLabel.HOTSPOT]
+        non_hotspots = [c for c in clips if c.label is ClipLabel.NON_HOTSPOT]
+        if not hotspots or not non_hotspots:
+            raise SvmError("multilayer training needs both classes")
+        self.extractor_ = MultiLayerFeatureExtractor(self.config.features)
+
+        classifier = TopologicalClassifier(self.config.classifier)
+        layer = self.classify_layer if self.classify_layer is not None else hotspots[0].layers[0]
+        clusters = classifier.classify([c.layer_clip(layer) for c in hotspots])
+
+        self.kernels_ = []
+        for cluster in clusters:
+            members = [hotspots[i] for i in cluster.members]
+            expanded: list[MultiLayerClip] = []
+            for member in members:
+                expanded.extend(self._derivatives(member))
+            train_clips = expanded + list(non_hotspots)
+            labels = np.array(
+                [HOTSPOT] * len(expanded) + [NON_HOTSPOT] * len(non_hotspots)
+            )
+            matrix, schema = self.extractor_.build_matrix(train_clips)
+            result = train_iterative(matrix, labels, _iterative_config(self.config))
+            key_set = frozenset(self._classify_key(clip) for clip in expanded)
+            self.kernels_.append(MultiLayerKernel(schema, result.model, key_set))
+        return len(self.kernels_)
+
+    def margins(self, clips: Sequence[MultiLayerClip]) -> np.ndarray:
+        """Best kernel margin per clip (gated, as in the base detector)."""
+        if self.extractor_ is None:
+            raise NotFittedError("MultiLayerDetector used before fit()")
+        out = np.full(len(clips), -1e9)
+        keys = [self._classify_key(clip) for clip in clips]
+        for kernel in self.kernels_:
+            for i, clip in enumerate(clips):
+                if keys[i] not in kernel.key_set:
+                    continue
+                vector = self.extractor_.vectorize_clip(clip, kernel.schema)
+                out[i] = max(out[i], float(kernel.model.decision_function(vector)))
+        return out
+
+    def predict(
+        self, clips: Sequence[MultiLayerClip], threshold: Optional[float] = None
+    ) -> np.ndarray:
+        threshold = (
+            self.config.decision_threshold if threshold is None else threshold
+        )
+        return self.margins(clips) >= threshold
+
+    def detect(
+        self,
+        layout,
+        layers: Optional[Sequence[int]] = None,
+        threshold: Optional[float] = None,
+    ) -> list[MultiLayerClip]:
+        """Scan a multi-layer :class:`~repro.layout.layout.Layout`.
+
+        Candidate windows come from density-driven extraction on the
+        classification layer (Section IV-A: "we do our extraction on the
+        same layer as topological classification"); each candidate is
+        assembled into a multilayer clip from all requested layers and
+        judged by the gated kernels.  Returns the flagged clips.
+        """
+        from repro.core.extraction import extract_candidate_clips
+
+        layers = list(layers) if layers is not None else layout.layer_numbers()
+        classify = (
+            self.classify_layer if self.classify_layer is not None else layers[0]
+        )
+        extraction = extract_candidate_clips(
+            layout, self.config.spec, self.config.extraction, classify
+        )
+        candidates = []
+        for clip in extraction.clips:
+            stack = {
+                layer: layout.rects_in_window(layer, clip.window)
+                for layer in layers
+                if layer in layout.layer_numbers()
+            }
+            candidates.append(
+                MultiLayerClip.build(clip.window, self.config.spec, stack)
+            )
+        if not candidates:
+            return []
+        flags = self.predict(candidates, threshold)
+        return [
+            clip.with_label(ClipLabel.HOTSPOT)
+            for clip, flagged in zip(candidates, flags)
+            if flagged
+        ]
+
+
+@dataclass
+class DptKernel:
+    """One per-cluster kernel over the three-mask DPT feature stack."""
+
+    schema: DptSchema
+    model: SupportVectorClassifier
+    key_set: frozenset
+
+
+@dataclass
+class DptDetector:
+    """Section IV-B: detection on double-patterned layers.
+
+    Clips are decomposed onto two masks; kernels see the (mask1, mask2,
+    combined) feature stack.  Classification and gating use the combined
+    pattern's core topology.
+    """
+
+    config: DetectorConfig = field(default_factory=DetectorConfig)
+    min_same_mask_spacing: int = 100
+    kernels_: list[DptKernel] = field(default_factory=list, repr=False)
+    extractor_: Optional[DptFeatureExtractor] = field(default=None, repr=False)
+
+    def _key(self, clip: Clip) -> tuple:
+        return canonical_string_key(clip.core_rects(), clip.core)
+
+    def fit(self, clips: Sequence[Clip]) -> int:
+        hotspots = [c for c in clips if c.label is ClipLabel.HOTSPOT]
+        non_hotspots = [c for c in clips if c.label is ClipLabel.NON_HOTSPOT]
+        if not hotspots or not non_hotspots:
+            raise SvmError("DPT training needs both classes")
+        self.extractor_ = DptFeatureExtractor(
+            self.min_same_mask_spacing, self.config.features
+        )
+        classifier = TopologicalClassifier(self.config.classifier)
+        clusters = classifier.classify(hotspots)
+        self.kernels_ = []
+        for cluster in clusters:
+            members = [hotspots[i] for i in cluster.members]
+            expanded: list[Clip] = []
+            for member in members:
+                expanded.extend(shift_derivatives(member, self.config.shift_amount))
+            train_clips = expanded + list(non_hotspots)
+            labels = np.array(
+                [HOTSPOT] * len(expanded) + [NON_HOTSPOT] * len(non_hotspots)
+            )
+            matrix, schema = self.extractor_.build_matrix(train_clips)
+            result = train_iterative(matrix, labels, _iterative_config(self.config))
+            key_set = frozenset(self._key(clip) for clip in expanded)
+            self.kernels_.append(DptKernel(schema, result.model, key_set))
+        return len(self.kernels_)
+
+    def margins(self, clips: Sequence[Clip]) -> np.ndarray:
+        if self.extractor_ is None:
+            raise NotFittedError("DptDetector used before fit()")
+        out = np.full(len(clips), -1e9)
+        keys = [self._key(clip) for clip in clips]
+        for kernel in self.kernels_:
+            for i, clip in enumerate(clips):
+                if keys[i] not in kernel.key_set:
+                    continue
+                vector = self.extractor_.vectorize_clip(clip, kernel.schema)
+                out[i] = max(out[i], float(kernel.model.decision_function(vector)))
+        return out
+
+    def predict(
+        self, clips: Sequence[Clip], threshold: Optional[float] = None
+    ) -> np.ndarray:
+        threshold = (
+            self.config.decision_threshold if threshold is None else threshold
+        )
+        return self.margins(clips) >= threshold

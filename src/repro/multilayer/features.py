@@ -1,0 +1,198 @@
+"""Multilayer clips and feature extraction (Section IV-A).
+
+In a real design hotspots can be formed by patterns on multiple metal
+layers.  The paper's extension: topological classification runs on one
+selected layer; for each training pattern the feature set is
+
+- one full feature set per metal layer (m sets), plus
+- one reduced feature set per adjacent layer pair, extracted from the
+  *overlapped* polygons of the two layers (m-1 sets) — only diagonal and
+  internal features are taken from overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FeatureError, LayoutError
+from repro.features.vector import (
+    ExtractedFeatures,
+    FeatureConfig,
+    FeatureExtractor,
+    FeatureSchema,
+)
+from repro.mtcg.rules import FeatureType
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipLabel, ClipSpec
+
+
+@dataclass(frozen=True)
+class MultiLayerClip:
+    """A clip window carrying geometry on several metal layers."""
+
+    window: Rect
+    spec: ClipSpec
+    layer_rects: tuple[tuple[int, tuple[Rect, ...]], ...]
+    label: ClipLabel = ClipLabel.UNKNOWN
+
+    @staticmethod
+    def build(
+        window: Rect,
+        spec: ClipSpec,
+        layers: dict[int, Sequence[Rect]],
+        label: ClipLabel = ClipLabel.UNKNOWN,
+    ) -> "MultiLayerClip":
+        if not layers:
+            raise LayoutError("multilayer clip needs at least one layer")
+        packed = tuple(
+            (number, tuple(sorted(
+                r for r in (rect.intersection(window) for rect in rects) if r
+            )))
+            for number, rects in sorted(layers.items())
+        )
+        return MultiLayerClip(window, spec, packed, label)
+
+    @property
+    def core(self) -> Rect:
+        """The centred core window (as for single-layer clips)."""
+        return self.spec.core_of(self.window)
+
+    @property
+    def layers(self) -> list[int]:
+        return [number for number, _rects in self.layer_rects]
+
+    def rects_on(self, layer: int) -> tuple[Rect, ...]:
+        for number, rects in self.layer_rects:
+            if number == layer:
+                return rects
+        raise LayoutError(f"multilayer clip has no layer {layer}")
+
+    def layer_clip(self, layer: int) -> Clip:
+        """The single-layer clip view of one metal layer."""
+        return Clip.build(
+            self.window, self.spec, self.rects_on(layer), self.label, layer
+        )
+
+    def overlap_rects(self, lower: int, upper: int) -> list[Rect]:
+        """Pairwise intersections of two layers' geometry.
+
+        These are the "overlapped polygons of adjacent metal layers" of
+        Fig. 13 — physically, the via candidate regions.
+        """
+        out: list[Rect] = []
+        for a in self.rects_on(lower):
+            for b in self.rects_on(upper):
+                overlap = a.intersection(b)
+                if overlap is not None:
+                    out.append(overlap)
+        return sorted(out)
+
+    def with_label(self, label: ClipLabel) -> "MultiLayerClip":
+        return replace(self, label=label)
+
+
+#: Feature types retained for overlap regions (Section IV-A: "only
+#: diagonal and internal features are extracted from the overlapped
+#: polygons").
+OVERLAP_TYPES = (FeatureType.INTERNAL, FeatureType.DIAGONAL)
+
+
+@dataclass
+class MultiLayerSchema:
+    """Aligned schemas for each per-layer and per-overlap feature block."""
+
+    layer_schemas: dict[int, FeatureSchema] = field(default_factory=dict)
+    overlap_schemas: dict[tuple[int, int], FeatureSchema] = field(default_factory=dict)
+
+
+class MultiLayerFeatureExtractor:
+    """Extracts the Section IV-A feature stack from multilayer clips."""
+
+    def __init__(self, config: FeatureConfig = FeatureConfig()):
+        self.config = config
+        self._single = FeatureExtractor(config)
+
+    # ------------------------------------------------------------------
+    def _overlap_extraction(
+        self, clip: MultiLayerClip, lower: int, upper: int
+    ) -> ExtractedFeatures:
+        overlap_clip = Clip.build(
+            clip.window, clip.spec, clip.overlap_rects(lower, upper), clip.label
+        )
+        extraction = self._single.extract(overlap_clip)
+        kept = tuple(
+            rule for rule in extraction.rules if rule.feature_type in OVERLAP_TYPES
+        )
+        return ExtractedFeatures(kept, extraction.nontopo, extraction.grid)
+
+    def extract(self, clip: MultiLayerClip) -> dict:
+        """All extraction blocks of one clip, keyed by layer / layer pair."""
+        blocks: dict = {}
+        layers = clip.layers
+        for layer in layers:
+            blocks[layer] = self._single.extract(clip.layer_clip(layer))
+        for lower, upper in zip(layers, layers[1:]):
+            blocks[(lower, upper)] = self._overlap_extraction(clip, lower, upper)
+        return blocks
+
+    # ------------------------------------------------------------------
+    def build_matrix(
+        self,
+        clips: Sequence[MultiLayerClip],
+        schema: Optional[MultiLayerSchema] = None,
+    ) -> tuple[np.ndarray, MultiLayerSchema]:
+        """Vectorize a multilayer population into one matrix.
+
+        The vector is the concatenation of per-layer blocks (in layer
+        order) followed by per-adjacent-pair overlap blocks.
+        """
+        if not clips:
+            raise FeatureError("multilayer matrix needs at least one clip")
+        layers = clips[0].layers
+        for clip in clips:
+            if clip.layers != layers:
+                raise FeatureError("all multilayer clips must share a layer stack")
+
+        extractions = [self.extract(clip) for clip in clips]
+        if schema is None:
+            schema = MultiLayerSchema()
+            for layer in layers:
+                schema.layer_schemas[layer] = FeatureSchema.from_extractions(
+                    [e[layer] for e in extractions]
+                )
+            for pair in zip(layers, layers[1:]):
+                schema.overlap_schemas[pair] = FeatureSchema.from_extractions(
+                    [e[pair] for e in extractions]
+                )
+
+        rows = []
+        for extraction in extractions:
+            parts = [
+                self._single.vectorize(extraction[layer], schema.layer_schemas[layer])
+                for layer in layers
+            ]
+            parts.extend(
+                self._single.vectorize(extraction[pair], schema.overlap_schemas[pair])
+                for pair in zip(layers, layers[1:])
+            )
+            rows.append(np.concatenate(parts))
+        return np.vstack(rows), schema
+
+    def vectorize_clip(
+        self, clip: MultiLayerClip, schema: MultiLayerSchema
+    ) -> np.ndarray:
+        """Vectorize one clip against an existing schema."""
+        extraction = self.extract(clip)
+        layers = clip.layers
+        parts = [
+            self._single.vectorize(extraction[layer], schema.layer_schemas[layer])
+            for layer in layers
+        ]
+        parts.extend(
+            self._single.vectorize(extraction[pair], schema.overlap_schemas[pair])
+            for pair in zip(layers, layers[1:])
+        )
+        return np.concatenate(parts)

@@ -1,0 +1,38 @@
+"""From-scratch OASIS (P39) substrate — the contest's other format.
+
+A conservative subset: explicit RECTANGLE/POLYGON records, CELL by name,
+modal-variable support on read for the omittable fields.  Anuvad (the
+paper's stream library) handled GDSII and OASIS; this package completes
+that parity for the reproduction.
+"""
+
+from repro.oasis.records import (
+    OasisError,
+    decode_real,
+    decode_signed,
+    decode_string,
+    decode_unsigned,
+    encode_real,
+    encode_signed,
+    encode_string,
+    encode_unsigned,
+)
+from repro.oasis.reader import OasisDocument, read_oasis, read_oasis_file
+from repro.oasis.writer import write_oasis, write_oasis_file
+
+__all__ = [
+    "OasisError",
+    "encode_unsigned",
+    "decode_unsigned",
+    "encode_signed",
+    "decode_signed",
+    "encode_string",
+    "decode_string",
+    "encode_real",
+    "decode_real",
+    "write_oasis",
+    "write_oasis_file",
+    "read_oasis",
+    "read_oasis_file",
+    "OasisDocument",
+]

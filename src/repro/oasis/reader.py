@@ -1,0 +1,198 @@
+"""OASIS reader for the subset the writer emits (plus modal basics).
+
+Parses START/END, CELL (by name), RECTANGLE and POLYGON records into a
+:class:`~repro.layout.layout.Layout`.  Modal variables are honoured for
+the fields this subset can omit (layer, datatype, width, height, x, y),
+so streams with light modal reuse also load; exotic records (CBLOCK,
+repetitions, placements, trapezoids) raise with a clear message rather
+than mis-parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import GdsiiError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.layout.layout import Layout
+from repro.oasis.records import (
+    CELL_NAME_RECORD,
+    CELL_REF_RECORD,
+    CELLNAME_RECORD,
+    END_RECORD,
+    MAGIC,
+    POLYGON_RECORD,
+    RECTANGLE_RECORD,
+    START_RECORD,
+    OasisError,
+    decode_real,
+    decode_signed,
+    decode_string,
+    decode_unsigned,
+)
+
+
+@dataclass
+class _Modal:
+    """Modal variable state (reset at each CELL, per the standard)."""
+
+    layer: Optional[int] = None
+    datatype: Optional[int] = None
+    geometry_w: Optional[int] = None
+    geometry_h: Optional[int] = None
+    geometry_x: int = 0
+    geometry_y: int = 0
+
+    def require(self, value: Optional[int], name: str) -> int:
+        if value is None:
+            raise OasisError(f"modal variable {name} used before being set")
+        return value
+
+
+@dataclass
+class OasisDocument:
+    """Parse result: layout plus file metadata."""
+
+    layout: Layout
+    version: str
+    grid_per_micron: float
+    cell_names: list[str] = field(default_factory=list)
+
+
+def read_oasis(data: bytes) -> OasisDocument:
+    """Parse an OASIS byte stream."""
+    if not data.startswith(MAGIC):
+        raise OasisError("missing %SEMI-OASIS magic")
+    offset = len(MAGIC)
+
+    record, offset = decode_unsigned(data, offset)
+    if record != START_RECORD:
+        raise OasisError(f"expected START, got record {record}")
+    version, offset = decode_string(data, offset)
+    grid, offset = decode_real(data, offset)
+    offset_flag, offset = decode_unsigned(data, offset)
+    if offset_flag == 0:
+        for _ in range(12):
+            _, offset = decode_unsigned(data, offset)
+
+    layout = Layout()
+    cell_names: list[str] = []
+    name_table: list[str] = []
+    modal = _Modal()
+
+    while offset < len(data):
+        record, offset = decode_unsigned(data, offset)
+        if record == END_RECORD:
+            break
+        if record == 0:  # PAD
+            continue
+        if record == CELLNAME_RECORD:
+            name, offset = decode_string(data, offset)
+            name_table.append(name)
+        elif record == CELL_NAME_RECORD:
+            name, offset = decode_string(data, offset)
+            cell_names.append(name)
+            modal = _Modal()
+        elif record == CELL_REF_RECORD:
+            ref, offset = decode_unsigned(data, offset)
+            if ref >= len(name_table):
+                raise OasisError(f"CELL reference {ref} has no CELLNAME")
+            cell_names.append(name_table[ref])
+            modal = _Modal()
+        elif record == RECTANGLE_RECORD:
+            offset = _read_rectangle(data, offset, layout, modal)
+        elif record == POLYGON_RECORD:
+            offset = _read_polygon(data, offset, layout, modal)
+        else:
+            raise OasisError(
+                f"record {record} is outside the supported OASIS subset"
+            )
+    else:
+        raise OasisError("stream ended without END record")
+    return OasisDocument(layout, version, grid, cell_names)
+
+
+def read_oasis_file(path: Union[str, Path]) -> OasisDocument:
+    return read_oasis(Path(path).read_bytes())
+
+
+def _read_rectangle(data: bytes, offset: int, layout: Layout, modal: _Modal) -> int:
+    info = data[offset]
+    offset += 1
+    square = bool(info & 0x80)
+    if info & 0x01:  # L
+        modal.layer, offset = decode_unsigned(data, offset)
+    if info & 0x02:  # D
+        modal.datatype, offset = decode_unsigned(data, offset)
+    if info & 0x40:  # W
+        modal.geometry_w, offset = decode_unsigned(data, offset)
+    if info & 0x20:  # H
+        modal.geometry_h, offset = decode_unsigned(data, offset)
+    elif square:
+        modal.geometry_h = modal.geometry_w
+    if info & 0x10:  # X
+        modal.geometry_x, offset = decode_signed(data, offset)
+    if info & 0x08:  # Y
+        modal.geometry_y, offset = decode_signed(data, offset)
+    if info & 0x04:  # R: repetition
+        raise OasisError("RECTANGLE repetitions are outside the subset")
+    layer = modal.require(modal.layer, "layer")
+    width = modal.require(modal.geometry_w, "geometry-w")
+    height = modal.require(modal.geometry_h, "geometry-h")
+    from repro.geometry.rect import Rect
+
+    layout.add_rect(
+        layer,
+        Rect(
+            modal.geometry_x,
+            modal.geometry_y,
+            modal.geometry_x + width,
+            modal.geometry_y + height,
+        ),
+    )
+    return offset
+
+
+def _read_polygon(data: bytes, offset: int, layout: Layout, modal: _Modal) -> int:
+    info = data[offset]
+    offset += 1
+    if info & 0x01:  # L
+        modal.layer, offset = decode_unsigned(data, offset)
+    if info & 0x02:  # D
+        modal.datatype, offset = decode_unsigned(data, offset)
+    if info & 0x20:  # P: point list present
+        kind, offset = decode_unsigned(data, offset)
+        count, offset = decode_unsigned(data, offset)
+        deltas = []
+        if kind in (0, 1):
+            for _ in range(count):
+                delta, offset = decode_signed(data, offset)
+                deltas.append(delta)
+        else:
+            raise OasisError(f"point-list type {kind} is outside the subset")
+    else:
+        raise OasisError("modal point-list reuse is outside the subset")
+    if info & 0x10:  # X
+        modal.geometry_x, offset = decode_signed(data, offset)
+    if info & 0x08:  # Y
+        modal.geometry_y, offset = decode_signed(data, offset)
+    if info & 0x04:  # R
+        raise OasisError("POLYGON repetitions are outside the subset")
+
+    layer = modal.require(modal.layer, "layer")
+    # Rebuild the loop: type 0 starts vertical, type 1 starts horizontal.
+    horizontal = kind == 1
+    x, y = modal.geometry_x, modal.geometry_y
+    vertices = [Point(x, y)]
+    for delta in deltas:
+        if horizontal:
+            x += delta
+        else:
+            y += delta
+        vertices.append(Point(x, y))
+        horizontal = not horizontal
+    layout.add_polygon(layer, Polygon(vertices))
+    return offset

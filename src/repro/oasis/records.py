@@ -1,0 +1,157 @@
+"""OASIS (P39) primitive codecs: varints, strings, reals.
+
+OASIS — the contest's other distribution format, and the second format
+the paper's Anuvad library handled — encodes everything over two
+primitives:
+
+- **unsigned-integer**: little-endian base-128 varint (7 data bits per
+  byte, high bit = continuation);
+- **signed-integer**: the same varint with the sign in the *lowest* bit
+  of the first byte (not zig-zag at the integer level: magnitude is
+  shifted left once, bit 0 carries the sign).
+
+Strings are length-prefixed byte arrays; reals carry a type byte (this
+subset emits type 0/1 positive/negative integers and type 7 IEEE
+doubles, and reads types 0-7).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.errors import GdsiiError
+
+
+class OasisError(GdsiiError):
+    """Malformed OASIS data (kept under the stream-format error family)."""
+
+
+# ----------------------------------------------------------------------
+# unsigned / signed integers
+# ----------------------------------------------------------------------
+
+
+def encode_unsigned(value: int) -> bytes:
+    """Encode an unsigned integer as an OASIS varint."""
+    if value < 0:
+        raise OasisError(f"unsigned integer cannot be negative: {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_unsigned(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, next offset)."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise OasisError("truncated unsigned integer")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 63:
+            raise OasisError("unsigned integer too long")
+
+
+def encode_signed(value: int) -> bytes:
+    """Encode a signed integer (sign in bit 0 of the low byte)."""
+    if value < 0:
+        return encode_unsigned(((-value) << 1) | 1)
+    return encode_unsigned(value << 1)
+
+
+def decode_signed(data: bytes, offset: int) -> Tuple[int, int]:
+    raw, offset = decode_unsigned(data, offset)
+    magnitude = raw >> 1
+    return (-magnitude if raw & 1 else magnitude), offset
+
+
+# ----------------------------------------------------------------------
+# strings
+# ----------------------------------------------------------------------
+
+
+def encode_string(text: str) -> bytes:
+    raw = text.encode("ascii")
+    return encode_unsigned(len(raw)) + raw
+
+
+def decode_string(data: bytes, offset: int) -> Tuple[str, int]:
+    length, offset = decode_unsigned(data, offset)
+    end = offset + length
+    if end > len(data):
+        raise OasisError("truncated string")
+    return data[offset:end].decode("ascii"), end
+
+
+# ----------------------------------------------------------------------
+# reals
+# ----------------------------------------------------------------------
+
+
+def encode_real(value: float) -> bytes:
+    """Encode a real: integer-valued reals as type 0/1, else IEEE double."""
+    if float(value).is_integer() and abs(value) < 2**63:
+        integer = int(value)
+        if integer >= 0:
+            return encode_unsigned(0) + encode_unsigned(integer)
+        return encode_unsigned(1) + encode_unsigned(-integer)
+    return encode_unsigned(7) + struct.pack("<d", value)
+
+
+def decode_real(data: bytes, offset: int) -> Tuple[float, int]:
+    kind, offset = decode_unsigned(data, offset)
+    if kind == 0:
+        value, offset = decode_unsigned(data, offset)
+        return float(value), offset
+    if kind == 1:
+        value, offset = decode_unsigned(data, offset)
+        return -float(value), offset
+    if kind in (2, 3):  # reciprocal of a positive/negative integer
+        value, offset = decode_unsigned(data, offset)
+        if value == 0:
+            raise OasisError("zero denominator in reciprocal real")
+        return (1.0 if kind == 2 else -1.0) / value, offset
+    if kind in (4, 5):  # positive/negative ratio
+        numerator, offset = decode_unsigned(data, offset)
+        denominator, offset = decode_unsigned(data, offset)
+        if denominator == 0:
+            raise OasisError("zero denominator in ratio real")
+        sign = 1.0 if kind == 4 else -1.0
+        return sign * numerator / denominator, offset
+    if kind == 6:  # IEEE single
+        if offset + 4 > len(data):
+            raise OasisError("truncated float32 real")
+        return struct.unpack_from("<f", data, offset)[0], offset + 4
+    if kind == 7:  # IEEE double
+        if offset + 8 > len(data):
+            raise OasisError("truncated float64 real")
+        return struct.unpack_from("<d", data, offset)[0], offset + 8
+    raise OasisError(f"unknown real type {kind}")
+
+
+#: Record ids used by this subset (OASIS standard, Table 3).
+START_RECORD = 1
+END_RECORD = 2
+CELLNAME_RECORD = 3  # (implicit reference numbers)
+CELL_REF_RECORD = 13  # CELL by reference number
+CELL_NAME_RECORD = 14  # CELL by name string
+RECTANGLE_RECORD = 20
+POLYGON_RECORD = 21
+
+#: The mandatory magic at the top of every OASIS file.
+MAGIC = b"%SEMI-OASIS\r\n"
+
+#: END record fixed length per the standard (record id + padding + scheme).
+END_LENGTH = 256

@@ -1,0 +1,29 @@
+"""From-scratch SVM substrate (replaces LIBSVM): RBF kernel, SMO solver,
+C-SVC model, feature scaling, iterative C/gamma self-training."""
+
+from repro.svm.kernel import linear_kernel, make_kernel, rbf_kernel, squared_distances
+from repro.svm.scaling import MinMaxScaler, StandardScaler
+from repro.svm.smo import SmoResult, solve_smo
+from repro.svm.model import SupportVectorClassifier
+from repro.svm.grid_search import (
+    IterativeConfig,
+    IterativeResult,
+    TrainingRound,
+    train_iterative,
+)
+
+__all__ = [
+    "rbf_kernel",
+    "linear_kernel",
+    "make_kernel",
+    "squared_distances",
+    "StandardScaler",
+    "MinMaxScaler",
+    "solve_smo",
+    "SmoResult",
+    "SupportVectorClassifier",
+    "IterativeConfig",
+    "IterativeResult",
+    "TrainingRound",
+    "train_iterative",
+]

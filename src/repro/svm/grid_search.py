@@ -1,0 +1,118 @@
+"""Iterative self-training of SVM parameters (Section III-D2).
+
+"Appropriate values of C and gamma may result in a good training quality
+...  we introduce a self-training process to iteratively adapt C and
+gamma.  In our experiments, the initial values of C and gamma are 1000 and
+0.01 ...  C and gamma are doubled if the stopping criterion is not
+satisfied.  The stopping criterion ... is that the number of self-training
+iterations exceeds a user-defined bound or the hotspot/nonhotspot
+detection accuracy rate (with respect to the training data) exceeds a
+user-defined training accuracy, say 90%."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SvmError
+from repro.svm.model import SupportVectorClassifier
+
+
+@dataclass(frozen=True)
+class IterativeConfig:
+    """Self-training schedule; defaults are the paper's Section V values."""
+
+    initial_c: float = 1000.0
+    initial_gamma: float = 0.01
+    target_accuracy: float = 0.90
+    max_rounds: int = 8
+    class_weight: Optional[dict[int, float]] = None
+    kernel: str = "rbf"
+    far_field_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_accuracy <= 1.0:
+            raise SvmError(
+                f"target accuracy must be in (0, 1], got {self.target_accuracy}"
+            )
+        if self.max_rounds < 1:
+            raise SvmError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+
+@dataclass
+class TrainingRound:
+    """Telemetry of one self-training round (drives the convergence bench)."""
+
+    round_index: int
+    c_value: float
+    gamma: float
+    train_accuracy: float
+    hotspot_recall: float
+
+
+@dataclass
+class IterativeResult:
+    """Final model plus per-round history."""
+
+    model: SupportVectorClassifier
+    history: list[TrainingRound] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.history)
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history[-1].train_accuracy if self.history else 0.0
+
+
+def train_iterative(
+    matrix: np.ndarray,
+    labels: np.ndarray,
+    config: IterativeConfig = IterativeConfig(),
+) -> IterativeResult:
+    """Double C and gamma until self-evaluation accuracy meets the target.
+
+    Keeps the best round's model (highest training accuracy, hotspot
+    recall as tie-break) so a late overshooting round cannot degrade the
+    returned kernel.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    history: list[TrainingRound] = []
+    best_model: Optional[SupportVectorClassifier] = None
+    best_key: tuple[float, float] = (-1.0, -1.0)
+
+    c_value, gamma = config.initial_c, config.initial_gamma
+    for round_index in range(config.max_rounds):
+        model = SupportVectorClassifier(
+            C=c_value,
+            gamma=gamma,
+            kernel=config.kernel,
+            class_weight=config.class_weight,
+            far_field_floor=config.far_field_floor,
+        )
+        model.fit(matrix, labels)
+        predictions = model.predict(matrix)
+        accuracy = float((predictions == labels).mean())
+        hotspot_mask = labels == 1
+        recall = (
+            float((predictions[hotspot_mask] == 1).mean())
+            if np.any(hotspot_mask)
+            else 1.0
+        )
+        history.append(TrainingRound(round_index, c_value, gamma, accuracy, recall))
+
+        key = (accuracy, recall)
+        if key > best_key:
+            best_key, best_model = key, model
+
+        if accuracy >= config.target_accuracy:
+            break
+        c_value *= 2.0
+        gamma *= 2.0
+
+    assert best_model is not None  # max_rounds >= 1 guarantees one round
+    return IterativeResult(best_model, history)

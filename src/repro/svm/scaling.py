@@ -1,0 +1,82 @@
+"""Feature standardisation for SVM inputs.
+
+RBF kernels are scale-sensitive: a raw feature mixing nanometre distances
+(thousands) with densities (fractions) would let the big coordinates
+dominate ``||x - y||^2``.  Every kernel therefore trains on standardised
+features; the scaler is stored with the model and applied at prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NotFittedError, SvmError
+
+
+@dataclass
+class StandardScaler:
+    """Per-column zero-mean unit-variance scaling with constant-column guard."""
+
+    mean_: Optional[np.ndarray] = field(default=None, repr=False)
+    scale_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise SvmError(f"scaler needs a non-empty 2-D matrix, got {matrix.shape}")
+        self.mean_ = matrix.mean(axis=0)
+        scale = matrix.std(axis=0)
+        # Constant columns carry no information; dividing by 1 leaves them
+        # at zero after centring instead of exploding.
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.transform called before fit")
+        if matrix.shape[-1] != self.mean_.shape[0]:
+            raise SvmError(
+                f"scaler fitted on {self.mean_.shape[0]} columns, got {matrix.shape[-1]}"
+            )
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+
+@dataclass
+class MinMaxScaler:
+    """Per-column scaling to [0, 1] — LIBSVM's ``svm-scale`` convention.
+
+    The paper's toolchain (LIBSVM) conventionally scales features to the
+    unit interval before training; the RBF ``gamma`` defaults (0.01 with
+    doubling) are calibrated against that range.  Constant columns map to
+    zero.
+    """
+
+    min_: Optional[np.ndarray] = field(default=None, repr=False)
+    span_: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def fit(self, matrix: np.ndarray) -> "MinMaxScaler":
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise SvmError(f"scaler needs a non-empty 2-D matrix, got {matrix.shape}")
+        self.min_ = matrix.min(axis=0)
+        span = matrix.max(axis=0) - self.min_
+        span[span < 1e-12] = 1.0
+        self.span_ = span
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.span_ is None:
+            raise NotFittedError("MinMaxScaler.transform called before fit")
+        if matrix.shape[-1] != self.min_.shape[0]:
+            raise SvmError(
+                f"scaler fitted on {self.min_.shape[0]} columns, got {matrix.shape[-1]}"
+            )
+        return (matrix - self.min_) / self.span_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)

@@ -1,0 +1,77 @@
+"""Theorem-1 composite-string topology matching (Section III-B1).
+
+Two core patterns have the same topology under one of the eight
+orientations iff any concatenation of two *adjacent* side strings of one
+pattern occurs inside the counter-clockwise or clockwise composite string
+of the other.  The CCW composite is the circular sequence
+``bottom+right+top+left`` re-opened with the beginning side appended (we
+double the circular sequence, a superset of the paper's "add the beginning
+side at the end" that is safe for arbitrary probe lengths); the CW
+composite is the reversal of that circle, which is what mirroring does to
+the side strings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.rect import Rect
+from repro.topology.strings import DirectionalStrings, directional_strings
+
+
+def composite_ccw(strings: DirectionalStrings) -> tuple[int, ...]:
+    """Counter-clockwise composite: the doubled circular side sequence."""
+    circle = strings.circular()
+    return circle + circle
+
+
+def composite_cw(strings: DirectionalStrings) -> tuple[int, ...]:
+    """Clockwise composite: the doubled reversed circular side sequence."""
+    circle = tuple(reversed(strings.circular()))
+    return circle + circle
+
+
+def contains_subsequence(haystack: Sequence[int], needle: Sequence[int]) -> bool:
+    """Contiguous-subsequence search (naive; probes are short)."""
+    n, m = len(haystack), len(needle)
+    if m == 0:
+        return True
+    for start in range(n - m + 1):
+        if tuple(haystack[start : start + m]) == tuple(needle):
+            return True
+    return False
+
+
+def strings_match(first: DirectionalStrings, second: DirectionalStrings) -> bool:
+    """Theorem-1 test on two precomputed directional-string sets."""
+    # A necessary condition that rejects most non-matches instantly: the
+    # circular sequences must have equal length and multiset.
+    circle_a, circle_b = first.circular(), second.circular()
+    if len(circle_a) != len(circle_b) or sorted(circle_a) != sorted(circle_b):
+        return False
+    ccw = composite_ccw(second)
+    cw = composite_cw(second)
+    for probe in first.adjacent_pairs():
+        if contains_subsequence(ccw, probe) or contains_subsequence(cw, probe):
+            return True
+    return False
+
+
+def same_topology(
+    rects_a: Sequence[Rect],
+    window_a: Rect,
+    rects_b: Sequence[Rect],
+    window_b: Rect,
+) -> bool:
+    """Whether two core patterns have the same topology (Theorem 1).
+
+    Patterns are given as dissected rectangle sets within their windows;
+    only topology is compared, so the windows may sit at different layout
+    locations (they must have equal side lengths).
+    """
+    if window_a.width != window_b.width or window_a.height != window_b.height:
+        return False
+    return strings_match(
+        directional_strings(rects_a, window_a),
+        directional_strings(rects_b, window_b),
+    )

@@ -1,0 +1,178 @@
+"""Directional-string topology encoding (Section III-B1).
+
+A core pattern is *vertically sliced along polygon edges*; each slice gets a
+binary code — a leading ``1`` for the window boundary, then one bit per
+block/space segment read away from that boundary (block = 1, space = 0) —
+which is then read as an integer.  The sequence of slice codes for the
+downward direction is the *downward string*; the other three directional
+strings are the downward strings of the pattern rotated so that the right,
+top and left sides face downward.
+
+The four strings are generated in a rotation-covariant way: slices are
+ordered along the counter-clockwise boundary traversal of the window, so a
+90-degree pattern rotation cyclically permutes ``(bottom, right, top,
+left)``.  That covariance is what makes Theorem 1's composite-string
+matching work (see :mod:`repro.topology.match`).
+
+The paper's Fig. 5(a) example — an "L" made of a full-height bar plus a
+floating arm slice — encodes as ``<3, 10>`` = ``<11b, 1010b>``; the tests
+reproduce that exact value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import TopologyError
+from repro.geometry.rect import Rect
+from repro.geometry.transform import Orientation, transform_rects_in_window
+
+#: The rotation that brings each window side to face downward.
+_SIDE_ROTATION = {
+    "bottom": Orientation.R0,
+    "right": Orientation.R270,
+    "top": Orientation.R180,
+    "left": Orientation.R90,
+}
+
+SIDES = ("bottom", "right", "top", "left")
+
+
+@dataclass(frozen=True)
+class DirectionalStrings:
+    """The four directional strings of one core pattern."""
+
+    bottom: tuple[int, ...]
+    right: tuple[int, ...]
+    top: tuple[int, ...]
+    left: tuple[int, ...]
+
+    def side(self, name: str) -> tuple[int, ...]:
+        try:
+            return getattr(self, name)
+        except AttributeError:
+            raise TopologyError(f"unknown side {name!r}") from None
+
+    def circular(self) -> tuple[int, ...]:
+        """The full CCW circular sequence bottom+right+top+left."""
+        return self.bottom + self.right + self.top + self.left
+
+    def adjacent_pairs(self) -> list[tuple[int, ...]]:
+        """The four concatenations of adjacent sides, CCW order.
+
+        These are the probes Theorem 1 searches for in the other pattern's
+        composite strings.
+        """
+        sequence = [self.bottom, self.right, self.top, self.left]
+        return [
+            sequence[i] + sequence[(i + 1) % 4] for i in range(4)
+        ]
+
+
+def _merged_y_intervals(rects: Sequence[Rect], x0: int, x1: int, window: Rect) -> tuple:
+    """Merged block y-intervals over the slab ``[x0, x1]``, clipped to window."""
+    spans = sorted(
+        (max(r.y0, window.y0), min(r.y1, window.y1))
+        for r in rects
+        if r.x0 < x1 and x0 < r.x1 and r.y0 < window.y1 and window.y0 < r.y1
+    )
+    merged: list[list[int]] = []
+    for lo, hi in spans:
+        if merged and lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return tuple((lo, hi) for lo, hi in merged)
+
+
+def _slice_code(intervals: tuple, window: Rect) -> int:
+    """Binary slice code: boundary bit then segment bits bottom-to-top."""
+    bits = ["1"]  # window boundary marker
+    cursor = window.y0
+    for lo, hi in intervals:
+        if lo > cursor:
+            bits.append("0")  # space below this block
+        bits.append("1")  # the block itself
+        cursor = hi
+    if cursor < window.y1:
+        bits.append("0")  # trailing space up to the top boundary
+    if not intervals:
+        bits = ["1", "0"]  # an entirely empty slab
+    return int("".join(bits), 2)
+
+
+def downward_string(rects: Sequence[Rect], window: Rect) -> tuple[int, ...]:
+    """The downward directional string of a pattern.
+
+    Slices are cut at every polygon edge x-coordinate; adjacent slabs whose
+    merged block intervals are geometrically identical are re-merged so the
+    slice count reflects topology changes only.
+    """
+    cuts = {window.x0, window.x1}
+    for rect in rects:
+        if rect.x1 > window.x0 and rect.x0 < window.x1:
+            cuts.add(max(rect.x0, window.x0))
+            cuts.add(min(rect.x1, window.x1))
+    xs = sorted(cuts)
+    slabs: list[tuple] = []
+    for x0, x1 in zip(xs, xs[1:]):
+        intervals = _merged_y_intervals(rects, x0, x1, window)
+        if slabs and slabs[-1] == intervals:
+            continue  # edge did not change the coverage topology
+        slabs.append(intervals)
+    return tuple(_slice_code(intervals, window) for intervals in slabs)
+
+
+def directional_strings(rects: Sequence[Rect], window: Rect) -> DirectionalStrings:
+    """All four directional strings of a pattern.
+
+    Each side string is the downward string of the pattern rotated so that
+    side faces downward, which orders slices along the CCW window boundary.
+    Requires a square window (the D8 group acts on squares).
+    """
+    if window.width != window.height:
+        raise TopologyError(
+            f"directional strings need a square window, got {window.width}x{window.height}"
+        )
+    rect_list = list(rects)
+    values = {}
+    for side in SIDES:
+        rotated = transform_rects_in_window(rect_list, window, _SIDE_ROTATION[side])
+        values[side] = downward_string(rotated, window)
+    return DirectionalStrings(**values)
+
+
+def key_orbit(strings: DirectionalStrings) -> list[tuple[tuple[int, ...], ...]]:
+    """All eight D8 images of a directional-string 4-tuple.
+
+    The geometric D8 action translates to a combinatorial action on side
+    strings: a 90-degree CCW rotation cyclically shifts
+    ``(bottom, right, top, left) -> (left, bottom, right, top)``, and the
+    vertical-axis mirror swaps left/right and reverses every side's slice
+    order.  Computing the orbit this way costs one slicing pass instead of
+    eight.
+    """
+    sides = (strings.bottom, strings.right, strings.top, strings.left)
+    mirrored = tuple(
+        tuple(reversed(s))
+        for s in (sides[0], sides[3], sides[2], sides[1])
+    )
+    orbit = []
+    for base in (sides, mirrored):
+        for shift in range(4):
+            orbit.append(base[shift:] + base[:shift])
+    return orbit
+
+
+def canonical_string_key(rects: Sequence[Rect], window: Rect) -> tuple[tuple[int, ...], ...]:
+    """A D8-invariant canonical key built from directional strings.
+
+    The key is the lexicographically smallest side-string 4-tuple over the
+    pattern's D8 orbit.  Two patterns share a key iff they have the same
+    topology under some orientation — the exact congruence string-based
+    classification needs, with none of the substring-matching edge cases
+    of the composite search.
+    """
+    strings = directional_strings(rects, window)
+    return min(key_orbit(strings))

@@ -1,0 +1,147 @@
+"""SVG rendering of layouts, clips and detection results.
+
+Dependency-free visual inspection: layouts render to SVG files any
+browser opens, with optional overlays for ground-truth hotspot cores
+(green), reported cores (red), and candidate clip windows (dashed).
+Coordinates are flipped so layout +y points up, as layout viewers draw.
+
+Typical use::
+
+    from repro.viz import render_detection_svg
+    render_detection_svg(bench.testing, result.reports, "run.svg")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.data.synth import TestingLayout
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip
+from repro.layout.layout import Layout
+
+#: Default fill for drawn metal.
+METAL_STYLE = 'fill="#4a7db5" fill-opacity="0.85" stroke="none"'
+TRUTH_STYLE = 'fill="none" stroke="#1f9d3a" stroke-width="{w}"'
+REPORT_STYLE = 'fill="#d43a3a" fill-opacity="0.25" stroke="#d43a3a" stroke-width="{w}"'
+WINDOW_STYLE = 'fill="none" stroke="#888888" stroke-width="{w}" stroke-dasharray="{d},{d}"'
+
+
+class SvgCanvas:
+    """Minimal SVG document builder over a layout window."""
+
+    def __init__(self, window: Rect, width_px: int = 1000):
+        self.window = window
+        self.scale = width_px / window.width
+        self.width_px = width_px
+        self.height_px = int(window.height * self.scale)
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _x(self, x: int) -> float:
+        return (x - self.window.x0) * self.scale
+
+    def _y(self, y: int) -> float:
+        # SVG y grows downward; layouts grow upward.
+        return (self.window.y1 - y) * self.scale
+
+    @property
+    def hairline(self) -> float:
+        """A stroke width that stays visible at this scale."""
+        return max(0.5, self.scale * 40)
+
+    def add_rect(self, rect: Rect, style: str) -> None:
+        x = self._x(rect.x0)
+        y = self._y(rect.y1)
+        w = rect.width * self.scale
+        h = rect.height * self.scale
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" {style}/>'
+        )
+
+    def add_label(self, x: int, y: int, text: str, size_px: int = 12) -> None:
+        self._elements.append(
+            f'<text x="{self._x(x):.2f}" y="{self._y(y):.2f}" '
+            f'font-size="{size_px}" font-family="monospace">{text}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">\n'
+            f'<rect width="100%" height="100%" fill="#ffffff"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.render())
+
+
+def render_layout_svg(
+    layout: Layout,
+    path: Union[str, Path],
+    layer: int = 1,
+    region: Optional[Rect] = None,
+    width_px: int = 1000,
+) -> SvgCanvas:
+    """Render one layout layer to an SVG file; returns the canvas."""
+    from repro.errors import LayoutError
+
+    if region is not None:
+        window = region
+    else:
+        window = layout.bbox(layer) if layer in layout.layer_numbers() else None
+        if window is None:
+            raise LayoutError("layout has no geometry to render")
+    canvas = SvgCanvas(window, width_px)
+    for rect in layout.rects_in_window(layer, window):
+        clipped = rect.intersection(window)
+        if clipped:
+            canvas.add_rect(clipped, METAL_STYLE)
+    canvas.save(path)
+    return canvas
+
+
+def render_clip_svg(clip: Clip, path: Union[str, Path], width_px: int = 600) -> SvgCanvas:
+    """Render a single clip: geometry plus its core window outline."""
+    canvas = SvgCanvas(clip.window, width_px)
+    for rect in clip.rects:
+        canvas.add_rect(rect, METAL_STYLE)
+    canvas.add_rect(clip.core, WINDOW_STYLE.format(w=canvas.hairline, d=canvas.hairline * 3))
+    canvas.save(path)
+    return canvas
+
+
+def render_detection_svg(
+    testing: TestingLayout,
+    reports: Sequence[Clip],
+    path: Union[str, Path],
+    candidates: Iterable[Clip] = (),
+    layer: int = 1,
+    width_px: int = 1400,
+) -> SvgCanvas:
+    """Render a detection run: layout + truth cores + reported cores.
+
+    Ground-truth hotspot cores outline in green, reported cores fill red
+    (overlap of the two reads as a hit at a glance); candidate windows,
+    when given, draw as dashed grey outlines.
+    """
+    canvas = SvgCanvas(testing.window, width_px)
+    for rect in testing.layout.rects_in_window(layer, testing.window):
+        clipped = rect.intersection(testing.window)
+        if clipped:
+            canvas.add_rect(clipped, METAL_STYLE)
+    dash = canvas.hairline * 3
+    for candidate in candidates:
+        canvas.add_rect(
+            candidate.window, WINDOW_STYLE.format(w=canvas.hairline / 2, d=dash)
+        )
+    for core in testing.hotspot_cores():
+        canvas.add_rect(core, TRUTH_STYLE.format(w=canvas.hairline * 1.5))
+    for report in reports:
+        canvas.add_rect(report.core, REPORT_STYLE.format(w=canvas.hairline))
+    canvas.save(path)
+    return canvas

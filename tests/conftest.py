@@ -1,0 +1,17 @@
+"""Shared fixtures: small cached benchmarks for the heavier pipeline tests."""
+
+import pytest
+
+from repro.data.benchmarks import generate_benchmark
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """benchmark1 at a small scale — enough structure, fast to sweep."""
+    return generate_benchmark("benchmark1", scale=0.4)
+
+
+@pytest.fixture(scope="session")
+def ambit_benchmark():
+    """benchmark4 carries the ambit-sensitive motif (Fig. 10 cases)."""
+    return generate_benchmark("benchmark4", scale=0.8)

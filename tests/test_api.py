@@ -1,0 +1,80 @@
+"""Public API surface tests: imports, exports, error hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_facade_classes_importable(self):
+        from repro import (
+            Clip,
+            ClipLabel,
+            ClipSet,
+            ClipSpec,
+            DetectorConfig,
+            HotspotDetector,
+            Layout,
+            generate_benchmark,
+        )
+
+        assert HotspotDetector is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geometry",
+            "repro.gdsii",
+            "repro.layout",
+            "repro.topology",
+            "repro.mtcg",
+            "repro.features",
+            "repro.svm",
+            "repro.core",
+            "repro.baselines",
+            "repro.multilayer",
+            "repro.data",
+        ],
+    )
+    def test_subpackage_all_exports(self, module):
+        imported = __import__(module, fromlist=["__all__"])
+        for name in imported.__all__:
+            assert getattr(imported, name, None) is not None, f"{module}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parents(self):
+        assert issubclass(errors.GdsiiRecordError, errors.GdsiiError)
+        assert issubclass(errors.NotFittedError, errors.SvmError)
+        assert issubclass(errors.ConvergenceError, errors.SvmError)
+
+    def test_catchable_at_base(self):
+        from repro.geometry.rect import Rect
+
+        with pytest.raises(errors.ReproError):
+            Rect(0, 0, 0, 0)
+
+    def test_domain_errors_not_builtin_leaks(self):
+        """Library-specific failures raise ReproError subclasses."""
+        from repro.data.patterns import motif_by_name
+        from repro.layout.clip import ClipSpec
+
+        with pytest.raises(errors.DataError):
+            motif_by_name("bogus")
+        with pytest.raises(errors.LayoutError):
+            ClipSpec(core_side=0, clip_side=10)

@@ -1,0 +1,125 @@
+"""Tests for the baselines: pattern matcher, window scan, single SVM."""
+
+import pytest
+
+from repro.baselines.pattern_match import PatternMatchConfig, PatternMatcher
+from repro.baselines.single_svm import SingleSvmBaseline
+from repro.baselines.window_scan import (
+    WindowScanConfig,
+    count_window_clips,
+    scan_clips,
+    window_positions,
+)
+from repro.errors import LayoutError, NotFittedError
+from repro.geometry.rect import Rect
+from repro.layout.clip import ClipSpec
+from repro.layout.layout import Layout
+
+
+class TestWindowScan:
+    def test_overlap_validation(self):
+        with pytest.raises(LayoutError):
+            WindowScanConfig(overlap=1.0)
+
+    def test_stride_half_overlap(self):
+        assert WindowScanConfig(overlap=0.5).stride(1200) == 600
+
+    def test_positions_cover_region(self):
+        region = Rect(0, 0, 5000, 3000)
+        positions = list(window_positions(region, 1200))
+        assert (0, 0) in positions
+        # the window anchored at each position stays inside the region
+        for x, y in positions:
+            assert region.contains_rect(Rect(x, y, x + 1200, y + 1200))
+        # last column/row clamped to the region edge
+        assert any(x == 5000 - 1200 for x, _ in positions)
+        assert any(y == 3000 - 1200 for _, y in positions)
+
+    def test_count_matches_positions(self):
+        region = Rect(0, 0, 7300, 4100)
+        count = count_window_clips(region, 1200)
+        assert count == len(list(window_positions(region, 1200)))
+
+    def test_count_small_region(self):
+        assert count_window_clips(Rect(0, 0, 1000, 1000), 1200) == 1
+
+    def test_table5_scale_relation(self):
+        """Window counts scale ~4x when halving the stride (Table V)."""
+        region = Rect(0, 0, 110_000, 115_000)
+        half = count_window_clips(region, 1200, WindowScanConfig(overlap=0.5))
+        none = count_window_clips(region, 1200, WindowScanConfig(overlap=0.0))
+        assert 3.2 < half / none < 4.4
+
+    def test_scan_clips_skip_empty(self):
+        layout = Layout()
+        layout.add_rect(1, Rect(100, 100, 400, 400))
+        spec = ClipSpec()
+        region = Rect(0, 0, 10_000, 10_000)
+        everything = scan_clips(layout, spec, region)
+        occupied = scan_clips(layout, spec, region, skip_empty=True)
+        assert len(occupied) < len(everything)
+        assert all(c.core_rects() for c in occupied)
+
+
+class TestPatternMatcher:
+    def test_unfitted_raises(self, small_benchmark):
+        matcher = PatternMatcher()
+        with pytest.raises(NotFittedError):
+            matcher.detect(small_benchmark.testing.layout)
+
+    def test_fit_builds_library(self, small_benchmark):
+        matcher = PatternMatcher()
+        entries = matcher.fit(small_benchmark.training)
+        # 5 shift derivatives per hotspot
+        assert entries == 5 * len(small_benchmark.training.hotspots())
+
+    def test_matches_training_hotspots(self, small_benchmark):
+        matcher = PatternMatcher()
+        matcher.fit(small_benchmark.training)
+        hotspots = small_benchmark.training.hotspots()
+        assert all(matcher.matches(clip) for clip in hotspots)
+
+    def test_scores_testing_layout(self, small_benchmark):
+        matcher = PatternMatcher()
+        matcher.fit(small_benchmark.training)
+        report = matcher.score(small_benchmark.testing)
+        assert report.score is not None
+        assert report.score.accuracy >= 0.6
+
+    def test_pm_produces_more_extras_than_ml(self, small_benchmark):
+        """Table II shape: PM cannot learn the dimension boundary."""
+        from repro.core.config import DetectorConfig
+        from repro.core.detector import HotspotDetector
+
+        matcher = PatternMatcher()
+        matcher.fit(small_benchmark.training)
+        pm_report = matcher.score(small_benchmark.testing)
+
+        detector = HotspotDetector(DetectorConfig.ours())
+        detector.fit(small_benchmark.training)
+        ml_report = detector.score(small_benchmark.testing)
+        assert pm_report.score.extras >= ml_report.score.extras
+
+    def test_tolerance_zero_is_strict(self, small_benchmark):
+        strict = PatternMatcher(PatternMatchConfig(tolerance=0.0))
+        strict.fit(small_benchmark.training)
+        loose = PatternMatcher(PatternMatchConfig(tolerance=50.0))
+        loose.fit(small_benchmark.training)
+        strict_report = strict.score(small_benchmark.testing)
+        loose_report = loose.score(small_benchmark.testing)
+        total_strict = strict_report.score.hits + strict_report.score.extras
+        total_loose = loose_report.score.hits + loose_report.score.extras
+        assert total_strict <= total_loose
+
+
+class TestSingleSvm:
+    def test_single_kernel(self, small_benchmark):
+        baseline = SingleSvmBaseline()
+        baseline.fit(small_benchmark.training)
+        assert baseline.kernel_count == 1
+
+    def test_detects_something(self, small_benchmark):
+        baseline = SingleSvmBaseline()
+        baseline.fit(small_benchmark.training)
+        report = baseline.score(small_benchmark.testing)
+        assert report.score.hits > 0

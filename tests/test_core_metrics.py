@@ -1,0 +1,86 @@
+"""Tests for hit/extra scoring (Section II definitions)."""
+
+import pytest
+
+from repro.core.metrics import DetectionScore, is_hit, score_reports
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipSpec
+
+SPEC = ClipSpec(core_side=4, clip_side=12)
+
+
+def report_at(x, y):
+    """A report whose core's lower-left corner is (x, y)."""
+    core = Rect(x, y, x + 4, y + 4)
+    return Clip.build(SPEC.clip_for_core(core), SPEC, [])
+
+
+class TestIsHit:
+    def test_exact_overlap(self):
+        actual = Rect(10, 10, 14, 14)
+        assert is_hit(report_at(10, 10), actual)
+
+    def test_partial_core_overlap(self):
+        actual = Rect(10, 10, 14, 14)
+        assert is_hit(report_at(12, 12), actual)
+
+    def test_touching_cores_not_a_hit(self):
+        actual = Rect(10, 10, 14, 14)
+        assert not is_hit(report_at(14, 10), actual)
+
+    def test_core_overlap_but_clip_not_covering(self):
+        # A spec with tiny ambit: the clip barely exceeds the core, so a
+        # diagonal offset report's clip cannot cover the actual core.
+        tight = ClipSpec(core_side=4, clip_side=6)
+        core = Rect(3, 3, 7, 7)
+        report = Clip.build(tight.clip_for_core(core), tight, [])
+        actual = Rect(0, 0, 4, 4)  # overlaps core at (3,3)-(4,4)
+        assert report.core.overlaps(actual)
+        assert not report.window.contains_rect(actual)
+        assert not is_hit(report, actual)
+
+
+class TestScoreReports:
+    def test_each_actual_counted_once(self):
+        actual = [Rect(10, 10, 14, 14)]
+        reports = [report_at(10, 10), report_at(11, 11), report_at(9, 9)]
+        score = score_reports(reports, actual, layout_area_um2=100.0)
+        assert score.hits == 1
+        assert score.extras == 0
+
+    def test_one_report_hits_two_actuals(self):
+        actual = [Rect(10, 10, 14, 14), Rect(12, 12, 16, 16)]
+        score = score_reports([report_at(11, 11)], actual, 100.0)
+        assert score.hits == 2
+        assert score.extras == 0
+
+    def test_extras_counted(self):
+        actual = [Rect(10, 10, 14, 14)]
+        reports = [report_at(10, 10), report_at(100, 100)]
+        score = score_reports(reports, actual, 100.0)
+        assert score.hits == 1
+        assert score.extras == 1
+
+    def test_accuracy_and_ratio(self):
+        actual = [Rect(0, 0, 4, 4), Rect(100, 100, 104, 104)]
+        reports = [report_at(0, 0), report_at(50, 50)]
+        score = score_reports(reports, actual, 200.0)
+        assert score.accuracy == pytest.approx(0.5)
+        assert score.hit_extra_ratio == pytest.approx(1.0)
+        assert score.false_alarm_per_um2 == pytest.approx(1 / 200.0)
+
+    def test_no_actuals_perfect_accuracy(self):
+        score = score_reports([], [], 10.0)
+        assert score.accuracy == 1.0
+        assert score.hit_extra_ratio == 0.0
+
+    def test_zero_extras_infinite_ratio(self):
+        actual = [Rect(0, 0, 4, 4)]
+        score = score_reports([report_at(0, 0)], actual, 10.0)
+        assert score.hit_extra_ratio == float("inf")
+
+    def test_as_row_keys(self):
+        score = DetectionScore(hits=3, extras=2, actual_hotspots=4, layout_area_um2=10)
+        row = score.as_row()
+        assert row["hit"] == 3 and row["extra"] == 2
+        assert row["accuracy"] == pytest.approx(0.75)

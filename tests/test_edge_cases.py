@@ -1,0 +1,182 @@
+"""Edge-case and error-path tests across modules."""
+
+import pytest
+
+from repro.errors import GdsiiError, LayoutError, TopologyError
+from repro.gdsii.library import GdsBoundary, GdsLibrary
+from repro.gdsii.reader import read_library
+from repro.gdsii.records import DataType, RecordType, encode_record
+from repro.geometry.point import ORIGIN, Point
+from repro.geometry.rect import Rect
+
+
+def stream(*records: bytes) -> bytes:
+    return b"".join(records)
+
+
+HEADER = (
+    encode_record(RecordType.HEADER, DataType.INT2, [600])
+    + encode_record(RecordType.BGNLIB, DataType.INT2, [0] * 12)
+    + encode_record(RecordType.LIBNAME, DataType.ASCII, "L")
+    + encode_record(RecordType.UNITS, DataType.REAL8, [1e-3, 1e-9])
+)
+ENDLIB = encode_record(RecordType.ENDLIB, DataType.NO_DATA, None)
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_distances(self):
+        assert Point(0, 0).manhattan_distance(Point(3, 4)) == 7
+        assert Point(0, 0).chebyshev_distance(Point(3, 4)) == 4
+
+    def test_ordering_lexicographic(self):
+        assert Point(1, 9) < Point(2, 0)
+        assert Point(1, 1) < Point(1, 2)
+
+    def test_iteration_and_origin(self):
+        assert tuple(Point(5, 7)) == (5, 7)
+        assert ORIGIN == Point(0, 0)
+
+
+class TestReaderErrorPaths:
+    def test_unclosed_boundary_loop(self):
+        body = (
+            encode_record(RecordType.BGNSTR, DataType.INT2, [0] * 12)
+            + encode_record(RecordType.STRNAME, DataType.ASCII, "S")
+            + encode_record(RecordType.BOUNDARY, DataType.NO_DATA, None)
+            + encode_record(RecordType.LAYER, DataType.INT2, [1])
+            + encode_record(RecordType.DATATYPE, DataType.INT2, [0])
+            + encode_record(
+                RecordType.XY, DataType.INT4, [0, 0, 10, 0, 10, 10, 0, 10]
+            )  # not closed
+            + encode_record(RecordType.ENDEL, DataType.NO_DATA, None)
+            + encode_record(RecordType.ENDSTR, DataType.NO_DATA, None)
+        )
+        with pytest.raises(GdsiiError):
+            read_library(stream(HEADER, body, ENDLIB))
+
+    def test_sref_with_two_points(self):
+        body = (
+            encode_record(RecordType.BGNSTR, DataType.INT2, [0] * 12)
+            + encode_record(RecordType.STRNAME, DataType.ASCII, "S")
+            + encode_record(RecordType.SREF, DataType.NO_DATA, None)
+            + encode_record(RecordType.SNAME, DataType.ASCII, "X")
+            + encode_record(RecordType.XY, DataType.INT4, [0, 0, 5, 5])
+            + encode_record(RecordType.ENDEL, DataType.NO_DATA, None)
+            + encode_record(RecordType.ENDSTR, DataType.NO_DATA, None)
+        )
+        with pytest.raises(GdsiiError):
+            read_library(stream(HEADER, body, ENDLIB))
+
+    def test_units_with_one_real(self):
+        bad_header = (
+            encode_record(RecordType.HEADER, DataType.INT2, [600])
+            + encode_record(RecordType.BGNLIB, DataType.INT2, [0] * 12)
+            + encode_record(RecordType.LIBNAME, DataType.ASCII, "L")
+            + encode_record(RecordType.UNITS, DataType.REAL8, [1e-3])
+        )
+        with pytest.raises(GdsiiError):
+            read_library(stream(bad_header, ENDLIB))
+
+    def test_text_elements_skipped(self):
+        body = (
+            encode_record(RecordType.BGNSTR, DataType.INT2, [0] * 12)
+            + encode_record(RecordType.STRNAME, DataType.ASCII, "S")
+            + encode_record(RecordType.TEXT, DataType.NO_DATA, None)
+            + encode_record(RecordType.LAYER, DataType.INT2, [1])
+            + encode_record(RecordType.TEXTTYPE, DataType.INT2, [0])
+            + encode_record(RecordType.STRING, DataType.ASCII, "label")
+            + encode_record(RecordType.ENDEL, DataType.NO_DATA, None)
+            + encode_record(RecordType.ENDSTR, DataType.NO_DATA, None)
+        )
+        library = read_library(stream(HEADER, body, ENDLIB))
+        assert library.get("S").elements == []
+
+    def test_odd_xy_coordinate_count(self):
+        body = (
+            encode_record(RecordType.BGNSTR, DataType.INT2, [0] * 12)
+            + encode_record(RecordType.STRNAME, DataType.ASCII, "S")
+            + encode_record(RecordType.BOUNDARY, DataType.NO_DATA, None)
+            + encode_record(RecordType.LAYER, DataType.INT2, [1])
+            + encode_record(RecordType.DATATYPE, DataType.INT2, [0])
+            + encode_record(RecordType.XY, DataType.INT4, [0, 0, 10])
+            + encode_record(RecordType.ENDEL, DataType.NO_DATA, None)
+        )
+        with pytest.raises(GdsiiError):
+            read_library(stream(HEADER, body, ENDLIB))
+
+
+class TestClipsetIoErrors:
+    def test_unlabelled_structure_rejected(self):
+        from repro.layout.clip import ClipSpec
+        from repro.layout.io import library_to_clipset
+
+        library = GdsLibrary()
+        bad = library.new_structure("WEIRD_000001")
+        bad.add(GdsBoundary.from_rect(1, 0, Rect(0, 0, 10, 10)))
+        with pytest.raises(LayoutError):
+            library_to_clipset(library, ClipSpec())
+
+    def test_missing_window_marker_rejected(self):
+        from repro.layout.clip import ClipSpec
+        from repro.layout.io import library_to_clipset
+
+        library = GdsLibrary()
+        clip_struct = library.new_structure("HS_000000")
+        clip_struct.add(GdsBoundary.from_rect(1, 0, Rect(0, 0, 10, 10)))
+        with pytest.raises(LayoutError):
+            library_to_clipset(library, ClipSpec())
+
+
+class TestMatchEdgeCases:
+    def test_multiset_prefilter(self):
+        """Different slice multisets cannot match (fast reject)."""
+        from repro.topology.match import strings_match
+        from repro.topology.strings import directional_strings
+
+        window = Rect(0, 0, 10, 10)
+        a = directional_strings([Rect(0, 0, 10, 3)], window)
+        b = directional_strings([Rect(0, 3, 10, 7)], window)
+        assert not strings_match(a, b)
+
+    def test_window_scan_region_default(self):
+        from repro.baselines.window_scan import scan_clips
+        from repro.layout.clip import ClipSpec
+        from repro.layout.layout import Layout
+
+        layout = Layout()
+        assert scan_clips(layout, ClipSpec()) == []  # empty layout, no region
+
+    def test_empty_string_group(self):
+        from repro.topology.cluster import TopologicalClassifier
+
+        assert TopologicalClassifier().classify([]) == []
+
+
+class TestDetectorThresholdOverride:
+    def test_config_at_threshold(self):
+        from repro.core.config import DetectorConfig
+
+        base = DetectorConfig.ours()
+        shifted = base.at_threshold(0.42)
+        assert shifted.decision_threshold == pytest.approx(0.42)
+        assert shifted.use_feedback == base.use_feedback
+
+    def test_spec_propagates(self):
+        from repro.core.config import DetectorConfig, RemovalConfig
+        from repro.errors import ConfigError
+        from repro.layout.clip import ClipSpec
+
+        # A small core demands a matching reframe separation...
+        with pytest.raises(ConfigError):
+            DetectorConfig(spec=ClipSpec(core_side=600, clip_side=2400))
+        # ...and is accepted when the removal parameters scale with it.
+        config = DetectorConfig(
+            spec=ClipSpec(core_side=600, clip_side=2400),
+            removal=RemovalConfig(reframe_separation=550),
+        )
+        assert config.spec.ambit_margin == 900

@@ -1,0 +1,144 @@
+"""Property tests for the paper's extraction and removal guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ExtractionConfig, RemovalConfig
+from repro.core.extraction import extract_candidate_clips
+from repro.core.removal import remove_redundant_clips
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipSpec
+from repro.layout.layout import Layout
+
+SPEC = ClipSpec(core_side=1200, clip_side=4800)
+#: Requirements disabled: pure anchoring behaviour under test.
+OPEN = ExtractionConfig(
+    min_core_density=0.0, min_polygon_count=0, max_boundary_distance=100_000
+)
+
+
+def rect_strategy():
+    return st.lists(
+        st.tuples(
+            st.integers(0, 12),
+            st.integers(0, 12),
+            st.integers(1, 30),
+            st.integers(1, 4),
+        ),
+        min_size=1,
+        max_size=8,
+    ).map(
+        lambda raw: [
+            Rect(
+                10_000 + x * 700,
+                10_000 + y * 700,
+                10_000 + x * 700 + w * 100,
+                10_000 + y * 700 + h * 100,
+            )
+            for x, y, w, h in raw
+        ]
+    )
+
+
+class TestExtractionCoverage:
+    @given(rect_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_every_polygon_included_by_some_clip(self, rects):
+        """Section III-E's claim: with the requirements met, each polygon
+        is included by at least one layout clip."""
+        layout = Layout()
+        kept = []
+        for rect in rects:
+            if not any(rect.overlaps(k) for k in kept):
+                layout.add_rect(1, rect)
+                kept.append(rect)
+        report = extract_candidate_clips(layout, SPEC, OPEN)
+        for rect in kept:
+            covered = any(
+                clip.window.contains_rect(rect) or clip.window.overlaps(rect)
+                for clip in report.clips
+            )
+            assert covered, rect
+
+    @given(rect_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_anchors_deduplicated(self, rects):
+        layout = Layout()
+        for rect in rects:
+            if not any(rect.overlaps(k) for k in layout.layer(1).rects):
+                layout.add_rect(1, rect)
+        report = extract_candidate_clips(layout, SPEC, OPEN)
+        anchors = [(c.core.x0, c.core.y0) for c in report.clips]
+        assert len(anchors) == len(set(anchors))
+
+    def test_funnel_statistics_consistent(self):
+        layout = Layout()
+        for i in range(10):
+            layout.add_rect(1, Rect(10_000 + i * 2000, 10_000, 10_100 + i * 2000, 11_500))
+        config = ExtractionConfig(min_polygon_count=2)
+        report = extract_candidate_clips(layout, SPEC, config)
+        assert (
+            report.candidate_count
+            + report.rejected_density
+            + report.rejected_count
+            + report.rejected_boundary
+            == report.anchor_count
+        )
+
+
+def flagged_strategy():
+    """Random strongly-overlapping report sets around one neighbourhood."""
+    return st.lists(
+        st.tuples(st.integers(0, 16), st.integers(0, 16)),
+        min_size=1,
+        max_size=12,
+    ).map(
+        lambda raw: [
+            Rect(20_000 + x * 150, 20_000 + y * 150, 21_200 + x * 150, 21_200 + y * 150)
+            for x, y in raw
+        ]
+    )
+
+
+class TestRemovalCoverage:
+    @given(flagged_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_removal_preserves_geometry_coverage(self, cores):
+        """Geometry under a removed report's core stays covered.
+
+        The paper's guarantee: redundant clip removal reduces the false
+        alarm "without sacrificing the accuracy" — an actual hotspot lives
+        on *geometry*, so the invariant is that every polygon that was
+        inside some input core remains inside (or overlapping) some output
+        core.  (Clip shifting may legitimately move cores toward the
+        polygons' centre of gravity, Fig. 12(e).)
+        """
+        polys = [
+            Rect(core.center.x - 100, core.center.y - 100, core.center.x + 100, core.center.y + 100)
+            for core in cores
+        ]
+        reports = [
+            Clip.build(SPEC.clip_for_core(core), SPEC, polys) for core in cores
+        ]
+        factory = lambda core: Clip.build(SPEC.clip_for_core(core), SPEC, polys)
+        kept = remove_redundant_clips(reports, SPEC, RemovalConfig(), factory)
+        assert kept, "removal must never empty a non-empty report list"
+        for poly, core in zip(polys, cores):
+            was_covered = any(c.contains_rect(poly) for c in cores)
+            if not was_covered:
+                continue
+            assert any(k.core.overlaps(poly) for k in kept), poly
+
+    @given(flagged_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_removal_never_grows_small_sets(self, cores):
+        if len(cores) > 4:
+            return  # reframing may legitimately re-tile large regions
+        shared = [Rect(20_500, 20_500, 20_700, 20_700)]
+        reports = [
+            Clip.build(SPEC.clip_for_core(core), SPEC, shared) for core in cores
+        ]
+        factory = lambda core: Clip.build(SPEC.clip_for_core(core), SPEC, shared)
+        kept = remove_redundant_clips(reports, SPEC, RemovalConfig(), factory)
+        assert len(kept) <= len(reports)

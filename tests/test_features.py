@@ -1,0 +1,178 @@
+"""Tests for nontopological features and the vectorization pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.nontopo import (
+    NONTOPO_SLOTS,
+    corner_and_touch_counts,
+    extract_nontopo_features,
+)
+from repro.features.vector import (
+    TYPE_ORDER,
+    FeatureConfig,
+    FeatureExtractor,
+    FeatureSchema,
+)
+from repro.mtcg.rules import RULE_RECT_SLOTS, FeatureType
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipLabel, ClipSpec
+
+WINDOW = Rect(0, 0, 12, 12)
+SPEC = ClipSpec(core_side=12, clip_side=36)
+
+
+def make_clip(core_rects, ambit_rects=(), label=ClipLabel.HOTSPOT):
+    window = SPEC.clip_at(0, 0)
+    core = SPEC.core_of(window)
+    placed = [r.translated(core.x0, core.y0) for r in core_rects]
+    return Clip.build(window, SPEC, list(placed) + list(ambit_rects), label)
+
+
+class TestNonTopoFeatures:
+    def test_single_rect(self):
+        features = extract_nontopo_features([Rect(2, 2, 8, 5)], WINDOW)
+        assert features.corner_count == 4
+        assert features.touch_count == 0
+        assert features.min_internal == 3  # the narrow dimension
+        assert features.density == pytest.approx(18 / 144)
+
+    def test_l_union_corner_count(self):
+        rects = [Rect(0, 0, 4, 2), Rect(0, 2, 2, 4)]  # an L of two rects
+        corners, touches = corner_and_touch_counts(rects, Rect(-1, -1, 13, 13))
+        assert corners == 6
+        assert touches == 0
+
+    def test_touch_point_detected(self):
+        rects = [Rect(0, 0, 4, 4), Rect(4, 4, 8, 8)]
+        corners, touches = corner_and_touch_counts(rects, Rect(-1, -1, 13, 13))
+        assert touches == 1
+
+    def test_window_boundary_vertices_ignored(self):
+        corners, touches = corner_and_touch_counts([Rect(0, 0, 12, 12)], WINDOW)
+        assert corners == 0 and touches == 0
+
+    def test_min_external_spacing(self):
+        features = extract_nontopo_features(
+            [Rect(0, 4, 5, 8), Rect(8, 4, 12, 8)], WINDOW
+        )
+        assert features.min_external == 3
+
+    def test_empty_window_defaults(self):
+        features = extract_nontopo_features([], WINDOW)
+        assert features.min_internal == 12
+        assert features.min_external == 12
+        assert features.density == 0.0
+
+    def test_as_list_length(self):
+        features = extract_nontopo_features([Rect(1, 1, 4, 4)], WINDOW)
+        assert len(features.as_list()) == NONTOPO_SLOTS
+
+
+class TestFeatureConfig:
+    def test_bad_region_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(region="nope")
+
+    def test_bad_resolution_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(density_resolution=0)
+
+    def test_negative_context_margin_rejected(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(context_margin=-1)
+
+
+class TestExtractor:
+    def test_extract_core_region(self):
+        clip = make_clip([Rect(2, 2, 6, 6)], ambit_rects=[Rect(0, 0, 3, 3)])
+        extractor = FeatureExtractor(FeatureConfig(region="core"))
+        extraction = extractor.extract(clip)
+        # the ambit rect must not affect core density
+        assert extraction.nontopo.density == pytest.approx(16 / 144)
+
+    def test_extract_clip_region_sees_ambit(self):
+        clip = make_clip([Rect(2, 2, 6, 6)], ambit_rects=[Rect(0, 0, 3, 3)])
+        core_only = FeatureExtractor(FeatureConfig(region="core")).extract(clip)
+        whole = FeatureExtractor(FeatureConfig(region="clip")).extract(clip)
+        assert whole.nontopo.density != core_only.nontopo.density
+
+    def test_context_region_between(self):
+        clip = make_clip([Rect(2, 2, 6, 6)], ambit_rects=[Rect(0, 0, 3, 3)])
+        context = FeatureExtractor(
+            FeatureConfig(region="context", context_margin=6)
+        ).extract(clip)
+        # context window is core expanded by 6: covers the ambit rect fully
+        assert context.nontopo.density > 0
+
+    def test_canonical_orientation_makes_congruent_equal(self):
+        from repro.geometry.transform import Orientation
+
+        clip = make_clip([Rect(0, 0, 3, 12), Rect(5, 4, 11, 6)])
+        rotated = clip.oriented(Orientation.R90)
+        extractor = FeatureExtractor(FeatureConfig(canonical_orientation=True))
+        a = extractor.extract(clip)
+        b = extractor.extract(rotated)
+        assert a.rules == b.rules
+
+    def test_without_canonical_orientation_differs(self):
+        from repro.geometry.transform import Orientation
+
+        clip = make_clip([Rect(0, 0, 3, 12), Rect(5, 4, 11, 6)])
+        rotated = clip.oriented(Orientation.R90)
+        extractor = FeatureExtractor(FeatureConfig(canonical_orientation=False))
+        assert extractor.extract(clip).rules != extractor.extract(rotated).rules
+
+
+class TestSchemaAndVectorize:
+    def test_schema_from_extractions_takes_max(self):
+        extractor = FeatureExtractor(FeatureConfig())
+        one = extractor.extract(make_clip([Rect(4, 4, 8, 8)]))
+        many = extractor.extract(
+            make_clip([Rect(1, 1, 3, 5), Rect(5, 1, 7, 9), Rect(9, 1, 11, 5)])
+        )
+        schema = FeatureSchema.from_extractions([one, many])
+        for ftype in TYPE_ORDER:
+            assert schema.counts[ftype] >= one.count_of(ftype)
+            assert schema.counts[ftype] >= many.count_of(ftype)
+
+    def test_vector_length_matches_schema(self):
+        extractor = FeatureExtractor(FeatureConfig())
+        clip = make_clip([Rect(4, 4, 8, 8)])
+        matrix, schema = extractor.build_matrix([clip])
+        assert matrix.shape == (1, schema.vector_length(extractor.config))
+
+    def test_padding_for_sparse_patterns(self):
+        extractor = FeatureExtractor(FeatureConfig())
+        rich = make_clip([Rect(1, 1, 3, 5), Rect(5, 1, 7, 9), Rect(9, 1, 11, 5)])
+        sparse = make_clip([Rect(4, 4, 8, 8)])
+        matrix, schema = extractor.build_matrix([rich, sparse])
+        assert matrix.shape[0] == 2
+        assert matrix.shape[1] == schema.vector_length(extractor.config)
+
+    def test_truncation_beyond_schema(self):
+        extractor = FeatureExtractor(FeatureConfig())
+        rich = make_clip([Rect(1, 1, 3, 5), Rect(5, 1, 7, 9), Rect(9, 1, 11, 5)])
+        small_schema = FeatureSchema({ftype: 1 for ftype in TYPE_ORDER})
+        vector = extractor.vectorize_clip(rich, small_schema)
+        assert len(vector) == 4 * RULE_RECT_SLOTS + NONTOPO_SLOTS
+
+    def test_density_grid_block_appended(self):
+        config = FeatureConfig(include_density_grid=True, density_resolution=6)
+        extractor = FeatureExtractor(config)
+        clip = make_clip([Rect(4, 4, 8, 8)])
+        matrix, schema = extractor.build_matrix([clip])
+        assert matrix.shape[1] == schema.vector_length(config)
+        assert matrix.shape[1] >= 36
+
+    def test_empty_population(self):
+        extractor = FeatureExtractor(FeatureConfig())
+        matrix, schema = extractor.build_matrix([])
+        assert matrix.shape[0] == 0
+
+    def test_identical_clips_identical_vectors(self):
+        extractor = FeatureExtractor(FeatureConfig())
+        clip = make_clip([Rect(2, 2, 6, 10)])
+        matrix, _ = extractor.build_matrix([clip, clip])
+        assert np.array_equal(matrix[0], matrix[1])

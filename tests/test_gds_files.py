@@ -1,0 +1,81 @@
+"""On-disk GDSII and JSON round trips (tmp_path based)."""
+
+import pytest
+
+from repro.data.benchmarks import ICCAD_SPEC, generate_benchmark
+from repro.gdsii.reader import read_library_file
+from repro.gdsii.records import RecordType, iter_records
+from repro.layout.io import (
+    load_clipset_gds,
+    load_clipset_json,
+    load_layout_gds,
+    save_clipset_gds,
+    save_clipset_json,
+    save_layout_gds,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return generate_benchmark("benchmark5", scale=0.5)
+
+
+class TestLayoutFiles:
+    def test_layout_gds_roundtrip(self, bench, tmp_path):
+        path = tmp_path / "layout.gds"
+        save_layout_gds(bench.testing.layout, path)
+        assert path.stat().st_size > 0
+        again = load_layout_gds(path)
+        assert again.rect_count() == bench.testing.layout.rect_count()
+        assert again.bbox() == bench.testing.layout.bbox()
+
+    def test_layout_gds_is_wellformed_stream(self, bench, tmp_path):
+        path = tmp_path / "layout.gds"
+        save_layout_gds(bench.testing.layout, path)
+        records = list(iter_records(path.read_bytes()))
+        assert records[0].rtype is RecordType.HEADER
+        assert records[-1].rtype is RecordType.ENDLIB
+        assert any(r.rtype is RecordType.BOUNDARY for r in records)
+
+    def test_library_file_reader(self, bench, tmp_path):
+        path = tmp_path / "layout.gds"
+        save_layout_gds(bench.testing.layout, path)
+        library = read_library_file(path)
+        assert library.single_top().name == "TOP"
+
+
+class TestClipSetFiles:
+    def test_clipset_gds_roundtrip(self, bench, tmp_path):
+        path = tmp_path / "clips.gds"
+        save_clipset_gds(bench.training, path)
+        again = load_clipset_gds(path, ICCAD_SPEC)
+        assert len(again) == len(bench.training)
+        assert len(again.hotspots()) == len(bench.training.hotspots())
+        assert [c.rects for c in again] == [c.rects for c in bench.training]
+
+    def test_clipset_json_roundtrip(self, bench, tmp_path):
+        path = tmp_path / "clips.json"
+        save_clipset_json(bench.training, path)
+        again = load_clipset_json(path)
+        assert len(again) == len(bench.training)
+        assert [c.window for c in again] == [c.window for c in bench.training]
+        assert [c.label for c in again] == [c.label for c in bench.training]
+
+    def test_detector_trains_from_reloaded_clips(self, bench, tmp_path):
+        """Training through the GDSII round trip changes nothing."""
+        from repro.core.config import DetectorConfig
+        from repro.core.detector import HotspotDetector
+
+        path = tmp_path / "clips.gds"
+        save_clipset_gds(bench.training, path)
+        reloaded = load_clipset_gds(path, ICCAD_SPEC)
+
+        direct = HotspotDetector(DetectorConfig.ours())
+        direct.fit(bench.training)
+        via_disk = HotspotDetector(DetectorConfig.ours())
+        via_disk.fit(reloaded)
+
+        probe = bench.training.hotspots()[:4]
+        import numpy as np
+
+        assert np.allclose(direct.margins(probe), via_disk.margins(probe))

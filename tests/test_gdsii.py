@@ -1,0 +1,276 @@
+"""Tests for the GDSII substrate: record codec, reader/writer, flattening."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GdsiiError, GdsiiRecordError
+from repro.gdsii.flatten import flatten_structure, flatten_top
+from repro.gdsii.library import (
+    GdsARef,
+    GdsBoundary,
+    GdsBox,
+    GdsLibrary,
+    GdsPath,
+    GdsSRef,
+    GdsTransform,
+    check_reference_closure,
+)
+from repro.gdsii.reader import read_library
+from repro.gdsii.records import (
+    DataType,
+    RecordType,
+    decode_real8,
+    decode_record,
+    encode_real8,
+    encode_record,
+    iter_records,
+)
+from repro.gdsii.writer import write_library
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestReal8:
+    @pytest.mark.parametrize(
+        "value", [0.0, 1.0, -1.0, 1e-9, 1e-3, 0.5, 2.0, 1e6, -273.15]
+    )
+    def test_roundtrip(self, value):
+        assert decode_real8(encode_real8(value)) == pytest.approx(
+            value, rel=1e-14, abs=1e-300
+        )
+
+    def test_zero_is_all_zero_bytes(self):
+        assert encode_real8(0.0) == b"\x00" * 8
+
+    def test_known_encoding_of_one(self):
+        # 1.0 = 0x41 10 00 00 00 00 00 00 in excess-64 format
+        assert encode_real8(1.0) == bytes([0x41, 0x10, 0, 0, 0, 0, 0, 0])
+
+    def test_units_values(self):
+        # The canonical UNITS payload (1e-3 user units, 1e-9 metres).
+        for value in (1e-3, 1e-9):
+            assert decode_real8(encode_real8(value)) == pytest.approx(value, rel=1e-15)
+
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    def test_roundtrip_property(self, value):
+        assert decode_real8(encode_real8(value)) == pytest.approx(value, rel=1e-14)
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(GdsiiRecordError):
+            decode_real8(b"\x00" * 4)
+
+
+class TestRecordCodec:
+    def test_int2_roundtrip(self):
+        data = encode_record(RecordType.LAYER, DataType.INT2, [7])
+        record, offset = decode_record(data, 0)
+        assert record.rtype is RecordType.LAYER
+        assert record.ints() == [7]
+        assert offset == len(data)
+
+    def test_int4_roundtrip(self):
+        values = [0, -1, 2**31 - 1, -(2**31)]
+        data = encode_record(RecordType.XY, DataType.INT4, values)
+        record, _ = decode_record(data, 0)
+        assert record.ints() == values
+
+    def test_ascii_padded_to_even(self):
+        data = encode_record(RecordType.LIBNAME, DataType.ASCII, "ABC")
+        assert len(data) % 2 == 0
+        record, _ = decode_record(data, 0)
+        assert record.text() == "ABC"
+
+    def test_no_data(self):
+        data = encode_record(RecordType.ENDEL, DataType.NO_DATA, None)
+        assert len(data) == 4
+        record, _ = decode_record(data, 0)
+        assert record.payload is None
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(GdsiiRecordError):
+            decode_record(b"\x00\x08", 0)
+
+    def test_overrun_raises(self):
+        data = encode_record(RecordType.LAYER, DataType.INT2, [7])
+        with pytest.raises(GdsiiRecordError):
+            decode_record(data[:-1], 0)
+
+    def test_unknown_record_type_raises(self):
+        bad = b"\x00\x04\xfe\x00"
+        with pytest.raises(GdsiiRecordError):
+            decode_record(bad, 0)
+
+    def test_iter_records_requires_endlib(self):
+        data = encode_record(RecordType.HEADER, DataType.INT2, [600])
+        with pytest.raises(GdsiiRecordError):
+            list(iter_records(data))
+
+    def test_type_mismatch_accessors(self):
+        data = encode_record(RecordType.LIBNAME, DataType.ASCII, "X")
+        record, _ = decode_record(data, 0)
+        with pytest.raises(GdsiiRecordError):
+            record.ints()
+
+
+def build_sample_library() -> GdsLibrary:
+    library = GdsLibrary(name="SAMPLE")
+    cell = library.new_structure("CELL")
+    cell.add(GdsBoundary.from_rect(1, 0, Rect(0, 0, 100, 50)))
+    cell.add(
+        GdsBoundary(2, 5, [Point(0, 0), Point(30, 0), Point(30, 20), Point(0, 20)])
+    )
+    cell.add(GdsPath(3, 0, 10, [Point(0, 100), Point(200, 100)]))
+    cell.add(GdsBox(4, 1, list(Rect(5, 5, 15, 15).corners())))
+    top = library.new_structure("TOP")
+    top.add(GdsSRef("CELL", Point(1000, 2000)))
+    top.add(
+        GdsSRef("CELL", Point(5000, 0), GdsTransform(reflect_x=True, rotation_degrees=90))
+    )
+    top.add(
+        GdsARef(
+            "CELL",
+            Point(0, 10000),
+            columns=3,
+            rows=2,
+            col_step=Point(500, 0),
+            row_step=Point(0, 400),
+        )
+    )
+    return library
+
+
+class TestLibraryRoundtrip:
+    def test_roundtrip_structure_names(self):
+        library = build_sample_library()
+        again = read_library(write_library(library))
+        assert set(again.structures) == {"CELL", "TOP"}
+
+    def test_roundtrip_boundary_geometry(self):
+        library = build_sample_library()
+        again = read_library(write_library(library))
+        bounds = again.get("CELL").boundaries()
+        assert bounds[0].to_polygon().bbox() == Rect(0, 0, 100, 50)
+        assert bounds[0].layer == 1
+        assert bounds[1].layer == 2 and bounds[1].datatype == 5
+
+    def test_roundtrip_is_stable(self):
+        """write(read(write(lib))) == write(lib) byte-for-byte."""
+        library = build_sample_library()
+        once = write_library(library)
+        twice = write_library(read_library(once))
+        assert once == twice
+
+    def test_units_preserved(self):
+        library = build_sample_library()
+        again = read_library(write_library(library))
+        assert again.user_unit == pytest.approx(1e-3)
+        assert again.meters_per_dbu == pytest.approx(1e-9)
+
+    def test_duplicate_structure_rejected(self):
+        library = GdsLibrary()
+        library.new_structure("A")
+        with pytest.raises(GdsiiError):
+            library.new_structure("A")
+
+    def test_dangling_reference_rejected_on_write(self):
+        library = GdsLibrary()
+        top = library.new_structure("TOP")
+        top.add(GdsSRef("MISSING", Point(0, 0)))
+        assert check_reference_closure(library) == "MISSING"
+        with pytest.raises(GdsiiError):
+            write_library(library)
+
+    def test_single_top(self):
+        library = build_sample_library()
+        assert library.single_top().name == "TOP"
+
+    def test_garbage_raises(self):
+        with pytest.raises(GdsiiError):
+            read_library(b"not a gds file at all..")
+
+
+class TestTransforms:
+    def test_rotation_application(self):
+        t = GdsTransform(rotation_degrees=90)
+        assert t.apply(Point(10, 0)) == Point(0, 10)
+
+    def test_reflect_then_rotate(self):
+        t = GdsTransform(reflect_x=True, rotation_degrees=90)
+        # reflect: (10, 5) -> (10, -5); rotate 90: -> (5, 10)
+        assert t.apply(Point(10, 5)) == Point(5, 10)
+
+    def test_non_right_angle_rejected(self):
+        with pytest.raises(GdsiiError):
+            GdsTransform(rotation_degrees=45)
+
+    def test_magnification_rejected(self):
+        with pytest.raises(GdsiiError):
+            GdsTransform(magnification=2.0)
+
+
+class TestFlatten:
+    def test_flatten_counts(self):
+        library = build_sample_library()
+        shapes = flatten_top(library)
+        # CELL contributes 2 boundaries + 1 path rect + 1 box = 4 shapes,
+        # placed 2 (SREFs) + 6 (AREF 3x2) = 8 times.
+        assert len(shapes) == 4 * 8
+
+    def test_flatten_translation(self):
+        library = GdsLibrary()
+        cell = library.new_structure("CELL")
+        cell.add(GdsBoundary.from_rect(1, 0, Rect(0, 0, 10, 10)))
+        top = library.new_structure("TOP")
+        top.add(GdsSRef("CELL", Point(100, 200)))
+        shapes = flatten_structure(library, top)
+        assert shapes[0][2].bbox() == Rect(100, 200, 110, 210)
+
+    def test_flatten_nested_transforms(self):
+        library = GdsLibrary()
+        leaf = library.new_structure("LEAF")
+        leaf.add(GdsBoundary.from_rect(1, 0, Rect(0, 0, 10, 4)))
+        mid = library.new_structure("MID")
+        mid.add(GdsSRef("LEAF", Point(0, 0), GdsTransform(rotation_degrees=90)))
+        top = library.new_structure("TOP")
+        top.add(GdsSRef("MID", Point(0, 0), GdsTransform(rotation_degrees=90)))
+        shapes = flatten_structure(library, top)
+        # two 90-degree rotations = 180 degrees: bbox mirrors through origin
+        assert shapes[0][2].bbox() == Rect(-10, -4, 0, 0)
+
+    def test_flatten_cycle_detected(self):
+        library = GdsLibrary()
+        a = library.new_structure("A")
+        b = library.new_structure("B")
+        a.add(GdsSRef("B", Point(0, 0)))
+        b.add(GdsSRef("A", Point(0, 0)))
+        with pytest.raises(GdsiiError):
+            flatten_structure(library, a)
+
+    def test_aref_grid_positions(self):
+        aref = GdsARef(
+            "X", Point(0, 0), columns=2, rows=2, col_step=Point(10, 0), row_step=Point(0, 5)
+        )
+        assert sorted(aref.placements()) == [
+            Point(0, 0),
+            Point(0, 5),
+            Point(10, 0),
+            Point(10, 5),
+        ]
+
+    def test_path_width_expansion(self):
+        path = GdsPath(1, 0, 10, [Point(0, 0), Point(100, 0)])
+        polys = path.to_polygons()
+        assert len(polys) == 1
+        assert polys[0].bbox() == Rect(0, -5, 100, 5)
+
+    def test_diagonal_path_rejected(self):
+        path = GdsPath(1, 0, 10, [Point(0, 0), Point(10, 10)])
+        with pytest.raises(GdsiiError):
+            path.to_polygons()
+
+    def test_zero_width_path_rejected(self):
+        path = GdsPath(1, 0, 0, [Point(0, 0), Point(10, 0)])
+        with pytest.raises(GdsiiError):
+            path.to_polygons()

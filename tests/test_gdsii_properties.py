@@ -1,0 +1,117 @@
+"""Property-based GDSII round trips with hypothesis-generated libraries."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gdsii.library import (
+    GdsARef,
+    GdsBoundary,
+    GdsLibrary,
+    GdsPath,
+    GdsSRef,
+    GdsTransform,
+)
+from repro.gdsii.reader import read_library
+from repro.gdsii.records import DataType, RecordType, encode_record, iter_records
+from repro.gdsii.writer import write_library
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+names = st.text(
+    alphabet=st.sampled_from("ABCDEFGHIJKLMNOPQRSTUVWXYZ_0123456789"),
+    min_size=1,
+    max_size=16,
+)
+coords = st.integers(-1_000_000, 1_000_000)
+
+
+@st.composite
+def boundaries(draw):
+    x0 = draw(coords)
+    y0 = draw(coords)
+    w = draw(st.integers(1, 10_000))
+    h = draw(st.integers(1, 10_000))
+    layer = draw(st.integers(0, 255))
+    datatype = draw(st.integers(0, 255))
+    return GdsBoundary.from_rect(layer, datatype, Rect(x0, y0, x0 + w, y0 + h))
+
+
+@st.composite
+def libraries(draw):
+    library = GdsLibrary(name=draw(names))
+    leaf = library.new_structure("LEAF")
+    for boundary in draw(st.lists(boundaries(), min_size=1, max_size=6)):
+        leaf.add(boundary)
+    if draw(st.booleans()):
+        leaf.add(
+            GdsPath(
+                draw(st.integers(0, 63)),
+                0,
+                draw(st.integers(2, 500)) * 2,
+                [Point(0, 0), Point(draw(st.integers(1, 10_000)), 0)],
+            )
+        )
+    top = library.new_structure("TOP")
+    top.add(
+        GdsSRef(
+            "LEAF",
+            Point(draw(coords), draw(coords)),
+            GdsTransform(
+                reflect_x=draw(st.booleans()),
+                rotation_degrees=draw(st.sampled_from((0, 90, 180, 270))),
+            ),
+        )
+    )
+    if draw(st.booleans()):
+        top.add(
+            GdsARef(
+                "LEAF",
+                Point(draw(coords), draw(coords)),
+                columns=draw(st.integers(1, 4)),
+                rows=draw(st.integers(1, 4)),
+                col_step=Point(draw(st.integers(1, 5_000)), 0),
+                row_step=Point(0, draw(st.integers(1, 5_000))),
+            )
+        )
+    return library
+
+
+class TestRoundTripProperties:
+    @given(libraries())
+    @settings(max_examples=30, deadline=None)
+    def test_write_read_write_fixpoint(self, library):
+        once = write_library(library)
+        again = write_library(read_library(once))
+        assert once == again
+
+    @given(libraries())
+    @settings(max_examples=30, deadline=None)
+    def test_flatten_invariant_under_roundtrip(self, library):
+        from repro.gdsii.flatten import flatten_top
+
+        direct = flatten_top(library)
+        reloaded = flatten_top(read_library(write_library(library)))
+        assert len(direct) == len(reloaded)
+        direct_boxes = sorted(p.bbox() for _, _, p in direct)
+        reloaded_boxes = sorted(p.bbox() for _, _, p in reloaded)
+        assert direct_boxes == reloaded_boxes
+
+    @given(libraries())
+    @settings(max_examples=20, deadline=None)
+    def test_stream_structure(self, library):
+        data = write_library(library)
+        records = list(iter_records(data))
+        assert records[0].rtype is RecordType.HEADER
+        assert records[-1].rtype is RecordType.ENDLIB
+        begins = sum(1 for r in records if r.rtype is RecordType.BGNSTR)
+        ends = sum(1 for r in records if r.rtype is RecordType.ENDSTR)
+        assert begins == ends == len(library.structures)
+
+    @given(st.integers(0, 2**15 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_int2_record_roundtrip(self, value):
+        from repro.gdsii.records import decode_record
+
+        data = encode_record(RecordType.LAYER, DataType.INT2, [value])
+        record, _ = decode_record(data, 0)
+        assert record.ints() == [value]

@@ -1,0 +1,171 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, bounding_box, total_area, union_area
+
+
+def rects(max_coord=50):
+    """Hypothesis strategy for valid rectangles."""
+    return st.builds(
+        lambda x0, y0, w, h: Rect(x0, y0, x0 + w, y0 + h),
+        st.integers(-max_coord, max_coord),
+        st.integers(-max_coord, max_coord),
+        st.integers(1, max_coord),
+        st.integers(1, max_coord),
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Rect(0, 0, 10, 5)
+        assert r.width == 10
+        assert r.height == 5
+        assert r.area == 50
+
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 0, 5)
+
+    def test_inverted_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(10, 0, 0, 5)
+
+    def test_maybe_returns_none_for_empty(self):
+        assert Rect.maybe(5, 5, 5, 10) is None
+        assert Rect.maybe(5, 5, 4, 10) is None
+
+    def test_maybe_returns_rect(self):
+        assert Rect.maybe(0, 0, 1, 1) == Rect(0, 0, 1, 1)
+
+    def test_from_corners_any_order(self):
+        assert Rect.from_corners(Point(5, 7), Point(1, 2)) == Rect(1, 2, 5, 7)
+
+    def test_from_center_even(self):
+        r = Rect.from_center(0, 0, 10, 4)
+        assert r == Rect(-5, -2, 5, 2)
+
+    def test_from_center_odd_biased_lower_left(self):
+        r = Rect.from_center(0, 0, 5, 5)
+        assert r.width == 5 and r.height == 5
+        assert r.x0 == -2
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 0))
+        assert not r.contains_point(Point(0, 0), strict=True)
+        assert r.contains_point(Point(5, 5), strict=True)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 8))
+
+    def test_overlap_vs_touch(self):
+        a = Rect(0, 0, 5, 5)
+        touching = Rect(5, 0, 10, 5)
+        assert not a.overlaps(touching)
+        assert a.touches(touching)
+        overlapping = Rect(4, 0, 9, 5)
+        assert a.overlaps(overlapping)
+
+    def test_corner_touch(self):
+        a = Rect(0, 0, 5, 5)
+        corner = Rect(5, 5, 8, 8)
+        assert not a.overlaps(corner)
+        assert a.touches(corner)
+
+    @given(rects(), rects())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(rects(), rects())
+    def test_overlap_implies_touch(self, a, b):
+        if a.overlaps(b):
+            assert a.touches(b)
+
+
+class TestCombination:
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(3, 3, 5, 5)) is None
+
+    @given(rects(), rects())
+    def test_intersection_area_matches(self, a, b):
+        inter = a.intersection(b)
+        expected = inter.area if inter else 0
+        assert a.intersection_area(b) == expected
+
+    @given(rects(), rects())
+    def test_union_bbox_contains_both(self, a, b):
+        box = a.union_bbox(b)
+        assert box.contains_rect(a) and box.contains_rect(b)
+
+    def test_expanded(self):
+        assert Rect(2, 2, 4, 4).expanded(2) == Rect(0, 0, 6, 6)
+
+    def test_expanded_negative_shrinks(self):
+        assert Rect(0, 0, 6, 6).expanded(-2) == Rect(2, 2, 4, 4)
+
+    @given(rects(), st.integers(-30, 30), st.integers(-30, 30))
+    def test_translate_preserves_size(self, r, dx, dy):
+        moved = r.translated(dx, dy)
+        assert moved.width == r.width and moved.height == r.height
+
+
+class TestGaps:
+    def test_gap_x(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(8, 0, 12, 5)
+        assert a.gap_x(b) == 3
+        assert b.gap_x(a) == 3
+
+    def test_gap_zero_when_overlapping_span(self):
+        a = Rect(0, 0, 5, 5)
+        b = Rect(3, 10, 8, 15)
+        assert a.gap_x(b) == 0
+        assert a.gap_y(b) == 5
+
+    def test_separation_diagonal(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 6, 8, 9)
+        # gaps: gx = 3, gy = 4 -> euclidean 5
+        assert a.separation(b) == 5
+
+    def test_separation_touching_is_zero(self):
+        assert Rect(0, 0, 2, 2).separation(Rect(2, 0, 4, 2)) == 0
+
+
+class TestAggregate:
+    def test_bounding_box_empty(self):
+        assert bounding_box([]) is None
+
+    def test_bounding_box(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(5, 5, 7, 9)])
+        assert box == Rect(0, 0, 7, 9)
+
+    def test_total_area_disjoint(self):
+        assert total_area([Rect(0, 0, 2, 2), Rect(3, 3, 5, 5)]) == 8
+
+    def test_union_area_overlapping(self):
+        # two 2x2 squares overlapping in a 1x2 strip
+        assert union_area([Rect(0, 0, 2, 2), Rect(1, 0, 3, 2)]) == 6
+
+    def test_union_area_empty(self):
+        assert union_area([]) == 0
+
+    @given(st.lists(rects(20), min_size=1, max_size=6))
+    def test_union_area_bounds(self, rect_list):
+        union = union_area(rect_list)
+        assert union <= sum(r.area for r in rect_list)
+        assert union >= max(r.area for r in rect_list)

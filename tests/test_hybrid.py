@@ -1,0 +1,52 @@
+"""Tests for the hybrid PM+ML detector."""
+
+import pytest
+
+from repro.baselines.hybrid import HybridDetector
+from repro.baselines.pattern_match import PatternMatcher
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.errors import ConfigError
+
+
+class TestHybrid:
+    @pytest.fixture(scope="class")
+    def reports(self, small_benchmark):
+        union = HybridDetector(mode="union")
+        union.fit(small_benchmark.training)
+        intersection = HybridDetector(mode="intersection")
+        intersection.fit(small_benchmark.training)
+        return {
+            "union": union.score(small_benchmark.testing),
+            "intersection": intersection.score(small_benchmark.testing),
+        }
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigError):
+            HybridDetector(mode="xor")
+
+    def test_union_dominates_intersection_on_hits(self, reports):
+        assert reports["union"].score.hits >= reports["intersection"].score.hits
+
+    def test_intersection_dominates_union_on_extras(self, reports):
+        assert (
+            reports["intersection"].score.extras <= reports["union"].score.extras
+        )
+
+    def test_union_flags_superset(self, reports):
+        union = reports["union"]
+        assert union.pm_flags <= union.pm_flags + union.ml_flags
+        assert len(union.reports) > 0
+
+    def test_union_never_loses_to_either_engine(self, small_benchmark, reports):
+        """The paper's hybrid claim: combining engines enhances accuracy."""
+        ml = HotspotDetector(DetectorConfig.ours())
+        ml.fit(small_benchmark.training)
+        ml_score = ml.score(small_benchmark.testing).score
+
+        pm = PatternMatcher()
+        pm.fit(small_benchmark.training)
+        pm_score = pm.score(small_benchmark.testing).score
+
+        assert reports["union"].score.hits >= ml_score.hits
+        assert reports["union"].score.hits >= pm_score.hits

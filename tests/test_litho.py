@@ -1,0 +1,158 @@
+"""Tests for the lithography-simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.patterns import generate_motif
+from repro.data.synth import anchor_of
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipLabel, ClipSpec
+from repro.litho.aerial import OpticsConfig, aerial_image, gaussian_psf_fft, rasterize
+from repro.litho.resist import DefectReport, ResistConfig, analyze_defects
+from repro.litho.simulator import (
+    LithoSimConfig,
+    label_clip_by_simulation,
+    simulate_clip,
+)
+
+SPEC = ClipSpec()
+WINDOW = Rect(0, 0, 2000, 2000)
+
+
+def motif_clip(name, hotspot, seed=0):
+    rng = np.random.default_rng(seed)
+    core_box = SPEC.core_of(SPEC.clip_at(0, 0))
+    rects = generate_motif(name, rng, hotspot, core_box)
+    ax, ay = anchor_of(rects, SPEC.core_side)
+    core = Rect(ax, ay, ax + 1200, ay + 1200)
+    return Clip.build(SPEC.clip_for_core(core), SPEC, rects)
+
+
+class TestAerial:
+    def test_rasterize_shapes(self):
+        config = OpticsConfig(pixel_nm=10, mask_bias_nm=0)
+        mask = rasterize([Rect(100, 100, 300, 200)], WINDOW, config)
+        assert mask.shape == (200, 200)
+        assert mask.sum() == pytest.approx(20 * 10, abs=8)  # 200x100nm at 10nm px
+
+    def test_bias_expands(self):
+        config0 = OpticsConfig(pixel_nm=10, mask_bias_nm=0)
+        config20 = OpticsConfig(pixel_nm=10, mask_bias_nm=20)
+        rect = [Rect(500, 500, 700, 600)]
+        assert rasterize(rect, WINDOW, config20).sum() > rasterize(rect, WINDOW, config0).sum()
+
+    def test_psf_normalised_at_dc(self):
+        psf = gaussian_psf_fft((64, 64), 3.0)
+        assert psf[0, 0] == pytest.approx(1.0)
+
+    def test_intensity_range_and_energy(self):
+        intensity = aerial_image([Rect(800, 800, 1200, 1200)], WINDOW)
+        assert intensity.min() >= 0.0 and intensity.max() <= 1.0
+        # blur conserves energy: mean intensity ~ mask coverage (with bias)
+        config = OpticsConfig()
+        mask = rasterize([Rect(800, 800, 1200, 1200)], WINDOW, config)
+        assert intensity.mean() == pytest.approx(mask.mean(), rel=0.05)
+
+    def test_large_feature_prints_solid(self):
+        intensity = aerial_image([Rect(500, 500, 1500, 1500)], WINDOW)
+        # centre of a big pad is fully exposed
+        assert intensity[100, 100] == pytest.approx(1.0, abs=0.01)
+
+    def test_empty_is_dark(self):
+        intensity = aerial_image([], WINDOW)
+        assert intensity.max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_config(self):
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            OpticsConfig(pixel_nm=0)
+        with pytest.raises(GeometryError):
+            OpticsConfig(sigma_nm=0)
+
+
+class TestResistPhysics:
+    def wires_at_gap(self, gap):
+        y = 900
+        return [Rect(100, y, 950, y + 80), Rect(950 + gap, y, 1800, y + 80)]
+
+    def analyze(self, rects):
+        intensity = aerial_image(rects, WINDOW)
+        return analyze_defects(intensity, rects, WINDOW, Rect(400, 400, 1600, 1600))
+
+    def test_tight_gap_bridges(self):
+        assert self.analyze(self.wires_at_gap(50)).bridge_count > 0
+
+    def test_wide_gap_clean(self):
+        assert self.analyze(self.wires_at_gap(200)).bridge_count == 0
+
+    def test_bridge_threshold_in_dead_zone(self):
+        """The simulated bridge limit falls in the 76-84 nm dead zone."""
+        bridged = [g for g in range(40, 140, 4) if self.analyze(self.wires_at_gap(g)).bridge_count]
+        assert bridged, "some gaps must bridge"
+        assert 60 <= max(bridged) <= 100
+
+    def test_neck_pinches(self):
+        rects = [
+            Rect(100, 800, 800, 1040),   # wide arm
+            Rect(800, 900, 1100, 940),   # 40 nm neck
+            Rect(1100, 800, 1800, 1040),  # wide arm
+        ]
+        report = self.analyze(rects)
+        assert report.pinch_count > 0
+
+    def test_wide_neck_clean(self):
+        rects = [
+            Rect(100, 800, 800, 1040),
+            Rect(800, 860, 1100, 1010),  # 150 nm neck
+            Rect(1100, 800, 1800, 1040),
+        ]
+        assert self.analyze(rects).pinch_count == 0
+
+    def test_uniform_thin_wire_not_pinch(self):
+        """Minimum-width routing is printable by design, not necking."""
+        rects = [Rect(100, 950, 1800, 1030)]  # a plain 80 nm wire
+        assert self.analyze(rects).pinch_count == 0
+
+    def test_empty_clean(self):
+        report = self.analyze([])
+        assert not report.is_hotspot
+        assert report.kind == "clean"
+
+    def test_kind_labels(self):
+        assert DefectReport(1, 0).kind == "bridge"
+        assert DefectReport(0, 1).kind == "pinch"
+        assert DefectReport(1, 1).kind == "bridge+pinch"
+        assert DefectReport(0, 0).kind == "clean"
+
+
+class TestSimulatorOnMotifs:
+    @pytest.mark.parametrize("motif", ["tip2tip", "pinch", "bridge", "comb", "ushape"])
+    def test_hotspot_regime_flagged(self, motif):
+        flagged = sum(
+            simulate_clip(motif_clip(motif, True, seed)).is_hotspot
+            for seed in range(4)
+        )
+        assert flagged >= 3, motif
+
+    @pytest.mark.parametrize("motif", ["tip2tip", "pinch", "bridge", "ushape"])
+    def test_safe_regime_clean(self, motif):
+        flagged = sum(
+            simulate_clip(motif_clip(motif, False, seed)).is_hotspot
+            for seed in range(4)
+        )
+        assert flagged <= 1, motif
+
+    def test_labelling_oracle(self):
+        clip = motif_clip("bridge", True, 1)
+        assert label_clip_by_simulation(clip) is ClipLabel.HOTSPOT
+        clip = motif_clip("bridge", False, 1)
+        assert label_clip_by_simulation(clip) is ClipLabel.NON_HOTSPOT
+
+    def test_corner_limitation_documented(self):
+        """Diagonal-only interactions under-detect (known limitation)."""
+        flagged = sum(
+            simulate_clip(motif_clip("corner", True, seed)).is_hotspot
+            for seed in range(6)
+        )
+        assert flagged < 6  # if this starts passing fully, update the docs

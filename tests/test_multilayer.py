@@ -1,0 +1,222 @@
+"""Tests for the Section IV extensions: multilayer and double patterning."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.data.multilayer import (
+    build_dpt_clip,
+    build_multilayer_clip,
+    generate_dpt_set,
+    generate_multilayer_set,
+)
+from repro.errors import FeatureError, LayoutError, NotFittedError, SvmError
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipLabel, ClipSpec
+from repro.mtcg.rules import FeatureType
+from repro.multilayer.detector import DptDetector, MultiLayerDetector
+from repro.multilayer.dpt import DptFeatureExtractor, decompose
+from repro.multilayer.features import (
+    OVERLAP_TYPES,
+    MultiLayerClip,
+    MultiLayerFeatureExtractor,
+)
+
+SPEC = ClipSpec(core_side=1200, clip_side=4800)
+
+
+class TestMultiLayerClip:
+    def make(self):
+        window = SPEC.clip_at(0, 0)
+        return MultiLayerClip.build(
+            window,
+            SPEC,
+            {
+                1: [Rect(2000, 2000, 3000, 2100)],
+                2: [Rect(2400, 1500, 2500, 2600)],
+            },
+            ClipLabel.HOTSPOT,
+        )
+
+    def test_layers_sorted(self):
+        clip = self.make()
+        assert clip.layers == [1, 2]
+
+    def test_layer_clip_view(self):
+        clip = self.make()
+        view = clip.layer_clip(2)
+        assert view.rects == (Rect(2400, 1500, 2500, 2600),)
+        assert view.label is ClipLabel.HOTSPOT
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(LayoutError):
+            self.make().rects_on(3)
+
+    def test_overlap_rects(self):
+        clip = self.make()
+        overlaps = clip.overlap_rects(1, 2)
+        assert overlaps == [Rect(2400, 2000, 2500, 2100)]
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(LayoutError):
+            MultiLayerClip.build(SPEC.clip_at(0, 0), SPEC, {})
+
+
+class TestMultiLayerFeatures:
+    def test_extraction_blocks(self):
+        rng = np.random.default_rng(0)
+        clip = build_multilayer_clip(rng, SPEC, hotspot=True)
+        extractor = MultiLayerFeatureExtractor()
+        blocks = extractor.extract(clip)
+        assert set(blocks) == {1, 2, (1, 2)}
+
+    def test_overlap_block_types_restricted(self):
+        rng = np.random.default_rng(1)
+        clip = build_multilayer_clip(rng, SPEC, hotspot=True)
+        extractor = MultiLayerFeatureExtractor()
+        blocks = extractor.extract(clip)
+        for rule in blocks[(1, 2)].rules:
+            assert rule.feature_type in OVERLAP_TYPES
+
+    def test_matrix_alignment(self):
+        clips = generate_multilayer_set(3, 3, SPEC, seed=2)
+        extractor = MultiLayerFeatureExtractor()
+        matrix, schema = extractor.build_matrix(clips)
+        assert matrix.shape[0] == 6
+        probe = extractor.vectorize_clip(clips[0], schema)
+        assert np.allclose(matrix[0], probe)
+
+    def test_mismatched_stacks_rejected(self):
+        window = SPEC.clip_at(0, 0)
+        a = MultiLayerClip.build(window, SPEC, {1: [Rect(1, 1, 2, 2)]})
+        b = MultiLayerClip.build(window, SPEC, {2: [Rect(1, 1, 2, 2)]})
+        with pytest.raises(FeatureError):
+            MultiLayerFeatureExtractor().build_matrix([a, b])
+
+    def test_hotspot_and_safe_overlaps_differ(self):
+        """The Fig. 13 signal: the crossing creates overlap geometry."""
+        rng = np.random.default_rng(3)
+        hot = build_multilayer_clip(rng, SPEC, hotspot=True)
+        safe = build_multilayer_clip(rng, SPEC, hotspot=False)
+        hot_core_overlaps = [
+            o for o in hot.overlap_rects(1, 2) if o.overlaps(hot.core)
+        ]
+        assert hot_core_overlaps  # the crossing overlaps metal 1 wires
+
+
+class TestMultiLayerDetector:
+    def test_separates_cross_layer_hotspots(self):
+        clips = generate_multilayer_set(14, 20, SPEC)
+        train = clips[:10] + clips[14:28]
+        test = clips[10:14] + clips[28:]
+        detector = MultiLayerDetector(DetectorConfig.ours())
+        detector.fit(train)
+        predictions = detector.predict(test)
+        truth = np.array([c.label is ClipLabel.HOTSPOT for c in test])
+        assert (predictions == truth).mean() >= 0.85
+
+    def test_single_layer_view_cannot_separate(self):
+        """Metal-1-only features see identical hotspot/safe cores."""
+        from repro.core.training import train_multi_kernel
+        from repro.layout.clip import ClipSet
+
+        clips = generate_multilayer_set(14, 14, SPEC)
+        single_layer = ClipSet(SPEC)
+        for clip in clips:
+            single_layer.add(clip.layer_clip(1))
+        model = train_multi_kernel(single_layer, DetectorConfig.ours())
+        flags = model.predict(single_layer.clips)
+        truth = np.array([c.label is ClipLabel.HOTSPOT for c in single_layer])
+        accuracy = (flags == truth).mean()
+        assert accuracy < 0.95  # cannot fully separate without metal 2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MultiLayerDetector().margins([])
+
+    def test_needs_both_classes(self):
+        clips = generate_multilayer_set(3, 0, SPEC)
+        with pytest.raises(SvmError):
+            MultiLayerDetector().fit(clips)
+
+
+class TestDecompose:
+    def test_alternating_wires(self):
+        wires = [Rect(i * 15, 0, i * 15 + 10, 100) for i in range(4)]
+        result = decompose(wires, min_same_mask_spacing=10)
+        assert result.is_clean
+        assert {len(result.mask1), len(result.mask2)} == {2}
+
+    def test_far_wires_one_mask(self):
+        wires = [Rect(0, 0, 10, 100), Rect(500, 0, 510, 100)]
+        result = decompose(wires, min_same_mask_spacing=20)
+        assert result.is_clean
+        assert len(result.mask1) == 2
+
+    def test_odd_cycle_conflict(self):
+        # three mutually-close wires cannot be 2-coloured
+        a = Rect(0, 0, 10, 100)
+        b = Rect(15, 0, 25, 100)
+        c = Rect(0, 105, 25, 115)  # close to both a and b vertically
+        result = decompose([a, b, c], min_same_mask_spacing=10)
+        assert not result.is_clean
+
+    def test_empty(self):
+        result = decompose([], 10)
+        assert result.is_clean and not result.mask1 and not result.mask2
+
+
+class TestDptDetector:
+    def test_three_block_vector(self):
+        clips = generate_dpt_set(2, 2, SPEC, seed=9)
+        extractor = DptFeatureExtractor(min_same_mask_spacing=100)
+        matrix, schema = extractor.build_matrix(clips)
+        assert matrix.shape[0] == 4
+        probe = extractor.vectorize_clip(clips[0], schema)
+        assert np.allclose(matrix[0], probe)
+
+    def test_invalid_spacing(self):
+        with pytest.raises(FeatureError):
+            DptFeatureExtractor(min_same_mask_spacing=0)
+
+    def test_separates_dpt_hotspots(self):
+        clips = generate_dpt_set(12, 16, SPEC)
+        train = clips[:9] + clips[12:24]
+        test = clips[9:12] + clips[24:]
+        detector = DptDetector(DetectorConfig.ours())
+        detector.fit(train)
+        predictions = detector.predict(test)
+        truth = np.array([c.label is ClipLabel.HOTSPOT for c in test])
+        assert (predictions == truth).mean() >= 0.85
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DptDetector().margins([])
+
+
+class TestMultiLayerLayoutScan:
+    def test_detect_on_layout(self):
+        """Layout-level multilayer detection finds the planted crossing."""
+        import numpy as np
+
+        from repro.data.multilayer import METAL1, METAL2, build_multilayer_clip
+        from repro.data.synth import fabric_rects
+        from repro.layout.layout import Layout
+
+        rng = np.random.default_rng(11)
+        clips = generate_multilayer_set(12, 16, SPEC)
+        detector = MultiLayerDetector(DetectorConfig.ours())
+        detector.fit(clips)
+
+        # Build a two-layer layout containing one hotspot instance's
+        # geometry placed at an offset, plus fabric on metal 1.
+        sample = build_multilayer_clip(np.random.default_rng(123), SPEC, hotspot=True)
+        layout = Layout()
+        dx, dy = 20_000, 20_000
+        for rect in sample.rects_on(METAL1):
+            layout.add_rect(METAL1, rect.translated(dx, dy))
+        for rect in sample.rects_on(METAL2):
+            layout.add_rect(METAL2, rect.translated(dx, dy))
+        flagged = detector.detect(layout, layers=(METAL1, METAL2))
+        target_core = sample.core.translated(dx, dy)
+        assert any(clip.core.overlaps(target_core) for clip in flagged)

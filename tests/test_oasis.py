@@ -1,0 +1,193 @@
+"""Tests for the OASIS substrate: codecs, writer, reader, round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.layout.layout import Layout
+from repro.oasis.records import (
+    MAGIC,
+    OasisError,
+    decode_real,
+    decode_signed,
+    decode_string,
+    decode_unsigned,
+    encode_real,
+    encode_signed,
+    encode_string,
+    encode_unsigned,
+)
+from repro.oasis.reader import read_oasis, read_oasis_file
+from repro.oasis.writer import write_oasis, write_oasis_file
+
+
+class TestVarints:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**40])
+    def test_unsigned_roundtrip(self, value):
+        data = encode_unsigned(value)
+        decoded, offset = decode_unsigned(data, 0)
+        assert decoded == value and offset == len(data)
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(OasisError):
+            encode_unsigned(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(OasisError):
+            decode_unsigned(b"\x80", 0)
+
+    @given(st.integers(-(2**40), 2**40))
+    @settings(max_examples=60, deadline=None)
+    def test_signed_roundtrip(self, value):
+        data = encode_signed(value)
+        decoded, offset = decode_signed(data, 0)
+        assert decoded == value and offset == len(data)
+
+    def test_signed_sign_bit_convention(self):
+        # -1 encodes to magnitude 1 shifted left, low bit set: 0b11 = 3
+        assert encode_signed(-1) == b"\x03"
+        assert encode_signed(1) == b"\x02"
+        assert encode_signed(0) == b"\x00"
+
+
+class TestStringsAndReals:
+    @pytest.mark.parametrize("text", ["", "TOP", "A_long_cell_name_42"])
+    def test_string_roundtrip(self, text):
+        decoded, _ = decode_string(encode_string(text), 0)
+        assert decoded == text
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -5.0, 1000.0, 0.5, -2.25, 1e-3])
+    def test_real_roundtrip(self, value):
+        decoded, _ = decode_real(encode_real(value), 0)
+        assert decoded == pytest.approx(value)
+
+    def test_ratio_reals_decode(self):
+        # type 4 ratio: 3/4
+        data = encode_unsigned(4) + encode_unsigned(3) + encode_unsigned(4)
+        value, _ = decode_real(data, 0)
+        assert value == pytest.approx(0.75)
+
+    def test_reciprocal_decode(self):
+        data = encode_unsigned(2) + encode_unsigned(8)
+        value, _ = decode_real(data, 0)
+        assert value == pytest.approx(0.125)
+
+    def test_zero_denominator_raises(self):
+        data = encode_unsigned(2) + encode_unsigned(0)
+        with pytest.raises(OasisError):
+            decode_real(data, 0)
+
+
+def build_layout():
+    layout = Layout()
+    layout.add_rect(1, Rect(0, 0, 500, 100))
+    layout.add_rect(1, Rect(700, 0, 900, 400))
+    layout.add_rect(2, Rect(-300, 250, -100, 800))
+    layout.add_polygon(
+        1,
+        Polygon(
+            [(1000, 1000), (1400, 1000), (1400, 1200), (1200, 1200), (1200, 1400), (1000, 1400)]
+        ),
+    )
+    return layout
+
+
+class TestRoundTrip:
+    def test_magic_and_structure(self):
+        data = write_oasis(build_layout())
+        assert data.startswith(MAGIC)
+
+    def test_geometry_roundtrip(self):
+        layout = build_layout()
+        doc = read_oasis(write_oasis(layout))
+        assert doc.layout.layer_numbers() == layout.layer_numbers()
+        assert doc.layout.bbox() == layout.bbox()
+        for layer in layout.layer_numbers():
+            original = sum(r.area for r in layout.layer(layer).rects)
+            reloaded = sum(r.area for r in doc.layout.layer(layer).rects)
+            assert original == reloaded
+
+    def test_metadata(self):
+        doc = read_oasis(write_oasis(build_layout(), cell_name="CHIP"))
+        assert doc.version == "1.0"
+        assert doc.cell_names == ["CHIP"]
+        assert doc.grid_per_micron == pytest.approx(1000.0)
+
+    def test_file_roundtrip(self, tmp_path):
+        layout = build_layout()
+        path = tmp_path / "layout.oas"
+        write_oasis_file(layout, path)
+        doc = read_oasis_file(path)
+        assert doc.layout.rect_count() == layout.rect_count()
+
+    def test_benchmark_layout_roundtrip(self):
+        from repro.data.benchmarks import generate_benchmark
+
+        bench = generate_benchmark("benchmark5", scale=0.3)
+        layout = bench.testing.layout
+        doc = read_oasis(write_oasis(layout))
+        assert doc.layout.rect_count() == layout.rect_count()
+        assert doc.layout.bbox() == layout.bbox()
+
+    def test_detection_through_oasis(self, small_benchmark):
+        """Scanning a layout that round-tripped through OASIS is identical."""
+        from repro.core.config import DetectorConfig
+        from repro.core.detector import HotspotDetector
+
+        detector = HotspotDetector(DetectorConfig.ours())
+        detector.fit(small_benchmark.training)
+        direct = detector.detect(small_benchmark.testing.layout)
+        reloaded_layout = read_oasis(
+            write_oasis(small_benchmark.testing.layout)
+        ).layout
+        via_oasis = detector.detect(reloaded_layout)
+        assert direct.report_count == via_oasis.report_count
+
+
+class TestReaderErrors:
+    def test_missing_magic(self):
+        with pytest.raises(OasisError):
+            read_oasis(b"not oasis")
+
+    def test_unsupported_record(self):
+        data = write_oasis(build_layout())
+        # splice an unsupported record id (PLACEMENT = 17) after START
+        from repro.oasis.records import encode_unsigned as enc
+
+        head_len = data.index(b"TOP") + 3
+        corrupt = data[:head_len] + enc(17) + data[head_len:]
+        with pytest.raises(OasisError):
+            read_oasis(corrupt)
+
+    def test_missing_end(self):
+        data = write_oasis(build_layout())
+        with pytest.raises(OasisError):
+            read_oasis(data[:-300])
+
+
+class TestAutoFormat:
+    def test_save_load_auto(self, tmp_path):
+        from repro.layout.io import load_layout_auto, save_layout_auto
+
+        layout = build_layout()
+        for name in ("layout.oas", "layout.gds"):
+            path = tmp_path / name
+            save_layout_auto(layout, path)
+            again = load_layout_auto(path)
+            assert again.rect_count() == layout.rect_count(), name
+            assert again.bbox() == layout.bbox(), name
+
+    def test_cli_scan_accepts_oasis(self, tmp_path):
+        from repro.cli import main as cli_main
+        from repro.data.benchmarks import generate_benchmark
+        from repro.layout.io import save_layout_auto
+
+        out = tmp_path / "d"
+        cli_main(["generate", "--benchmark", "benchmark5", "--scale", "0.4", "--out", str(out)])
+        model = tmp_path / "m.npz"
+        cli_main(["train", "--clips", str(out / "benchmark5_training_clips.gds"), "--model", str(model)])
+        bench = generate_benchmark("benchmark5", scale=0.4)
+        oas = tmp_path / "layout.oas"
+        save_layout_auto(bench.testing.layout, oas)
+        assert cli_main(["scan", "--model", str(model), "--layout", str(oas)]) == 0

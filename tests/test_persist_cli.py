@@ -1,0 +1,170 @@
+"""Tests for model persistence and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.core.persist import load_detector, save_detector
+from repro.errors import ConfigError, NotFittedError
+
+
+class TestPersistence:
+    @pytest.fixture(scope="class")
+    def trained(self, small_benchmark):
+        detector = HotspotDetector(DetectorConfig.ours())
+        detector.fit(small_benchmark.training)
+        return detector
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_detector(HotspotDetector(), tmp_path / "x.npz")
+
+    def test_roundtrip_margins_identical(self, trained, small_benchmark, tmp_path):
+        path = tmp_path / "model.npz"
+        save_detector(trained, path)
+        loaded = load_detector(path)
+        probe = small_benchmark.training.hotspots()[:6]
+        assert np.allclose(trained.margins(probe), loaded.margins(probe))
+
+    def test_roundtrip_detection_identical(self, trained, small_benchmark, tmp_path):
+        path = tmp_path / "model.npz"
+        save_detector(trained, path)
+        loaded = load_detector(path)
+        original = trained.score(small_benchmark.testing)
+        reloaded = loaded.score(small_benchmark.testing)
+        assert original.score.hits == reloaded.score.hits
+        assert original.score.extras == reloaded.score.extras
+
+    def test_gates_preserved(self, trained, tmp_path):
+        path = tmp_path / "model.npz"
+        save_detector(trained, path)
+        loaded = load_detector(path)
+        original_gates = [k.key_set for k in trained.model_.kernels]
+        loaded_gates = [k.key_set for k in loaded.model_.kernels]
+        assert original_gates == loaded_gates
+
+    def test_feedback_preserved(self, ambit_benchmark, tmp_path):
+        detector = HotspotDetector(DetectorConfig.ours())
+        detector.fit(ambit_benchmark.training)
+        if detector.feedback_ is None:
+            pytest.skip("feedback did not train on this fixture")
+        path = tmp_path / "model.npz"
+        save_detector(detector, path)
+        loaded = load_detector(path)
+        assert loaded.feedback_ is not None
+        probe = ambit_benchmark.training.hotspots()[:4]
+        assert np.allclose(
+            detector.feedback_.margins(probe), loaded.feedback_.margins(probe)
+        )
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ConfigError):
+            load_detector(path)
+
+
+class TestCli:
+    def test_generate_then_train_then_scan(self, tmp_path):
+        out = tmp_path / "data"
+        assert (
+            cli_main(
+                [
+                    "generate",
+                    "--benchmark",
+                    "benchmark5",
+                    "--scale",
+                    "0.5",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        clips = out / "benchmark5_training_clips.gds"
+        layout = out / "benchmark5_testing_layout.gds"
+        truth = out / "benchmark5_truth.json"
+        assert clips.exists() and layout.exists() and truth.exists()
+        truth_doc = json.loads(truth.read_text())
+        assert truth_doc["hotspot_cores"]
+
+        model = tmp_path / "model.npz"
+        assert (
+            cli_main(["train", "--clips", str(clips), "--model", str(model)]) == 0
+        )
+        assert model.exists()
+
+        markers = tmp_path / "markers.gds"
+        assert (
+            cli_main(
+                [
+                    "scan",
+                    "--model",
+                    str(model),
+                    "--layout",
+                    str(layout),
+                    "--report",
+                    str(markers),
+                ]
+            )
+            == 0
+        )
+        assert markers.exists()
+
+        assert cli_main(["info", "--model", str(model)]) == 0
+
+    def test_score_json(self, capsys):
+        assert (
+            cli_main(
+                ["score", "--benchmark", "benchmark5", "--scale", "0.4", "--json"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out.strip().splitlines()[-1]
+        payload = json.loads(out)
+        assert payload["benchmark"] == "benchmark5"
+        assert 0.0 <= payload["accuracy"] <= 1.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["generate", "--benchmark", "nope"])
+
+
+class TestCliExplain:
+    def test_explain_site(self, tmp_path, capsys):
+        out = tmp_path / "data"
+        cli_main(
+            ["generate", "--benchmark", "benchmark5", "--scale", "0.4", "--out", str(out)]
+        )
+        model = tmp_path / "model.npz"
+        cli_main(
+            ["train", "--clips", str(out / "benchmark5_training_clips.gds"), "--model", str(model)]
+        )
+        truth = json.loads((out / "benchmark5_truth.json").read_text())
+        x, y, _, _ = truth["hotspot_cores"][0]
+        assert (
+            cli_main(
+                [
+                    "explain",
+                    "--model",
+                    str(model),
+                    "--layout",
+                    str(out / "benchmark5_testing_layout.gds"),
+                    "--x",
+                    str(x),
+                    "--y",
+                    str(y),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "verdict" in output

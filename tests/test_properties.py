@@ -1,0 +1,151 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin the invariants that hold *between* subsystems — the contracts
+the pipeline's correctness rests on — rather than within one module.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.dissect import disjoint_cover, dissect_polygon
+from repro.geometry.grid import density_grid
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect, union_area
+from repro.geometry.transform import Orientation, transform_rects_in_window
+from repro.layout.clip import Clip, ClipLabel, ClipSpec
+from repro.mtcg.tiles import horizontal_tiling, vertical_tiling
+from repro.svm.kernel import squared_distances
+from repro.svm.smo import solve_smo
+from repro.topology.density import density_distance
+from repro.topology.strings import canonical_string_key, downward_string
+
+WINDOW = Rect(0, 0, 24, 24)
+
+
+def rect_sets(max_rects=6, bound=24, max_side=8):
+    def build(raw):
+        rects = []
+        for x0, y0, w, h in raw:
+            r = Rect.maybe(x0, y0, min(bound, x0 + w), min(bound, y0 + h))
+            if r and not any(r.overlaps(o) for o in rects):
+                rects.append(r)
+        return rects
+
+    return st.lists(
+        st.tuples(
+            st.integers(0, bound - 2),
+            st.integers(0, bound - 2),
+            st.integers(1, max_side),
+            st.integers(1, max_side),
+        ),
+        max_size=max_rects,
+    ).map(build)
+
+
+class TestGeometryContracts:
+    @given(rect_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_tiling_area_conservation(self, rects):
+        """Block area in both tilings equals the input union area."""
+        expected = union_area(rects)
+        for tiling in (horizontal_tiling(rects, WINDOW), vertical_tiling(rects, WINDOW)):
+            block_area = sum(t.rect.area for t in tiling.blocks())
+            assert block_area == expected
+
+    @given(rect_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_density_grid_mass_conservation(self, rects):
+        """Total grid mass equals covered area (after overlap resolution)."""
+        cover = disjoint_cover(rects)
+        grid = density_grid(cover, WINDOW, 8)
+        cell_area = (24 // 8) ** 2
+        assert grid.sum() * cell_area == pytest.approx(union_area(rects))
+
+    @given(rect_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_string_key_blind_to_orientation_and_density_zero(self, rects):
+        """Canonical keys and Eq. 1 agree that D8 copies are identical."""
+        if not rects:
+            return
+        key = canonical_string_key(rects, WINDOW)
+        grid = density_grid(rects, WINDOW, 8)
+        for orientation in (Orientation.R90, Orientation.MX, Orientation.MXR90):
+            moved = transform_rects_in_window(rects, WINDOW, orientation)
+            assert canonical_string_key(moved, WINDOW) == key
+            moved_grid = density_grid(moved, WINDOW, 8)
+            assert density_distance(grid, moved_grid) == pytest.approx(0.0)
+
+    @given(rect_sets(), st.integers(-4, 4), st.integers(-4, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_string_topology_stable_under_interior_shift(self, rects, dx, dy):
+        """Shifting a pattern strictly inside the window keeps its string.
+
+        Directional strings encode topology, not position — provided no
+        geometry crosses the window boundary.
+        """
+        inner = Rect(6, 6, 18, 18)
+        kept = [r for r in rects if inner.contains_rect(r)]
+        if not kept:
+            return
+        moved = [r.translated(dx, dy) for r in kept]
+        if not all(WINDOW.contains_rect(r) and not (
+            r.x0 < 1 or r.y0 < 1 or r.x1 > 23 or r.y1 > 23
+        ) for r in moved):
+            return
+        assert downward_string(kept, WINDOW) == downward_string(moved, WINDOW)
+
+
+class TestClipContracts:
+    SPEC = ClipSpec(core_side=8, clip_side=24)
+
+    @given(rect_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_core_plus_ambit_is_clip(self, rects):
+        clip = Clip.build(self.SPEC.clip_at(0, 0), self.SPEC, rects, ClipLabel.UNKNOWN)
+        core_area = sum(r.area for r in clip.core_rects())
+        ambit_area = sum(r.area for r in clip.ambit_rects())
+        total = sum(r.area for r in clip.rects)
+        assert core_area + ambit_area == total
+
+    @given(rect_sets(), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_roundtrip_in_interior(self, rects, amount):
+        """Shifting there and back returns interior geometry unchanged."""
+        clip = Clip.build(self.SPEC.clip_at(0, 0), self.SPEC, rects)
+        round_trip = clip.shifted(amount, 0).shifted(-amount, 0)
+        # geometry within `amount` of the boundary may be clipped away;
+        # interior geometry must survive exactly.
+        interior = Rect(amount, 0, 24 - amount, 24)
+        survivors = {r for r in clip.rects if interior.contains_rect(r)}
+        assert survivors <= set(round_trip.rects)
+
+
+class TestSmoAgainstBruteForce:
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_tiny_qp_matches_grid_search(self, seed):
+        """On 3-sample problems SMO matches a dense grid search of the dual."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(3, 2))
+        y = np.array([1, -1, 1])
+        c_bound = 2.0
+        gram = np.exp(-0.5 * squared_distances(x, x))
+        result = solve_smo(gram, y, np.full(3, c_bound), tolerance=1e-6)
+
+        q = gram * np.outer(y, y)
+
+        def dual(alpha):
+            return 0.5 * alpha @ q @ alpha - alpha.sum()
+
+        # Grid-search alpha_0, alpha_2 (alpha_1 fixed by the equality
+        # constraint y.alpha = 0 -> alpha_1 = alpha_0 + alpha_2).
+        best = np.inf
+        grid = np.linspace(0, c_bound, 41)
+        for a0 in grid:
+            for a2 in grid:
+                a1 = a0 + a2
+                if a1 > c_bound:
+                    continue
+                best = min(best, dual(np.array([a0, a1, a2])))
+        assert result.objective <= best + 1e-3

@@ -1,0 +1,68 @@
+"""Tests for the SVG renderer."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip, ClipSpec
+from repro.layout.layout import Layout
+from repro.viz import SvgCanvas, render_clip_svg, render_detection_svg, render_layout_svg
+
+
+class TestCanvas:
+    def test_coordinate_flip(self):
+        canvas = SvgCanvas(Rect(0, 0, 100, 100), width_px=100)
+        # layout y=0 is the bottom -> SVG y = height
+        assert canvas._y(0) == pytest.approx(100)
+        assert canvas._y(100) == pytest.approx(0)
+
+    def test_render_wellformed(self):
+        canvas = SvgCanvas(Rect(0, 0, 100, 50), width_px=200)
+        canvas.add_rect(Rect(10, 10, 30, 20), 'fill="red"')
+        canvas.add_label(10, 40, "hello")
+        text = canvas.render()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+        assert "<rect" in text and "hello" in text
+        assert 'height="100"' in text  # aspect preserved
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(Rect(0, 0, 10, 10))
+        out = tmp_path / "c.svg"
+        canvas.save(out)
+        assert out.read_text().startswith("<svg")
+
+
+class TestRenderers:
+    def test_render_layout(self, tmp_path):
+        layout = Layout()
+        layout.add_rect(1, Rect(0, 0, 500, 100))
+        layout.add_rect(1, Rect(0, 300, 500, 400))
+        canvas = render_layout_svg(layout, tmp_path / "layout.svg")
+        assert (tmp_path / "layout.svg").exists()
+        assert canvas.render().count("<rect") >= 3  # background + 2 shapes
+
+    def test_render_empty_layout_raises(self, tmp_path):
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError):
+            render_layout_svg(Layout(), tmp_path / "x.svg")
+
+    def test_render_clip(self, tmp_path):
+        spec = ClipSpec(core_side=400, clip_side=1200)
+        clip = Clip.build(spec.clip_at(0, 0), spec, [Rect(500, 500, 700, 700)])
+        render_clip_svg(clip, tmp_path / "clip.svg")
+        text = (tmp_path / "clip.svg").read_text()
+        assert "stroke-dasharray" in text  # the core outline
+
+    def test_render_detection(self, tmp_path, small_benchmark):
+        from repro.core.config import DetectorConfig
+        from repro.core.detector import HotspotDetector
+
+        detector = HotspotDetector(DetectorConfig.ours())
+        detector.fit(small_benchmark.training)
+        result = detector.score(small_benchmark.testing)
+        out = tmp_path / "detection.svg"
+        render_detection_svg(small_benchmark.testing, result.reports, out)
+        text = out.read_text()
+        assert text.count("#1f9d3a") == len(small_benchmark.testing.hotspot_cores())
+        assert text.count("#d43a3a") == 2 * len(result.reports)  # fill+stroke
