@@ -1,6 +1,6 @@
 """Command-line interface: the detection flow as a tool.
 
-Six subcommands cover the practical lifecycle::
+Eight subcommands cover the practical lifecycle::
 
     python -m repro generate --benchmark benchmark1 --scale 0.5 --out data/
     python -m repro train    --clips data/training_clips.gds --model model.npz
@@ -9,13 +9,17 @@ Six subcommands cover the practical lifecycle::
     python -m repro score    --model model.npz --benchmark benchmark1 --scale 0.5
     python -m repro info     --model model.npz
     python -m repro explain  --model model.npz --layout layout.gds --x 3279 --y 3719
+    python -m repro serve    --model model.npz --port 8976
+    python -m repro client   --url http://127.0.0.1:8976 health
 
 ``generate`` writes a benchmark pair to GDSII; ``train`` fits the full
 framework on a clip archive and persists the model; ``scan`` detects
 hotspots in a GDSII layout and writes a marker overlay; ``score`` runs a
 self-contained generate+train+scan+grade loop; ``info`` describes a
 saved model; ``explain`` walks through the model's decision for one
-layout site (gates, margins, features, feedback verdict).
+layout site (gates, margins, features, feedback verdict); ``serve``
+runs the long-lived batched HTTP inference service
+(:mod:`repro.serve`); ``client`` queries a running server.
 """
 
 from __future__ import annotations
@@ -114,6 +118,61 @@ def _add_explain(subparsers) -> None:
     parser.add_argument("--layer", type=int, default=1)
 
 
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the batched HTTP inference service"
+    )
+    parser.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        metavar="[NAME=]PATH",
+        help="detector archive to serve; repeatable for multiple versions",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8976, help="0 = ephemeral")
+    parser.add_argument(
+        "--batch-clips", type=int, default=64, help="flush a batch at this many clips"
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="max milliseconds a request waits for batch-mates",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=1024, help="max queued clips (backpressure)"
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--request-timeout", type=float, default=30.0, help="seconds; per request"
+    )
+    parser.add_argument("--verbose", action="store_true", help="log every request")
+
+
+def _add_client(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "client", help="query a running inference server"
+    )
+    parser.add_argument("--url", required=True, help="e.g. http://127.0.0.1:8976")
+    parser.add_argument(
+        "action", choices=("health", "metrics", "models", "predict", "scan")
+    )
+    parser.add_argument(
+        "--clips", type=Path, default=None, help="GDSII clip archive (predict)"
+    )
+    parser.add_argument(
+        "--layout", type=Path, default=None, help="GDSII/OASIS layout (scan)"
+    )
+    parser.add_argument("--layer", type=int, default=1)
+    parser.add_argument("--model-name", default=None, help="served model version")
+    parser.add_argument("--threshold", type=float, default=None)
+    parser.add_argument(
+        "--limit", type=int, default=None, help="send at most this many clips"
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
 def _config_for(variant: str, parallel: bool = False) -> DetectorConfig:
     factory = {
         "ours": DetectorConfig.ours,
@@ -159,7 +218,7 @@ def cmd_train(args) -> int:
     detector = HotspotDetector(_config_for(args.variant, args.parallel))
     started = time.perf_counter()
     report = detector.fit(training)
-    save_detector(detector, args.model)
+    save_detector(detector, args.model, name=args.model.stem)
     print(
         f"trained {report.kernels} kernels "
         f"(feedback={report.feedback_trained}) in "
@@ -233,6 +292,11 @@ def cmd_info(args) -> int:
         )
     print(f"  feedback kernel: {'yes' if detector.feedback_ else 'no'}")
     print(f"  decision threshold: {detector.config.decision_threshold:+.2f}")
+    from repro.core.persist import read_archive_info
+
+    registry = read_archive_info(args.model).get("registry")
+    if registry and registry.get("name"):
+        print(f"  registry name: {registry['name']}")
     return 0
 
 
@@ -252,6 +316,133 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.serve import (
+        BatchingConfig,
+        HotspotServer,
+        ServeService,
+        ServerConfig,
+    )
+
+    service = ServeService(
+        batching=BatchingConfig(
+            max_batch_clips=args.batch_clips,
+            max_delay_s=args.batch_window_ms / 1000.0,
+            max_queue_clips=args.queue_limit,
+            workers=args.workers,
+            default_timeout_s=args.request_timeout,
+        )
+    )
+    for index, spec in enumerate(args.model):
+        name, sep, path = spec.partition("=")
+        if sep:
+            entry = service.load_model(Path(path), name)
+        else:
+            entry = service.load_model(Path(spec), "default" if index == 0 else None)
+        print(
+            f"loaded model {entry.name!r} from {entry.path} "
+            f"({entry.info['kernels']} kernels, "
+            f"feedback={entry.info['feedback']})"
+        )
+
+    server = HotspotServer(
+        service,
+        ServerConfig(host=args.host, port=args.port),
+        verbose=args.verbose,
+    )
+    server.start()
+    print(f"serving on {server.url} (Ctrl-C or SIGTERM drains and stops)")
+
+    def _shutdown(signum, frame):
+        print(f"signal {signum}: draining queue and shutting down")
+        # stop() joins worker threads; run it off the signal frame.
+        import threading
+
+        threading.Thread(target=server.stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    server.wait()
+    print("server stopped")
+    return 0
+
+
+def cmd_client(args) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    if args.action == "health":
+        status, document = client.health_document()
+        print(json.dumps(document) if args.json else f"{status}: {document}")
+        return 0 if status == 200 else 1
+    if args.action == "metrics":
+        print(client.metrics_text(), end="")
+        return 0
+    if args.action == "models":
+        document = client.models()
+        if args.json:
+            print(json.dumps(document))
+        else:
+            for model in document["models"]:
+                print(
+                    f"{model['name']}: {model['path']} "
+                    f"({model['kernels']} kernels, reloads={model['reloads']})"
+                )
+        return 0
+    if args.action == "predict":
+        if args.clips is None:
+            print("predict requires --clips", file=sys.stderr)
+            return 2
+        from repro.data.benchmarks import ICCAD_SPEC
+
+        clipset = load_clipset_gds(args.clips, ICCAD_SPEC)
+        clips = list(clipset)[: args.limit] if args.limit else list(clipset)
+        result = client.predict(
+            clips, model=args.model_name, threshold=args.threshold
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "model": result.model,
+                        "threshold": result.threshold,
+                        "hotspots": result.hotspot_count,
+                        "clips": len(clips),
+                        "flags": result.flags.tolist(),
+                    }
+                )
+            )
+        else:
+            print(
+                f"{result.hotspot_count}/{len(clips)} clips flagged hotspot "
+                f"(model {result.model}, threshold {result.threshold:+.2f})"
+            )
+        return 0
+    if args.action == "scan":
+        if args.layout is None:
+            print("scan requires --layout", file=sys.stderr)
+            return 2
+        layout = load_layout_auto(args.layout)
+        rects = layout.layer(args.layer).rects
+        report = client.scan(
+            rects, layer=args.layer, model=args.model_name, threshold=args.threshold
+        )
+        if args.json:
+            print(json.dumps(report))
+        else:
+            print(
+                f"{report['candidates']} candidates, {report['count']} hotspot "
+                f"reports ({report['eval_seconds']:.1f}s server-side)"
+            )
+            for item in report["reports"]:
+                x0, y0, x1, y1 = item["core"]
+                print(f"  core ({x0}, {y0}) - ({x1}, {y1})")
+        return 0
+    raise AssertionError(f"unhandled action {args.action}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -264,6 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_score(subparsers)
     _add_info(subparsers)
     _add_explain(subparsers)
+    _add_serve(subparsers)
+    _add_client(subparsers)
     return parser
 
 
@@ -276,6 +469,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "score": cmd_score,
         "info": cmd_info,
         "explain": cmd_explain,
+        "serve": cmd_serve,
+        "client": cmd_client,
     }
     return handlers[args.command](args)
 

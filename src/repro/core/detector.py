@@ -81,6 +81,17 @@ class HotspotDetector:
     model_: Optional[MultiKernelModel] = field(default=None, repr=False)
     feedback_: Optional[FeedbackKernel] = field(default=None, repr=False)
     training_report_: Optional[TrainingReport] = field(default=None, repr=False)
+    #: Optional duck-typed metrics sink (``observe(name, seconds)``), e.g.
+    #: a :class:`repro.serve.metrics.MetricsRegistry`.  The detector feeds
+    #: it ``fit``/``detect`` timings; ``None`` costs nothing.
+    metrics_sink_: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def _observe(self, name: str, seconds: float) -> None:
+        sink = self.metrics_sink_
+        if sink is not None:
+            observe = getattr(sink, "observe", None)
+            if callable(observe):
+                observe(name, seconds)
 
     # ------------------------------------------------------------------
     # training phase
@@ -102,6 +113,7 @@ class HotspotDetector:
             upsampled_hotspots=len(self.model_.hotspot_clips),
             train_seconds=time.perf_counter() - started,
         )
+        self._observe("detector_fit_seconds", self.training_report_.train_seconds)
         return self.training_report_
 
     def _require_model(self) -> MultiKernelModel:
@@ -128,13 +140,12 @@ class HotspotDetector:
             return np.zeros(0, dtype=bool)
         flags = model.margins(clips) >= threshold
         if self.feedback_ is not None and np.any(flags):
-            flagged = [clip for clip, f in zip(clips, flags) if f]
-            keep = self.feedback_.keep_mask(flagged)
-            cursor = 0
-            for index in np.flatnonzero(flags):
-                if not keep[cursor]:
-                    flags[index] = False
-                cursor += 1
+            flagged_indices = np.flatnonzero(flags)
+            keep = np.asarray(
+                self.feedback_.keep_mask([clips[i] for i in flagged_indices]),
+                dtype=bool,
+            )
+            flags[flagged_indices[~keep]] = False
         return flags
 
     # ------------------------------------------------------------------
@@ -185,6 +196,7 @@ class HotspotDetector:
         else:
             reports = flagged
         reports = [r.with_label(ClipLabel.HOTSPOT) for r in reports]
+        self._observe("detector_detect_seconds", time.perf_counter() - started)
         return DetectionReport(
             reports=reports,
             extraction=extraction,

@@ -148,6 +148,7 @@ def train_feedback_kernel(
             class_weight=weights or None,
             kernel=svm.kernel,
             far_field_floor=svm.far_field_floor,
+            scale_features=svm.scale_features,
         ),
     )
     return FeedbackKernel(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import io
 import json
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -127,8 +128,16 @@ def _decode_feature_config(payload: dict) -> FeatureConfig:
 # ----------------------------------------------------------------------
 
 
-def save_detector(detector: HotspotDetector, path: Union[str, Path]) -> None:
-    """Persist a fitted detector to a ``.npz`` archive."""
+def save_detector(
+    detector: HotspotDetector,
+    path: Union[str, Path],
+    name: Optional[str] = None,
+) -> None:
+    """Persist a fitted detector to a ``.npz`` archive.
+
+    ``name`` labels the archive for model registries (``repro serve``);
+    it is advisory metadata and does not affect loading.
+    """
     model = detector.model_
     if model is None:
         raise NotFittedError("cannot save an unfitted detector")
@@ -166,6 +175,21 @@ def save_detector(detector: HotspotDetector, path: Union[str, Path]) -> None:
         "features": _encode_feature_config(model.extractor.config),
         "kernels": kernels_meta,
         "feedback": feedback_meta,
+        # Ablation switches travel with the model so a reloaded detector
+        # evaluates exactly like the saved one (``use_removal`` changes
+        # ``detect`` output; the others keep the config honest).
+        "switches": {
+            "use_topology": detector.config.use_topology,
+            "use_feedback": detector.config.use_feedback,
+            "use_removal": detector.config.use_removal,
+        },
+        # Advisory registry metadata (``repro serve``, ``info``).
+        "registry": {
+            "name": name,
+            "created_unix": time.time(),
+            "kernels": len(model.kernels),
+            "feedback": feedback_meta is not None,
+        },
     }
     arrays["meta"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -201,11 +225,15 @@ def load_detector(
     base = config or DetectorConfig()
     from dataclasses import replace
 
+    switches = meta.get("switches") or {}
     detector_config = replace(
         base,
         spec=spec,
         features=features,
         decision_threshold=meta["decision_threshold"],
+        use_topology=switches.get("use_topology", base.use_topology),
+        use_feedback=switches.get("use_feedback", base.use_feedback),
+        use_removal=switches.get("use_removal", base.use_removal),
     )
 
     kernels = []
@@ -242,3 +270,30 @@ def load_detector(
     detector.model_ = model
     detector.feedback_ = feedback
     return detector
+
+
+def read_archive_info(path: Union[str, Path]) -> dict:
+    """Describe a detector archive without constructing the detector.
+
+    Model registries and ``repro info`` use this to show what an archive
+    holds (kernel count, spec, registry metadata) at ``stat`` cost rather
+    than full model-load cost.
+    """
+    with np.load(path) as archive:
+        try:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        except (KeyError, ValueError) as exc:
+            raise ConfigError(f"not a detector archive: {exc}") from exc
+    if meta.get("format") != FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported detector archive format {meta.get('format')!r}"
+        )
+    return {
+        "format": meta["format"],
+        "spec": dict(meta["spec"]),
+        "decision_threshold": meta["decision_threshold"],
+        "kernels": len(meta["kernels"]),
+        "feedback": meta["feedback"] is not None,
+        "switches": meta.get("switches"),
+        "registry": meta.get("registry"),
+    }

@@ -178,6 +178,7 @@ def _train_one_kernel(
         class_weight=weights or None,
         kernel=svm_config.kernel,
         far_field_floor=svm_config.far_field_floor,
+        scale_features=svm_config.scale_features,
     )
     result = train_iterative(matrix, labels, config)
     key_set = (

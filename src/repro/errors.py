@@ -60,3 +60,23 @@ class ConfigError(ReproError):
 
 class DataError(ReproError):
     """Benchmark-data generation or loading failure."""
+
+
+class ServeError(ReproError):
+    """Base class for inference-service failures."""
+
+
+class ModelNotFoundError(ServeError):
+    """The requested model name is not loaded in the registry."""
+
+
+class QueueFullError(ServeError):
+    """Backpressure: the batching queue cannot accept more work."""
+
+
+class RequestTimeoutError(ServeError):
+    """A queued request missed its deadline before being evaluated."""
+
+
+class ServerClosedError(ServeError):
+    """The service is draining or stopped and rejects new work."""

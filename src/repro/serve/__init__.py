@@ -1,0 +1,39 @@
+"""Long-running inference service around a persisted detector.
+
+The :mod:`repro.serve` subsystem turns ``.npz`` detector archives
+(:mod:`repro.core.persist`) into an observable network service:
+
+- :mod:`repro.serve.metrics` — Prometheus-style counters, gauges and
+  latency histograms, reusable by the core detector;
+- :mod:`repro.serve.registry` — named model versions with hot-reload on
+  file change;
+- :mod:`repro.serve.batching` — a bounded micro-batching queue that
+  coalesces clip-prediction requests with backpressure and timeouts;
+- :mod:`repro.serve.service` — the transport-independent service facade;
+- :mod:`repro.serve.httpd` — a stdlib-only threaded HTTP front end
+  (``POST /v1/predict``, ``POST /v1/scan``, ``GET /healthz``,
+  ``GET /metrics``);
+- :mod:`repro.serve.client` — :class:`ServeClient`, the Python client
+  used by the tests, the CLI and the throughput benchmark.
+
+Everything here is standard library + numpy; there is no new dependency.
+"""
+
+from repro.serve.batching import BatchingConfig, MicroBatcher
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.httpd import HotspotServer, ServerConfig
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import ServeService
+
+__all__ = [
+    "BatchingConfig",
+    "HotspotServer",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ServeClient",
+    "ServeClientError",
+    "ServeService",
+    "ServerConfig",
+]

@@ -1,0 +1,323 @@
+"""Micro-batching: coalesce prediction requests into model-sized batches.
+
+Incoming requests (each carrying one or more clips) enter a bounded
+queue.  Worker threads pull *batches*: a worker takes the oldest pending
+request, then keeps absorbing same-group requests until either the batch
+holds ``max_batch_clips`` clips or the oldest request has waited
+``max_delay_s`` — whichever comes first.  The whole batch is evaluated
+in one callback invocation (one :meth:`MultiKernelModel.margins` pass),
+and each request receives its slice of the results.
+
+Guarantees:
+
+- **Backpressure** — ``submit`` raises :class:`QueueFullError`
+  immediately when admitting the request would exceed
+  ``max_queue_clips``; memory use is bounded.
+- **Timeouts** — a request that waits past its deadline raises
+  :class:`RequestTimeoutError` in the submitting thread and is skipped
+  by workers (its slot is reclaimed, not evaluated).
+- **Graceful shutdown** — ``close()`` rejects new work with
+  :class:`ServerClosedError` while workers drain every queued request;
+  ``close(drain=False)`` cancels the queue instead.
+- **Grouping** — requests are only batched with requests for the same
+  ``group`` key (e.g. model name), so multi-model serving never mixes
+  feature spaces.  Thresholds may differ within a batch; the evaluation
+  callback receives per-request thresholds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import (
+    ConfigError,
+    QueueFullError,
+    RequestTimeoutError,
+    ServeError,
+    ServerClosedError,
+)
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Tunables of the micro-batching engine."""
+
+    #: Flush a batch once it holds this many clips.
+    max_batch_clips: int = 64
+    #: ... or once the oldest queued request has waited this long.
+    max_delay_s: float = 0.005
+    #: Admission limit: total clips queued (not yet picked by a worker).
+    max_queue_clips: int = 1024
+    #: Worker threads evaluating batches concurrently.
+    workers: int = 2
+    #: Default per-request deadline (seconds); ``None`` waits forever.
+    default_timeout_s: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_clips < 1:
+            raise ConfigError("max_batch_clips must be >= 1")
+        if self.max_delay_s < 0:
+            raise ConfigError("max_delay_s must be non-negative")
+        if self.max_queue_clips < self.max_batch_clips:
+            raise ConfigError("max_queue_clips must be >= max_batch_clips")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+
+
+@dataclass
+class _Request:
+    """One queued unit of work and its completion state."""
+
+    group: str
+    items: Sequence[object]
+    context: object
+    enqueued: float
+    deadline: Optional[float]
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[Sequence[object]] = None
+    error: Optional[BaseException] = None
+    #: Set by the submitter on timeout; workers skip cancelled requests.
+    cancelled: bool = False
+
+    def finish(self, result: Optional[Sequence[object]], error=None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+#: Evaluation callback: (group, [(items, context), ...]) -> [results, ...]
+#: where ``results[i]`` answers request ``i`` (same order, same length).
+BatchFunction = Callable[[str, list[tuple[Sequence[object], object]]], list]
+
+
+class MicroBatcher:
+    """Bounded request queue + worker pool forming micro-batches."""
+
+    def __init__(
+        self,
+        evaluate: BatchFunction,
+        config: Optional[BatchingConfig] = None,
+        metrics=None,
+    ) -> None:
+        self.evaluate = evaluate
+        self.config = config or BatchingConfig()
+        self.metrics = metrics
+        self._queue: list[_Request] = []
+        self._queued_clips = 0
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._closing = False
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        if metrics is not None:
+            self._m_batch_size = metrics.histogram(
+                "serve_batch_size_clips",
+                "Clips evaluated per micro-batch.",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            ).labels()
+            self._m_batch_seconds = metrics.histogram(
+                "serve_batch_eval_seconds", "Model evaluation time per batch."
+            ).labels()
+            self._m_queue_depth = metrics.gauge(
+                "serve_queue_depth_clips", "Clips waiting in the batching queue."
+            ).labels()
+            self._m_rejected = metrics.counter(
+                "serve_rejected_total",
+                "Requests rejected before evaluation.",
+                labels=("reason",),
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        if self._started:
+            return self
+        self._started = True
+        self._closing = False
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-batch-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop accepting work; drain (or cancel) the queue, join workers."""
+        with self._lock:
+            self._closing = True
+            if not drain:
+                for request in self._queue:
+                    request.finish(None, ServerClosedError("server shutting down"))
+                self._queue.clear()
+                self._queued_clips = 0
+                self._set_depth()
+            self._work_ready.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        self._started = False
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queued_clips
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        group: str,
+        items: Sequence[object],
+        context: object = None,
+        timeout: Optional[float] = None,
+    ) -> Sequence[object]:
+        """Queue ``items`` and block until their results are ready.
+
+        Raises :class:`QueueFullError` (backpressure),
+        :class:`RequestTimeoutError` (deadline missed) or
+        :class:`ServerClosedError` (shutting down).  Any exception from
+        the evaluation callback is re-raised here, in the caller.
+        """
+        if timeout is None:
+            timeout = self.config.default_timeout_s
+        if self._closing:
+            raise ServerClosedError("server is shutting down")
+        if not self._started:
+            raise ServeError("MicroBatcher.submit before start()")
+        now = time.monotonic()
+        request = _Request(
+            group=group,
+            items=items,
+            context=context,
+            enqueued=now,
+            deadline=None if timeout is None else now + timeout,
+        )
+        with self._lock:
+            if self._closing:
+                raise ServerClosedError("server is shutting down")
+            if self._queued_clips + len(items) > self.config.max_queue_clips:
+                if self.metrics is not None:
+                    self._m_rejected.labels("queue_full").inc()
+                raise QueueFullError(
+                    f"queue full: {self._queued_clips} clips queued, "
+                    f"request adds {len(items)}, "
+                    f"limit {self.config.max_queue_clips}"
+                )
+            self._queue.append(request)
+            self._queued_clips += len(items)
+            self._set_depth()
+            self._work_ready.notify()
+        remaining = None if request.deadline is None else request.deadline - now
+        if not request.done.wait(remaining):
+            request.cancelled = True
+            # The worker may have completed it between the wait timing out
+            # and the flag being set; honour a real result when present.
+            if not request.done.is_set():
+                if self.metrics is not None:
+                    self._m_rejected.labels("timeout").inc()
+                raise RequestTimeoutError(
+                    f"request timed out after {timeout:.3f}s "
+                    f"({len(items)} clips, group {group!r})"
+                )
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    def _set_depth(self) -> None:
+        if self.metrics is not None:
+            self._m_queue_depth.set(self._queued_clips)
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> Optional[list[_Request]]:
+        """Block until a batch is ready (or ``None`` on drained shutdown)."""
+        with self._lock:
+            while True:
+                self._prune_expired_locked()
+                if self._queue:
+                    oldest = self._queue[0]
+                    batch_clips = self._clips_for_group_locked(oldest.group)
+                    deadline = oldest.enqueued + self.config.max_delay_s
+                    now = time.monotonic()
+                    if (
+                        batch_clips >= self.config.max_batch_clips
+                        or now >= deadline
+                        or self._closing
+                    ):
+                        return self._pop_batch_locked(oldest.group)
+                    self._work_ready.wait(timeout=deadline - now)
+                    continue
+                if self._closing:
+                    return None
+                self._work_ready.wait(timeout=0.05)
+
+    def _prune_expired_locked(self) -> None:
+        kept = []
+        for request in self._queue:
+            if request.cancelled:
+                self._queued_clips -= len(request.items)
+            else:
+                kept.append(request)
+        if len(kept) != len(self._queue):
+            self._queue[:] = kept
+            self._set_depth()
+
+    def _clips_for_group_locked(self, group: str) -> int:
+        return sum(len(r.items) for r in self._queue if r.group == group)
+
+    def _pop_batch_locked(self, group: str) -> list[_Request]:
+        batch: list[_Request] = []
+        taken = 0
+        kept: list[_Request] = []
+        for request in self._queue:
+            fits = taken + len(request.items) <= self.config.max_batch_clips
+            if request.group == group and (fits or not batch):
+                batch.append(request)
+                taken += len(request.items)
+            else:
+                kept.append(request)
+        self._queue[:] = kept
+        self._queued_clips -= taken
+        self._set_depth()
+        return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        group = batch[0].group
+        payload = [(request.items, request.context) for request in batch]
+        clip_count = sum(len(request.items) for request in batch)
+        started = time.perf_counter()
+        try:
+            results = self.evaluate(group, payload)
+            if len(results) != len(batch):
+                raise ServeError(
+                    f"batch function returned {len(results)} results "
+                    f"for {len(batch)} requests"
+                )
+        except BaseException as exc:  # noqa: BLE001 — forwarded to submitters
+            for request in batch:
+                request.finish(None, exc)
+            return
+        elapsed = time.perf_counter() - started
+        if self.metrics is not None:
+            self._m_batch_size.observe(clip_count)
+            self._m_batch_seconds.observe(elapsed)
+        for request, result in zip(batch, results):
+            request.finish(result)

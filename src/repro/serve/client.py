@@ -1,0 +1,198 @@
+"""``ServeClient`` — the Python client of the serving API.
+
+Wraps :mod:`http.client` (no third-party HTTP stack) and speaks the JSON
+protocol of :mod:`repro.serve.protocol`.  Domain-level helpers accept
+and return :class:`~repro.layout.clip.Clip` / numpy objects, so tests
+and benchmarks can round-trip through the wire format without manual
+encoding::
+
+    client = ServeClient("http://127.0.0.1:8976")
+    result = client.predict(clips)           # PredictResult
+    assert result.flags.dtype == bool
+    report = client.scan(rects, layer=1)     # decoded /v1/scan response
+    client.healthz()                         # raises if unhealthy
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.parse
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip
+from repro.serve.protocol import encode_clip, encode_rect
+
+
+class ServeClientError(ServeError):
+    """A non-2xx response; carries the server's structured error."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class PredictResult:
+    """Decoded ``/v1/predict`` response."""
+
+    model: str
+    threshold: float
+    flags: np.ndarray
+    margins: np.ndarray
+
+    @property
+    def hotspot_count(self) -> int:
+        return int(self.flags.sum())
+
+
+class ServeClient:
+    """Thin, thread-safe client for one hotspot-inference server."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ServeError(f"unsupported scheme {parsed.scheme!r}")
+        netloc = parsed.netloc or parsed.path
+        if ":" not in netloc:
+            raise ServeError(f"client URL needs host:port, got {url!r}")
+        host, port = netloc.rsplit(":", 1)
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def _request(
+        self, method: str, path: str, document: Optional[dict] = None
+    ) -> tuple[int, object, str]:
+        body = None if document is None else json.dumps(document).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # Stale keep-alive connection: retry once on a fresh socket.
+                self.close()
+                if attempt:
+                    raise
+        content_type = response.headers.get("Content-Type", "")
+        if content_type.startswith("application/json"):
+            try:
+                decoded: object = json.loads(payload)
+            except ValueError as exc:
+                raise ServeError(f"invalid JSON from server: {exc}") from exc
+        else:
+            decoded = payload.decode("utf-8", "replace")
+        return response.status, decoded, content_type
+
+    def _request_ok(self, method: str, path: str, document: Optional[dict] = None):
+        status, decoded, _ = self._request(method, path, document)
+        if status >= 300:
+            if isinstance(decoded, dict) and isinstance(decoded.get("error"), dict):
+                error = decoded["error"]
+                raise ServeClientError(
+                    status,
+                    str(error.get("code", "error")),
+                    str(error.get("message", "")),
+                )
+            raise ServeClientError(status, "error", str(decoded)[:200])
+        return decoded
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        clips: Sequence[Clip],
+        model: Optional[str] = None,
+        threshold: Optional[float] = None,
+    ) -> PredictResult:
+        document: dict = {"clips": [encode_clip(clip) for clip in clips]}
+        if model is not None:
+            document["model"] = model
+        if threshold is not None:
+            document["threshold"] = threshold
+        response = self._request_ok("POST", "/v1/predict", document)
+        return PredictResult(
+            model=response["model"],
+            threshold=response["threshold"],
+            flags=np.array(response["flags"], dtype=bool),
+            margins=np.array(response["margins"], dtype=float),
+        )
+
+    def predict_payload(self, document: dict) -> dict:
+        """Raw ``/v1/predict`` for callers that already hold payloads."""
+        return self._request_ok("POST", "/v1/predict", document)
+
+    def scan(
+        self,
+        rects: Sequence[Rect],
+        layer: int = 1,
+        model: Optional[str] = None,
+        threshold: Optional[float] = None,
+    ) -> dict:
+        document: dict = {
+            "rects": [encode_rect(rect) for rect in rects],
+            "layer": layer,
+        }
+        if model is not None:
+            document["model"] = model
+        if threshold is not None:
+            document["threshold"] = threshold
+        return self._request_ok("POST", "/v1/scan", document)
+
+    def healthz(self) -> dict:
+        """The health document; raises :class:`ServeClientError` on 503."""
+        status, decoded, _ = self._request("GET", "/healthz")
+        if status != 200:
+            message = decoded.get("status", "") if isinstance(decoded, dict) else ""
+            raise ServeClientError(status, "unhealthy", str(message))
+        assert isinstance(decoded, dict)
+        return decoded
+
+    def health_document(self) -> tuple[int, dict]:
+        """(status code, body) without raising — for readiness probes."""
+        status, decoded, _ = self._request("GET", "/healthz")
+        return status, decoded if isinstance(decoded, dict) else {}
+
+    def models(self) -> dict:
+        result = self._request_ok("GET", "/v1/models")
+        assert isinstance(result, dict)
+        return result
+
+    def metrics_text(self) -> str:
+        status, decoded, _ = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeClientError(status, "metrics", str(decoded)[:200])
+        assert isinstance(decoded, str)
+        return decoded

@@ -1,0 +1,262 @@
+"""Stdlib-only HTTP front end for the serving facade.
+
+:class:`HotspotServer` wraps a :class:`~repro.serve.service.ServeService`
+in a ``ThreadingHTTPServer``.  Endpoints:
+
+- ``POST /v1/predict`` — batched clip prediction;
+- ``POST /v1/scan``    — full-layout detection;
+- ``GET  /v1/models``  — loaded model versions;
+- ``GET  /healthz``    — liveness/readiness (``503`` when no model);
+- ``GET  /metrics``    — Prometheus text metrics.
+
+Error mapping: malformed payload -> ``400``; unknown model -> ``404``;
+queue full (backpressure) -> ``429``; draining -> ``503``; request
+timeout -> ``504``.  Every error body is the structured JSON envelope
+``{"error": {"code", "message"}}``.
+
+Shutdown is graceful: ``stop()`` (also installed as the SIGTERM/SIGINT
+handler by the CLI) stops accepting connections, then drains the
+batching queue so every in-flight request gets its response.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.errors import (
+    LayoutError,
+    ModelNotFoundError,
+    QueueFullError,
+    RequestTimeoutError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve.protocol import ProtocolError, encode_error
+from repro.serve.service import ServeService
+
+#: Request bodies above this size are rejected up front (64 MiB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Network knobs of the HTTP front end."""
+
+    host: str = "127.0.0.1"
+    #: ``0`` binds an ephemeral port (tests); read ``server.port`` after
+    #: ``start()``.
+    port: int = 0
+
+
+def _error_status(exc: BaseException) -> tuple[int, str]:
+    if isinstance(exc, ProtocolError):
+        return 400, "bad_request"
+    if isinstance(exc, ModelNotFoundError):
+        return 404, "model_not_found"
+    if isinstance(exc, QueueFullError):
+        return 429, "queue_full"
+    if isinstance(exc, ServerClosedError):
+        return 503, "shutting_down"
+    if isinstance(exc, RequestTimeoutError):
+        return 504, "timeout"
+    if isinstance(exc, LayoutError):
+        return 400, "bad_geometry"
+    if isinstance(exc, ServeError):
+        return 500, "serve_error"
+    return 500, "internal_error"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the owning server's service object."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # Populated by HotspotServer via the server instance.
+    @property
+    def service(self) -> ServeService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> object:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ProtocolError("request requires a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    def _handle(self, endpoint: str, fn) -> None:
+        started = time.perf_counter()
+        status = 500
+        try:
+            status, payload, content_type = fn()
+            if content_type == "application/json":
+                self._send_json(status, payload)
+            else:
+                self._send_text(status, payload, content_type)
+        except BaseException as exc:  # noqa: BLE001 — mapped to HTTP codes
+            status, code = _error_status(exc)
+            try:
+                self._send_json(status, encode_error(code, str(exc)))
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+        finally:
+            self.service.record_request(
+                endpoint, status, time.perf_counter() - started
+            )
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            def health():
+                healthy, document = self.service.health()
+                return (200 if healthy else 503), document, "application/json"
+
+            self._handle("/healthz", health)
+        elif path == "/metrics":
+            self._handle(
+                "/metrics",
+                lambda: (
+                    200,
+                    self.service.metrics_text(),
+                    "text/plain; version=0.0.4",
+                ),
+            )
+        elif path == "/v1/models":
+            self._handle(
+                "/v1/models",
+                lambda: (200, self.service.models_document(), "application/json"),
+            )
+        else:
+            self._send_json(404, encode_error("not_found", f"no route {path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/predict":
+            self._handle(
+                "/v1/predict",
+                lambda: (
+                    200,
+                    self.service.predict_payload(self._read_json_body()),
+                    "application/json",
+                ),
+            )
+        elif path == "/v1/scan":
+            self._handle(
+                "/v1/scan",
+                lambda: (
+                    200,
+                    self.service.scan_payload(self._read_json_body()),
+                    "application/json",
+                ),
+            )
+        else:
+            self._send_json(404, encode_error("not_found", f"no route {path!r}"))
+
+
+class HotspotServer:
+    """A running (or startable) HTTP inference server."""
+
+    def __init__(
+        self,
+        service: ServeService,
+        config: Optional[ServerConfig] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.config = config or ServerConfig()
+        self.verbose = verbose
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise ServeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "HotspotServer":
+        """Bind the socket and serve on a background thread."""
+        if self._httpd is not None:
+            return self
+        self.service.start()
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._httpd.verbose = self.verbose  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        self._stopped.clear()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: close the listener, drain the queue."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.service.close(drain=drain)
+        self._httpd = None
+        self._thread = None
+        self._stopped.set()
+
+    def wait(self) -> None:
+        """Block the calling thread until :meth:`stop` completes."""
+        self._stopped.wait()
+
+    # Context-manager sugar for tests and the benchmark.
+    def __enter__(self) -> "HotspotServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,181 @@
+"""The transport-independent serving facade.
+
+:class:`ServeService` owns the model registry, the micro-batcher and the
+metrics registry, and implements the four operations the HTTP layer (or
+an embedding application) exposes: ``predict``, ``scan``, ``health`` and
+``metrics_text``.  The HTTP front end in :mod:`repro.serve.httpd` is a
+thin shell over this class, so tests and benchmarks can drive the
+service in-process, with or without sockets.
+
+Batched evaluation semantics match
+:meth:`~repro.core.detector.HotspotDetector.predict_clips` exactly: the
+margins of every clip in the batch come from one
+:meth:`MultiKernelModel.margins` call, per-request thresholds are
+applied to the shared margins, and the feedback kernel filters the
+flagged survivors of the whole batch in one pass.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.layout.clip import Clip
+from repro.serve.batching import BatchingConfig, MicroBatcher
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.protocol import (
+    decode_predict_request,
+    decode_scan_request,
+    encode_predict_response,
+    encode_scan_response,
+    request_model_name,
+)
+from repro.serve.registry import ModelRegistry
+
+
+class ServeService:
+    """Registry + batcher + metrics behind a payload-level API."""
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        batching: Optional[BatchingConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.registry = registry or ModelRegistry(metrics=self.metrics)
+        if self.registry.metrics is None:
+            self.registry.metrics = self.metrics
+        self.batcher = MicroBatcher(
+            self._evaluate_batch, batching or BatchingConfig(), metrics=self.metrics
+        )
+        self.started_unix = time.time()
+        self._requests = self.metrics.counter(
+            "serve_requests_total",
+            "Requests by endpoint and outcome.",
+            labels=("endpoint", "status"),
+        )
+        self._latency = self.metrics.histogram(
+            "serve_request_seconds",
+            "End-to-end request latency by endpoint.",
+            labels=("endpoint",),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServeService":
+        self.batcher.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        self.batcher.close(drain=drain)
+
+    def load_model(self, path, name: Optional[str] = None):
+        return self.registry.load(path, name)
+
+    # ------------------------------------------------------------------
+    # request accounting (shared with the HTTP layer)
+    # ------------------------------------------------------------------
+    def record_request(self, endpoint: str, status: int, seconds: float) -> None:
+        self._requests.labels(endpoint, status).inc()
+        self._latency.labels(endpoint).observe(seconds)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def predict_payload(self, document: object, timeout: Optional[float] = None) -> dict:
+        """Handle a ``/v1/predict`` body; returns the response document."""
+        entry = self.registry.get(request_model_name(document))
+        clips, threshold, _ = decode_predict_request(document, entry.spec)
+        flags, margins, resolved = self.predict_clips(
+            clips, model=entry.name, threshold=threshold, timeout=timeout
+        )
+        return encode_predict_response(entry.name, resolved, flags, margins)
+
+    def predict_clips(
+        self,
+        clips: Sequence[Clip],
+        model: Optional[str] = None,
+        threshold: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Batched clip prediction: (flags, margins, resolved threshold)."""
+        entry = self.registry.get(model)
+        if threshold is None:
+            threshold = entry.detector.config.decision_threshold
+        result = self.batcher.submit(
+            entry.name, list(clips), context=float(threshold), timeout=timeout
+        )
+        flags = np.array([flag for flag, _ in result], dtype=bool)
+        margins = np.array([margin for _, margin in result], dtype=float)
+        return flags, margins, float(threshold)
+
+    def scan_payload(self, document: object) -> dict:
+        """Handle a ``/v1/scan`` body; full-layout detection, unbatched."""
+        entry = self.registry.get(request_model_name(document))
+        layout, layer, threshold, _ = decode_scan_request(document)
+        report = entry.detector.detect(layout, layer=layer, threshold=threshold)
+        return encode_scan_response(entry.name, report)
+
+    def health(self) -> tuple[bool, dict]:
+        """(healthy?, document) — healthy iff a model is loaded and the
+        batcher accepts work."""
+        models = self.registry.names()
+        healthy = bool(models) and not self.batcher.closing
+        document = {
+            "status": "ok" if healthy else "unavailable",
+            "models": models,
+            "queue_depth": self.batcher.queue_depth(),
+            "uptime_seconds": time.time() - self.started_unix,
+            "draining": self.batcher.closing,
+        }
+        return healthy, document
+
+    def models_document(self) -> dict:
+        return {"models": self.registry.describe()}
+
+    def metrics_text(self) -> str:
+        return self.metrics.render()
+
+    # ------------------------------------------------------------------
+    # batched evaluation (runs on batcher worker threads)
+    # ------------------------------------------------------------------
+    def _evaluate_batch(
+        self, group: str, requests: list[tuple[Sequence[Clip], object]]
+    ) -> list[list[tuple[bool, float]]]:
+        entry = self.registry.get(group)
+        detector = entry.detector
+        model = detector.model_
+        if model is None:
+            raise ServeError(f"model {group!r} has no trained kernels")
+
+        all_clips: list[Clip] = []
+        spans: list[tuple[int, int, float]] = []
+        for clips, threshold in requests:
+            start = len(all_clips)
+            all_clips.extend(clips)
+            spans.append((start, len(all_clips), float(threshold)))
+
+        margins = model.margins(all_clips)
+        flags = np.zeros(len(all_clips), dtype=bool)
+        for start, stop, threshold in spans:
+            flags[start:stop] = margins[start:stop] >= threshold
+
+        # One feedback pass over every flagged clip in the batch — the
+        # filter is per-clip, so batching cannot change any verdict.
+        if detector.feedback_ is not None and np.any(flags):
+            flagged_indices = np.flatnonzero(flags)
+            keep = np.asarray(
+                detector.feedback_.keep_mask([all_clips[i] for i in flagged_indices]),
+                dtype=bool,
+            )
+            flags[flagged_indices[~keep]] = False
+
+        return [
+            list(zip(flags[start:stop].tolist(), margins[start:stop].tolist()))
+            for start, stop, _ in spans
+        ]

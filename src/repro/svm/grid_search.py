@@ -32,6 +32,9 @@ class IterativeConfig:
     class_weight: Optional[dict[int, float]] = None
     kernel: str = "rbf"
     far_field_floor: float = 0.0
+    #: Feature scaling of every trained kernel: "minmax", "standard" or
+    #: "none".  Persisted with the model (:mod:`repro.core.persist`).
+    scale_features: str = "minmax"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_accuracy <= 1.0:
@@ -40,6 +43,11 @@ class IterativeConfig:
             )
         if self.max_rounds < 1:
             raise SvmError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.scale_features not in ("minmax", "standard", "none"):
+            raise SvmError(
+                f"scale_features must be minmax/standard/none, "
+                f"got {self.scale_features!r}"
+            )
 
 
 @dataclass
@@ -93,6 +101,7 @@ def train_iterative(
             kernel=config.kernel,
             class_weight=config.class_weight,
             far_field_floor=config.far_field_floor,
+            scale_features=config.scale_features,
         )
         model.fit(matrix, labels)
         predictions = model.predict(matrix)

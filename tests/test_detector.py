@@ -86,6 +86,75 @@ class TestFeedback:
         assert feedback.keep_mask([unknown])[0]
 
 
+class _EveryOtherFeedback:
+    """Stub feedback kernel: reclaims every second flagged clip."""
+
+    def keep_mask(self, clips):
+        return np.array([i % 2 == 0 for i in range(len(clips))], dtype=bool)
+
+
+class TestFeedbackFiltering:
+    """The feedback stage must filter flags without disturbing clip order."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, small_benchmark):
+        detector = HotspotDetector(DetectorConfig.ours())
+        detector.fit(small_benchmark.training)
+        return detector
+
+    def _reference_filter(self, flags, keep_of):
+        """The pre-vectorization cursor loop, kept as the oracle."""
+        flags = flags.copy()
+        flagged = np.flatnonzero(flags)
+        keep = keep_of(len(flagged))
+        cursor = 0
+        for index in flagged:
+            if not keep[cursor]:
+                flags[index] = False
+            cursor += 1
+        return flags
+
+    def test_filtering_preserves_clip_order(self, fitted, small_benchmark):
+        clips = (
+            small_benchmark.training.hotspots()[:6]
+            + small_benchmark.training.non_hotspots()[:6]
+        )
+        detector = HotspotDetector(fitted.config)
+        detector.model_ = fitted.model_
+        detector.feedback_ = _EveryOtherFeedback()
+
+        raw = fitted.model_.margins(clips) >= fitted.config.decision_threshold
+        expected = self._reference_filter(
+            raw, lambda n: [i % 2 == 0 for i in range(n)]
+        )
+        flags = detector.predict_clips(clips)
+        assert np.array_equal(flags, expected)
+        # The i-th flag answers the i-th clip: reordering the inputs
+        # reorders the flags identically.
+        order = np.random.default_rng(7).permutation(len(clips))
+        reordered = detector.predict_clips([clips[i] for i in order])
+        raw_reordered = raw[order]
+        expected_reordered = self._reference_filter(
+            raw_reordered, lambda n: [i % 2 == 0 for i in range(n)]
+        )
+        assert np.array_equal(reordered, expected_reordered)
+
+    def test_real_feedback_matches_reference_loop(self, ambit_benchmark):
+        detector = HotspotDetector(DetectorConfig.ours())
+        detector.fit(ambit_benchmark.training)
+        if detector.feedback_ is None:
+            pytest.skip("feedback did not train on this fixture")
+        clips = (
+            ambit_benchmark.training.hotspots()[:8]
+            + ambit_benchmark.training.non_hotspots()[:8]
+        )
+        raw = detector.model_.margins(clips) >= detector.config.decision_threshold
+        flagged = [clip for clip, f in zip(clips, raw) if f]
+        keep = detector.feedback_.keep_mask(flagged)
+        expected = self._reference_filter(raw, lambda n: keep)
+        assert np.array_equal(detector.predict_clips(clips), expected)
+
+
 class TestDetector:
     def test_unfitted_raises(self):
         with pytest.raises(NotFittedError):

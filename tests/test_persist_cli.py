@@ -67,6 +67,64 @@ class TestPersistence:
         with pytest.raises(ConfigError):
             load_detector(path)
 
+    @pytest.mark.parametrize("scaler", ["minmax", "standard", "none"])
+    def test_roundtrip_without_feedback_each_scaler(
+        self, scaler, small_benchmark, tmp_path
+    ):
+        """A feedback-free detector round-trips for every scaler type."""
+        from dataclasses import replace
+
+        base = DetectorConfig.with_topology()  # use_feedback=False
+        config = replace(base, svm=replace(base.svm, scale_features=scaler))
+        detector = HotspotDetector(config)
+        detector.fit(small_benchmark.training)
+        assert detector.feedback_ is None
+        kernel_model = detector.model_.kernels[0].model
+        assert kernel_model.scale_features == scaler
+
+        path = tmp_path / f"model_{scaler}.npz"
+        save_detector(detector, path)
+        loaded = load_detector(path)
+
+        probe = (
+            small_benchmark.training.hotspots()[:6]
+            + small_benchmark.training.non_hotspots()[:6]
+        )
+        assert np.allclose(detector.margins(probe), loaded.margins(probe))
+        assert np.array_equal(
+            detector.predict_clips(probe), loaded.predict_clips(probe)
+        )
+        # The ablation switches travel with the archive.
+        assert loaded.feedback_ is None
+        assert loaded.config.use_feedback is False
+        assert loaded.config.use_removal is False
+
+    def test_switches_roundtrip_affect_detect(self, trained, tmp_path):
+        """use_removal must survive persistence (it changes detect())."""
+        from dataclasses import replace
+
+        trimmed = HotspotDetector(replace(trained.config, use_removal=False))
+        trimmed.model_ = trained.model_
+        trimmed.feedback_ = trained.feedback_
+        path = tmp_path / "noremoval.npz"
+        save_detector(trimmed, path)
+        loaded = load_detector(path)
+        assert loaded.config.use_removal is False
+
+    def test_read_archive_info(self, trained, tmp_path):
+        from repro.core.persist import read_archive_info
+
+        path = tmp_path / "model.npz"
+        save_detector(trained, path, name="release-1")
+        info = read_archive_info(path)
+        assert info["kernels"] == len(trained.model_.kernels)
+        assert info["feedback"] == (trained.feedback_ is not None)
+        assert info["registry"]["name"] == "release-1"
+        assert info["spec"]["core_side"] == trained.config.spec.core_side
+        with pytest.raises(ConfigError):
+            np.savez(tmp_path / "junk.npz", a=np.zeros(3))
+            read_archive_info(tmp_path / "junk.npz")
+
 
 class TestCli:
     def test_generate_then_train_then_scan(self, tmp_path):
