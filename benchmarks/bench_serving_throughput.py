@@ -128,7 +128,7 @@ def _report(rows):
 
 
 def test_serving_throughput(once):
-    from conftest import get_benchmark, get_detector
+    from conftest import get_benchmark, get_detector, record_metrics
 
     bench = get_benchmark("benchmark5")
     detector = get_detector("benchmark5", "ours")
@@ -140,6 +140,14 @@ def test_serving_throughput(once):
     assert rows[-1]["clips_per_s"] > rows[0]["clips_per_s"]
     # Every phase saw its work and nothing was dropped.
     assert all(row["requests"] > 0 and row["wall_seconds"] > 0 for row in rows)
+    best = max(rows, key=lambda row: row["clips_per_s"])
+    record_metrics(
+        __file__,
+        peak_clips_per_s=round(best["clips_per_s"], 1),
+        peak_req_per_s=round(best["req_per_s"], 1),
+        peak_batch_size=best["batch_size"],
+        p99_ms_at_peak=round(best["p99_ms"], 1),
+    )
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ from repro.baselines.pattern_match import PatternMatcher
 from repro.core.config import DetectorConfig
 from repro.core.detector import HotspotDetector
 
-from conftest import get_benchmark, get_detector, print_table
+from conftest import get_benchmark, get_detector, print_table, record_metrics
 
 BENCH_NAMES = ("benchmark1", "benchmark4", "benchmark5")
 
@@ -123,6 +123,15 @@ def test_table2_comparison(once):
         if ours_score.accuracy >= pm_score.accuracy - 0.10
     )
     assert close_or_better * 2 >= len(shape_checks), shape_checks
+    record_metrics(
+        __file__,
+        pm_hit_extra_ratio=round(pm_ratio, 3),
+        ours_hit_extra_ratio=round(ours_ratio, 3),
+        ours_mean_accuracy=round(
+            mean(score.accuracy for _, _, score in shape_checks), 4
+        ),
+        benchmarks=len(shape_checks),
+    )
 
     bench = get_benchmark("benchmark5")
     detector = get_detector("benchmark5", "ours")

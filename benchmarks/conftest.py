@@ -9,8 +9,14 @@ Scales are chosen so the full bench suite completes in minutes on a
 laptop; EXPERIMENTS.md records the mapping to the paper's full-size runs.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
+from repro import obs
 from repro.core.config import DetectorConfig
 from repro.core.detector import HotspotDetector
 from repro.data.benchmarks import generate_benchmark
@@ -64,6 +70,111 @@ def print_table(title: str, headers: list, rows: list) -> None:
     print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for row in rows:
         print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+
+# ----------------------------------------------------------------------
+# BENCH_<name>.json result writer
+#
+# Every bench_*.py module gets one machine-readable result file at the
+# repo root (override the directory with REPRO_BENCH_DIR): per-test
+# outcomes and durations, the pipeline-stage totals the obs tracer saw
+# while that module's tests ran, and any headline numbers the module
+# reported through :func:`record_metrics`.  CI and ad-hoc runs can diff
+# these files across commits without scraping stdout tables.
+# ----------------------------------------------------------------------
+_bench_results: dict = {}
+_last_stage_totals: dict = {}
+
+
+def _bench_key(module_file) -> str:
+    stem = Path(str(module_file)).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def _bench_entry(key: str) -> dict:
+    return _bench_results.setdefault(
+        key, {"tests": {}, "stages": {}, "metrics": {}}
+    )
+
+
+def record_metrics(module_file, **metrics) -> None:
+    """Attach headline metrics to the module's ``BENCH_<name>.json``.
+
+    Bench modules call ``record_metrics(__file__, accuracy=..., ...)``
+    with whatever numbers their printed table summarises.
+    """
+    _bench_entry(_bench_key(module_file))["metrics"].update(metrics)
+
+
+def _stage_delta() -> dict:
+    """Stage totals accumulated since the previous snapshot."""
+    global _last_stage_totals
+    totals = obs.get_tracer().stage_totals()
+    delta = {}
+    for name, entry in totals.items():
+        last = _last_stage_totals.get(name, {})
+        count = entry["count"] - last.get("count", 0)
+        if count <= 0:
+            continue
+        delta[name] = {
+            "count": count,
+            "wall_s": round(entry["wall_s"] - last.get("wall_s", 0.0), 6),
+            "cpu_s": round(entry["cpu_s"] - last.get("cpu_s", 0.0), 6),
+        }
+    _last_stage_totals = totals
+    return delta
+
+
+def pytest_sessionstart(session):
+    # Trace the whole bench session; spans bound the store, tallies don't.
+    obs.set_tracer(obs.Tracer(max_spans=200_000))
+
+
+def pytest_runtest_logreport(report):
+    if report.when != "call":
+        return
+    path = report.nodeid.split("::", 1)[0]
+    if not Path(path).name.startswith("bench_"):
+        return
+    entry = _bench_entry(_bench_key(path))
+    test_name = report.nodeid.split("::", 1)[-1]
+    entry["tests"][test_name] = {
+        "outcome": report.outcome,
+        "seconds": round(report.duration, 3),
+    }
+    # Tests run sequentially, so the tracer delta since the last bench
+    # test belongs to this module.
+    for name, stage in _stage_delta().items():
+        merged = entry["stages"].setdefault(
+            name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+        )
+        merged["count"] += stage["count"]
+        merged["wall_s"] = round(merged["wall_s"] + stage["wall_s"], 6)
+        merged["cpu_s"] = round(merged["cpu_s"] + stage["cpu_s"], 6)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    try:
+        out_dir = Path(os.environ.get("REPRO_BENCH_DIR", session.config.rootpath))
+        try:
+            out_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            pass
+        environment = obs.environment_summary()
+        for key, entry in _bench_results.items():
+            payload = {
+                "bench": key,
+                "created_unix": time.time(),
+                "environment": environment,
+                **entry,
+            }
+            target = out_dir / f"BENCH_{key}.json"
+            try:
+                target.write_text(json.dumps(payload, indent=2) + "\n")
+            except OSError as exc:
+                print(f"bench writer: cannot write {target}: {exc}")
+    finally:
+        obs.set_tracer(None)
 
 
 @pytest.fixture

@@ -31,6 +31,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.config import DetectorConfig
 from repro.core.detector import HotspotDetector
 from repro.core.persist import load_detector, save_detector
@@ -42,6 +43,128 @@ from repro.layout.io import (
     save_clipset_gds,
     save_layout_gds,
 )
+
+
+def _add_obs_arguments(parser, manifest_by_default: bool) -> None:
+    """The shared observability flags (train/scan/score)."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace (chrome://tracing) JSON of all pipeline stages",
+    )
+    group.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="run-manifest path"
+        + (
+            " (default: next to the main artifact)"
+            if manifest_by_default
+            else " (off unless given)"
+        ),
+    )
+    if manifest_by_default:
+        group.add_argument(
+            "--no-manifest", action="store_true", help="skip the run manifest"
+        )
+    group.add_argument(
+        "--json-logs",
+        action="store_true",
+        help="structured JSON logs on stderr",
+    )
+    group.add_argument("--run-id", default=None, help="override the generated run id")
+
+
+class _ObsSession:
+    """Per-command observability lifecycle: tracer, manifest, logging.
+
+    Installs a recording tracer only when the command will write a
+    manifest or a trace (otherwise every ``trace(...)`` call site stays
+    on the no-op path), and always restores the process-global tracer
+    and logging state on exit — CLI invocations must not leak tracers
+    into the embedding process (tests call ``main()`` in-process).
+
+    Artifact notices go to stderr so commands with stdout contracts
+    (``score --json`` prints a bare JSON line) stay parseable.
+    """
+
+    #: Commands whose manifest is on by default (written next to the
+    #: command's main artifact); elsewhere a manifest is opt-in.
+    MANIFEST_DEFAULT = ("train", "scan")
+
+    def __init__(self, args, command: str) -> None:
+        self.command = command
+        self.trace_path: Optional[Path] = getattr(args, "trace", None)
+        explicit: Optional[Path] = getattr(args, "manifest", None)
+        self.wants_manifest = not getattr(args, "no_manifest", False) and (
+            explicit is not None or command in self.MANIFEST_DEFAULT
+        )
+        self.manifest_path = explicit
+        self.tracer: Optional[obs.Tracer] = None
+        self.manifest: Optional[obs.RunManifest] = None
+        if self.wants_manifest or self.trace_path is not None:
+            self.tracer = obs.set_tracer(obs.Tracer())
+            self.manifest = obs.RunManifest.new(
+                command,
+                argv=getattr(args, "_argv", None),
+                run_id=getattr(args, "run_id", None),
+            )
+        if getattr(args, "json_logs", False):
+            obs.configure_logging(
+                True,
+                command=command,
+                run_id=self.manifest.run_id if self.manifest else obs.new_run_id(),
+            )
+
+    def __enter__(self) -> "_ObsSession":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        obs.set_tracer(None)
+        obs.configure_logging(False)
+        return False
+
+    # ------------------------------------------------------------------
+    def set_config(self, config) -> None:
+        if self.manifest is not None:
+            self.manifest.config = obs.config_summary(config)
+
+    def set_dataset(self, name: str, value) -> None:
+        if self.manifest is not None:
+            self.manifest.dataset[name] = value
+
+    def record(self, **metrics) -> None:
+        if self.manifest is not None:
+            self.manifest.record_metrics(**metrics)
+
+    def artifact(self, kind: str, path) -> None:
+        if self.manifest is not None:
+            self.manifest.record_artifact(kind, path)
+
+    def finish(self, default_manifest: Optional[Path] = None) -> None:
+        """Write the trace and manifest artifacts (notices on stderr)."""
+        if self.trace_path is not None and self.tracer is not None:
+            try:
+                self.tracer.write_chrome(self.trace_path)
+                print(f"trace -> {self.trace_path}", file=sys.stderr)
+            except OSError as exc:
+                print(f"warning: could not write trace: {exc}", file=sys.stderr)
+        if self.wants_manifest and self.manifest is not None:
+            path = self.manifest_path or default_manifest
+            if path is None:
+                return
+            if self.trace_path is not None:
+                self.manifest.record_artifact("trace", self.trace_path)
+            self.manifest.finish(self.tracer)
+            try:
+                self.manifest.write(path)
+                print(f"manifest -> {path}", file=sys.stderr)
+            except OSError as exc:
+                print(f"warning: could not write manifest: {exc}", file=sys.stderr)
 
 
 def _add_generate(subparsers) -> None:
@@ -69,6 +192,7 @@ def _add_train(subparsers) -> None:
         choices=("ours", "ours_med", "ours_low", "basic", "topology", "removal"),
     )
     parser.add_argument("--parallel", action="store_true")
+    _add_obs_arguments(parser, manifest_by_default=True)
 
 
 def _add_scan(subparsers) -> None:
@@ -82,6 +206,7 @@ def _add_scan(subparsers) -> None:
     parser.add_argument(
         "--report", type=Path, default=None, help="write reports as a GDSII overlay"
     )
+    _add_obs_arguments(parser, manifest_by_default=True)
 
 
 def _add_score(subparsers) -> None:
@@ -98,6 +223,22 @@ def _add_score(subparsers) -> None:
         "--variant",
         default="ours",
         choices=("ours", "ours_med", "ours_low", "basic", "topology", "removal"),
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_obs_arguments(parser, manifest_by_default=False)
+
+
+def _add_report(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "report", help="render or compare run manifests"
+    )
+    parser.add_argument("manifest", type=Path, help="a RunManifest JSON file")
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="OTHER",
+        help="second manifest; prints stage/metric deltas",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
 
@@ -148,6 +289,14 @@ def _add_serve(subparsers) -> None:
         "--request-timeout", type=float, default=30.0, help="seconds; per request"
     )
     parser.add_argument("--verbose", action="store_true", help="log every request")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record pipeline spans and expose per-stage histograms on /metrics",
+    )
+    parser.add_argument(
+        "--json-logs", action="store_true", help="structured JSON logs on stderr"
+    )
 
 
 def _add_client(subparsers) -> None:
@@ -214,65 +363,136 @@ def cmd_generate(args) -> int:
 
 
 def cmd_train(args) -> int:
-    training = load_clipset_gds(args.clips, ICCAD_SPEC)
-    detector = HotspotDetector(_config_for(args.variant, args.parallel))
-    started = time.perf_counter()
-    report = detector.fit(training)
-    save_detector(detector, args.model, name=args.model.stem)
-    print(
-        f"trained {report.kernels} kernels "
-        f"(feedback={report.feedback_trained}) in "
-        f"{time.perf_counter() - started:.1f}s -> {args.model}"
-    )
+    with _ObsSession(args, "train") as session:
+        training = load_clipset_gds(args.clips, ICCAD_SPEC)
+        detector = HotspotDetector(_config_for(args.variant, args.parallel))
+        session.set_config(detector.config)
+        session.set_dataset("training_clips", obs.fingerprint_clipset(training))
+        session.set_dataset("source", str(args.clips))
+        started = time.perf_counter()
+        report = detector.fit(training)
+        save_detector(detector, args.model, name=args.model.stem)
+        session.record(
+            kernels=report.kernels,
+            hotspot_clusters=report.hotspot_clusters,
+            nonhotspot_centroids=report.nonhotspot_centroids,
+            upsampled_hotspots=report.upsampled_hotspots,
+            feedback_trained=report.feedback_trained,
+            train_seconds=round(report.train_seconds, 4),
+        )
+        session.artifact("model", args.model)
+        print(
+            f"trained {report.kernels} kernels "
+            f"(feedback={report.feedback_trained}) in "
+            f"{time.perf_counter() - started:.1f}s -> {args.model}"
+        )
+        session.finish(
+            default_manifest=args.model.with_suffix(".manifest.json")
+        )
     return 0
 
 
 def cmd_scan(args) -> int:
-    detector = load_detector(args.model)
-    layout = load_layout_auto(args.layout)
-    result = detector.detect(layout, layer=args.layer, threshold=args.threshold)
-    print(
-        f"{result.extraction.candidate_count} candidates, "
-        f"{result.report_count} hotspot reports "
-        f"({result.eval_seconds:.1f}s)"
-    )
-    for clip in result.reports:
-        print(f"  core ({clip.core.x0}, {clip.core.y0}) - ({clip.core.x1}, {clip.core.y1})")
-    if args.report is not None:
-        library = GdsLibrary(name="HOTSPOTS")
-        top = library.new_structure("HOTSPOT_MARKERS")
+    with _ObsSession(args, "scan") as session:
+        detector = load_detector(args.model)
+        layout = load_layout_auto(args.layout)
+        session.set_config(detector.config)
+        session.set_dataset("layout", obs.fingerprint_layout(layout.layer(args.layer)))
+        session.set_dataset("source", str(args.layout))
+        result = detector.detect(layout, layer=args.layer, threshold=args.threshold)
+        session.record(
+            candidates=result.extraction.candidate_count,
+            reports=result.report_count,
+            flagged_before_feedback=result.flagged_before_feedback,
+            flagged_after_feedback=result.flagged_after_feedback,
+            eval_seconds=round(result.eval_seconds, 4),
+        )
+        print(
+            f"{result.extraction.candidate_count} candidates, "
+            f"{result.report_count} hotspot reports "
+            f"({result.eval_seconds:.1f}s)"
+        )
         for clip in result.reports:
-            top.add(GdsBoundary(63, 0, list(clip.core.corners())))
-        write_library_file(library, args.report)
-        print(f"marker overlay -> {args.report}")
+            print(f"  core ({clip.core.x0}, {clip.core.y0}) - ({clip.core.x1}, {clip.core.y1})")
+        if args.report is not None:
+            library = GdsLibrary(name="HOTSPOTS")
+            top = library.new_structure("HOTSPOT_MARKERS")
+            for clip in result.reports:
+                top.add(GdsBoundary(63, 0, list(clip.core.corners())))
+            write_library_file(library, args.report)
+            session.artifact("report", args.report)
+            print(f"marker overlay -> {args.report}")
+        default = (
+            args.report.with_suffix(".manifest.json")
+            if args.report is not None
+            else args.model.with_suffix(".scan.manifest.json")
+        )
+        session.finish(default_manifest=default)
     return 0
 
 
 def cmd_score(args) -> int:
-    bench = generate_benchmark(args.benchmark, args.scale)
-    detector = HotspotDetector(_config_for(args.variant))
-    detector.fit(bench.training)
-    result = detector.score(bench.testing)
-    score = result.score
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "benchmark": args.benchmark,
-                    "variant": args.variant,
-                    "hits": score.hits,
-                    "actual": score.actual_hotspots,
-                    "extras": score.extras,
-                    "accuracy": score.accuracy,
-                }
+    with _ObsSession(args, "score") as session:
+        bench = generate_benchmark(args.benchmark, args.scale)
+        detector = HotspotDetector(_config_for(args.variant))
+        session.set_config(detector.config)
+        session.set_dataset("training_clips", obs.fingerprint_clipset(bench.training))
+        session.set_dataset("benchmark", args.benchmark)
+        session.set_dataset("scale", args.scale)
+        detector.fit(bench.training)
+        result = detector.score(bench.testing)
+        score = result.score
+        session.record(
+            hits=score.hits,
+            actual=score.actual_hotspots,
+            extras=score.extras,
+            accuracy=score.accuracy,
+            eval_seconds=round(result.eval_seconds, 4),
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "benchmark": args.benchmark,
+                        "variant": args.variant,
+                        "hits": score.hits,
+                        "actual": score.actual_hotspots,
+                        "extras": score.extras,
+                        "accuracy": score.accuracy,
+                    }
+                )
             )
-        )
+        else:
+            print(
+                f"{args.benchmark} [{args.variant}]: "
+                f"{score.hits}/{score.actual_hotspots} hits, "
+                f"{score.extras} extras, accuracy {score.accuracy:.2%}"
+            )
+        session.finish()
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        manifest = obs.RunManifest.load(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest {args.manifest}: {exc}", file=sys.stderr)
+        return 2
+    if args.compare is not None:
+        try:
+            other = obs.RunManifest.load(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read manifest {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps({"base": manifest.to_dict(), "other": other.to_dict()}))
+        else:
+            print(obs.compare_manifests(manifest, other))
+        return 0
+    if args.json:
+        print(json.dumps(manifest.to_dict()))
     else:
-        print(
-            f"{args.benchmark} [{args.variant}]: "
-            f"{score.hits}/{score.actual_hotspots} hits, "
-            f"{score.extras} extras, accuracy {score.accuracy:.2%}"
-        )
+        print(obs.render_manifest(manifest))
     return 0
 
 
@@ -335,6 +555,12 @@ def cmd_serve(args) -> int:
             default_timeout_s=args.request_timeout,
         )
     )
+    if args.trace:
+        # Spans bridge into the service registry, so /metrics exposes
+        # repro_pipeline_stage_seconds{stage=...} histograms per stage.
+        obs.set_tracer(obs.Tracer(metrics=service.metrics, max_spans=10_000))
+    if args.json_logs:
+        obs.configure_logging(True, command="serve", run_id=obs.new_run_id())
     for index, spec in enumerate(args.model):
         name, sep, path = spec.partition("=")
         if sep:
@@ -365,6 +591,8 @@ def cmd_serve(args) -> int:
     signal.signal(signal.SIGTERM, _shutdown)
     signal.signal(signal.SIGINT, _shutdown)
     server.wait()
+    obs.set_tracer(None)
+    obs.configure_logging(False)
     print("server stopped")
     return 0
 
@@ -453,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train(subparsers)
     _add_scan(subparsers)
     _add_score(subparsers)
+    _add_report(subparsers)
     _add_info(subparsers)
     _add_explain(subparsers)
     _add_serve(subparsers)
@@ -462,11 +691,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Raw argv is captured into the run manifest for reproducibility.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     handlers = {
         "generate": cmd_generate,
         "train": cmd_train,
         "scan": cmd_scan,
         "score": cmd_score,
+        "report": cmd_report,
         "info": cmd_info,
         "explain": cmd_explain,
         "serve": cmd_serve,

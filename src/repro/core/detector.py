@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.config import DetectorConfig
 from repro.core.extraction import ExtractionReport, extract_for_detector
+from repro.obs import trace
 from repro.core.feedback import FeedbackKernel, train_feedback_kernel
 from repro.core.metrics import DetectionScore, score_reports
 from repro.core.removal import remove_redundant_clips
@@ -99,12 +100,17 @@ class HotspotDetector:
     def fit(self, training: ClipSet) -> TrainingReport:
         """Run the training phase on a labelled clip set."""
         started = time.perf_counter()
-        self.model_ = train_multi_kernel(training, self.config)
-        self.feedback_ = (
-            train_feedback_kernel(self.model_, self.config)
-            if self.config.use_feedback
-            else None
-        )
+        with trace("detector.fit", clips=len(training)) as span:
+            self.model_ = train_multi_kernel(training, self.config)
+            self.feedback_ = (
+                train_feedback_kernel(self.model_, self.config)
+                if self.config.use_feedback
+                else None
+            )
+            span.set(
+                kernels=len(self.model_.kernels),
+                feedback=self.feedback_ is not None,
+            )
         self.training_report_ = TrainingReport(
             hotspot_clusters=len(self.model_.hotspot_clusters),
             nonhotspot_centroids=len(self.model_.nonhotspot_centroids),
@@ -163,39 +169,48 @@ class HotspotDetector:
             self.config.decision_threshold if threshold is None else threshold
         )
         started = time.perf_counter()
-        extraction = extract_for_detector(layout, self.config, layer)
-        candidates = extraction.clips
+        with trace("detector.detect", layer=layer, threshold=threshold) as span:
+            extraction = extract_for_detector(layout, self.config, layer)
+            candidates = extraction.clips
 
-        if self.config.parallel and len(candidates) > 64:
-            chunk = (len(candidates) + self.config.worker_count - 1) // self.config.worker_count
-            parts = [
-                candidates[i : i + chunk]
-                for i in range(0, len(candidates), chunk)
-            ]
-            with ThreadPoolExecutor(max_workers=self.config.worker_count) as pool:
-                margin_parts = list(pool.map(model.margins, parts))
-            margins = np.concatenate(margin_parts) if margin_parts else np.zeros(0)
-        else:
-            margins = model.margins(candidates)
-        flags = margins >= threshold
-        flagged = [clip for clip, f in zip(candidates, flags) if f]
-        before_feedback = len(flagged)
+            with trace("detect.margins", candidates=len(candidates)):
+                if self.config.parallel and len(candidates) > 64:
+                    chunk = (len(candidates) + self.config.worker_count - 1) // self.config.worker_count
+                    parts = [
+                        candidates[i : i + chunk]
+                        for i in range(0, len(candidates), chunk)
+                    ]
+                    with ThreadPoolExecutor(max_workers=self.config.worker_count) as pool:
+                        margin_parts = list(pool.map(model.margins, parts))
+                    margins = np.concatenate(margin_parts) if margin_parts else np.zeros(0)
+                else:
+                    margins = model.margins(candidates)
+            flags = margins >= threshold
+            flagged = [clip for clip, f in zip(candidates, flags) if f]
+            before_feedback = len(flagged)
 
-        if self.feedback_ is not None and flagged:
-            keep = self.feedback_.keep_mask(flagged)
-            flagged = [clip for clip, k in zip(flagged, keep) if k]
-        after_feedback = len(flagged)
+            if self.feedback_ is not None and flagged:
+                with trace("detect.feedback", flagged=before_feedback):
+                    keep = self.feedback_.keep_mask(flagged)
+                    flagged = [clip for clip, k in zip(flagged, keep) if k]
+            after_feedback = len(flagged)
 
-        if self.config.use_removal and flagged:
-            def clip_factory(core):
-                return layout.cut_clip_at_core(self.config.spec, core, layer)
+            if self.config.use_removal and flagged:
+                def clip_factory(core):
+                    return layout.cut_clip_at_core(self.config.spec, core, layer)
 
-            reports = remove_redundant_clips(
-                flagged, self.config.spec, self.config.removal, clip_factory
+                reports = remove_redundant_clips(
+                    flagged, self.config.spec, self.config.removal, clip_factory
+                )
+            else:
+                reports = flagged
+            reports = [r.with_label(ClipLabel.HOTSPOT) for r in reports]
+            span.set(
+                candidates=len(candidates),
+                flagged_before_feedback=before_feedback,
+                flagged_after_feedback=after_feedback,
+                reports=len(reports),
             )
-        else:
-            reports = flagged
-        reports = [r.with_label(ClipLabel.HOTSPOT) for r in reports]
         self._observe("detector_detect_seconds", time.perf_counter() - started)
         return DetectionReport(
             reports=reports,

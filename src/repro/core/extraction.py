@@ -25,6 +25,7 @@ from repro.geometry.dissect import cut_to_max_size
 from repro.geometry.rect import Rect, bounding_box
 from repro.layout.clip import Clip, ClipSpec
 from repro.layout.layout import Layout
+from repro.obs import trace
 
 
 @dataclass
@@ -82,34 +83,43 @@ def extract_candidate_clips(
     anchor position, so overlapping source rectangles do not multiply
     candidates.
     """
-    rects = layout.layer(layer).rects
-    if region is not None:
-        rects = [r for r in rects if r.overlaps(region)]
-    pieces = cut_to_max_size(rects, spec.core_side)
-    anchors = sorted({(piece.x0, piece.y0) for piece in pieces})
+    with trace("detect.extract", layer=layer, workers=parallel_workers) as span:
+        rects = layout.layer(layer).rects
+        if region is not None:
+            rects = [r for r in rects if r.overlaps(region)]
+        pieces = cut_to_max_size(rects, spec.core_side)
+        anchors = sorted({(piece.x0, piece.y0) for piece in pieces})
+        span.set(anchors=len(anchors))
 
-    if parallel_workers > 1 and len(anchors) > 64:
-        chunk = (len(anchors) + parallel_workers - 1) // parallel_workers
-        parts = [
-            anchors[i : i + chunk] for i in range(0, len(anchors), chunk)
-        ]
-        with ThreadPoolExecutor(max_workers=parallel_workers) as pool:
-            reports = list(
-                pool.map(
-                    lambda part: _extract_from_anchors(layout, spec, config, layer, part),
-                    parts,
+        if parallel_workers > 1 and len(anchors) > 64:
+            chunk = (len(anchors) + parallel_workers - 1) // parallel_workers
+            parts = [
+                anchors[i : i + chunk] for i in range(0, len(anchors), chunk)
+            ]
+            with ThreadPoolExecutor(max_workers=parallel_workers) as pool:
+                reports = list(
+                    pool.map(
+                        lambda part: _extract_from_anchors(layout, spec, config, layer, part),
+                        parts,
+                    )
                 )
-            )
-        merged = ExtractionReport(clips=[], anchor_count=len(anchors))
-        for report in reports:
-            merged.clips.extend(report.clips)
-            merged.rejected_density += report.rejected_density
-            merged.rejected_count += report.rejected_count
-            merged.rejected_boundary += report.rejected_boundary
-        return merged
-    report = _extract_from_anchors(layout, spec, config, layer, anchors)
-    report.anchor_count = len(anchors)
-    return report
+            merged = ExtractionReport(clips=[], anchor_count=len(anchors))
+            for report in reports:
+                merged.clips.extend(report.clips)
+                merged.rejected_density += report.rejected_density
+                merged.rejected_count += report.rejected_count
+                merged.rejected_boundary += report.rejected_boundary
+            report = merged
+        else:
+            report = _extract_from_anchors(layout, spec, config, layer, anchors)
+            report.anchor_count = len(anchors)
+        span.set(
+            candidates=len(report.clips),
+            rejected_density=report.rejected_density,
+            rejected_count=report.rejected_count,
+            rejected_boundary=report.rejected_boundary,
+        )
+        return report
 
 
 def _extract_from_anchors(

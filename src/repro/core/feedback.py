@@ -27,6 +27,7 @@ from repro.core.resample import balancing_class_weights
 from repro.core.training import HOTSPOT, NON_HOTSPOT, MultiKernelModel
 from repro.features.vector import FeatureConfig, FeatureExtractor, FeatureSchema
 from repro.layout.clip import Clip
+from repro.obs import trace
 from repro.svm.grid_search import IterativeConfig, train_iterative
 from repro.svm.model import SupportVectorClassifier
 from repro.topology.cluster import ClassifierConfig, TopologicalClassifier
@@ -101,13 +102,24 @@ def train_feedback_kernel(
     is nothing for a feedback kernel to learn and evaluation skips the
     stage entirely.
     """
+    with trace("train.feedback", centroids=len(model.nonhotspot_centroids)) as span:
+        return _train_feedback_kernel(model, config, span)
+
+
+def _train_feedback_kernel(
+    model: MultiKernelModel,
+    config: DetectorConfig,
+    span,
+) -> Optional[FeedbackKernel]:
     centroids = model.nonhotspot_centroids
     if not centroids:
+        span.set(trained=False, reason="no centroids")
         return None
     per_kernel = model.kernel_margins(centroids)
     flagged_any = per_kernel.max(axis=1) >= 0.0 if per_kernel.size else np.zeros(0, bool)
     extras = [clip for clip, bad in zip(centroids, flagged_any) if bad]
     if not extras:
+        span.set(trained=False, reason="no extras")
         return None
 
     # Hotspot side: hotspots of every kernel that contributed an extra.
@@ -122,6 +134,7 @@ def train_feedback_kernel(
             cluster = model.hotspot_clusters[kernel.cluster_index]
             hotspot_clips.extend(model.hotspot_clips[i] for i in cluster.members)
     if not hotspot_clips:
+        span.set(trained=False, reason="no hotspot clips")
         return None
 
     # Nonhotspot side: extras re-clustered with ambit, one centroid each.
@@ -150,6 +163,11 @@ def train_feedback_kernel(
             far_field_floor=svm.far_field_floor,
             scale_features=svm.scale_features,
         ),
+    )
+    span.set(
+        trained=True,
+        extras=len(nonhotspot_clips),
+        hotspots=len(hotspot_clips),
     )
     return FeedbackKernel(
         schema=schema,

@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Sequence
 from repro.core.config import RemovalConfig
 from repro.geometry.rect import Rect, bounding_box
 from repro.layout.clip import Clip, ClipSpec
+from repro.obs import trace
 
 #: Builds a clip (window + in-window geometry) for an arbitrary core
 #: window — backed by the testing layout during evaluation.
@@ -225,8 +226,11 @@ def remove_redundant_clips(
                 out.extend(clips[index] for index in members)
         return out
 
-    stage1 = merge_and_reframe(list(reports))
-    stage2 = discard_redundant(stage1)
-    stage3 = [shift_to_gravity(clip, config, clip_factory) for clip in stage2]
-    stage4 = merge_and_reframe(stage3)
-    return discard_redundant(stage4)
+    with trace("detect.removal", reports=len(reports)) as span:
+        stage1 = merge_and_reframe(list(reports))
+        stage2 = discard_redundant(stage1)
+        stage3 = [shift_to_gravity(clip, config, clip_factory) for clip in stage2]
+        stage4 = merge_and_reframe(stage3)
+        final = discard_redundant(stage4)
+        span.set(kept=len(final))
+        return final

@@ -24,6 +24,7 @@ from repro.core.resample import (
 from repro.errors import SvmError
 from repro.features.vector import FeatureExtractor, FeatureSchema
 from repro.layout.clip import Clip, ClipSet
+from repro.obs import trace
 from repro.svm.grid_search import IterativeConfig, TrainingRound, train_iterative
 from repro.svm.model import SupportVectorClassifier
 from repro.topology.cluster import Cluster, TopologicalClassifier
@@ -180,7 +181,20 @@ def _train_one_kernel(
         far_field_floor=svm_config.far_field_floor,
         scale_features=svm_config.scale_features,
     )
-    result = train_iterative(matrix, labels, config)
+    with trace(
+        "train.kernel",
+        cluster=cluster_index,
+        hotspots=len(cluster_hotspots),
+        nonhotspots=len(nonhotspot_centroids),
+    ) as span:
+        result = train_iterative(matrix, labels, config)
+        span.set(rounds=len(result.history))
+        if result.history:
+            span.set(
+                c=result.history[-1].c_value,
+                gamma=result.history[-1].gamma,
+                accuracy=result.history[-1].train_accuracy,
+            )
     key_set = (
         frozenset(core_string_key(clip) for clip in cluster_hotspots)
         if gate
@@ -222,57 +236,65 @@ def train_multi_kernel(
     # Upsample each hotspot; remember which derivatives belong to which
     # original so derivatives join their parent's cluster (the shifting is
     # meant to add fuzziness *inside* a cluster, not to spawn new ones).
-    upsampled: list[Clip] = []
-    derivative_groups: list[list[int]] = []
-    for clip in hotspots:
-        derivatives = shift_derivatives(clip, config.shift_amount)
-        indices = list(range(len(upsampled), len(upsampled) + len(derivatives)))
-        upsampled.extend(derivatives)
-        derivative_groups.append(indices)
+    with trace("train.shift", hotspots=len(hotspots)) as span:
+        upsampled: list[Clip] = []
+        derivative_groups: list[list[int]] = []
+        for clip in hotspots:
+            derivatives = shift_derivatives(clip, config.shift_amount)
+            indices = list(range(len(upsampled), len(upsampled) + len(derivatives)))
+            upsampled.extend(derivatives)
+            derivative_groups.append(indices)
+        span.set(upsampled=len(upsampled))
 
-    if config.use_topology:
-        original_clusters = classifier.classify(hotspots)
-        hotspot_clusters = []
-        for original in original_clusters:
-            expanded = Cluster(
-                string_key=original.string_key, radius=original.radius
-            )
-            expanded.centroid_grid = original.centroid_grid
-            for original_index in original.members:
-                expanded.members.extend(derivative_groups[original_index])
-            hotspot_clusters.append(expanded)
-        nonhotspot_clusters = classifier.classify(nonhotspots)
-        centroids = downsample_to_centroids(nonhotspots, nonhotspot_clusters)
-    else:
-        hotspot_clusters = [_single_cluster(upsampled)]
-        centroids = list(nonhotspots)
+    with trace("train.cluster", use_topology=config.use_topology) as span:
+        if config.use_topology:
+            original_clusters = classifier.classify(hotspots)
+            hotspot_clusters = []
+            for original in original_clusters:
+                expanded = Cluster(
+                    string_key=original.string_key, radius=original.radius
+                )
+                expanded.centroid_grid = original.centroid_grid
+                for original_index in original.members:
+                    expanded.members.extend(derivative_groups[original_index])
+                hotspot_clusters.append(expanded)
+            nonhotspot_clusters = classifier.classify(nonhotspots)
+            centroids = downsample_to_centroids(nonhotspots, nonhotspot_clusters)
+        else:
+            hotspot_clusters = [_single_cluster(upsampled)]
+            centroids = list(nonhotspots)
+        span.set(
+            hotspot_clusters=len(hotspot_clusters),
+            nonhotspot_centroids=len(centroids),
+        )
 
     jobs = [
         (index, [upsampled[i] for i in cluster.members])
         for index, cluster in enumerate(hotspot_clusters)
     ]
-    if config.parallel and len(jobs) > 1:
-        with ThreadPoolExecutor(max_workers=config.worker_count) as pool:
-            kernels = list(
-                pool.map(
-                    lambda job: _train_one_kernel(
-                        job[0],
-                        job[1],
-                        centroids,
-                        extractor,
-                        config.svm,
-                        config.use_topology,
-                    ),
-                    jobs,
+    with trace("train.kernels", kernels=len(jobs), parallel=config.parallel):
+        if config.parallel and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=config.worker_count) as pool:
+                kernels = list(
+                    pool.map(
+                        lambda job: _train_one_kernel(
+                            job[0],
+                            job[1],
+                            centroids,
+                            extractor,
+                            config.svm,
+                            config.use_topology,
+                        ),
+                        jobs,
+                    )
                 )
-            )
-    else:
-        kernels = [
-            _train_one_kernel(
-                index, members, centroids, extractor, config.svm, config.use_topology
-            )
-            for index, members in jobs
-        ]
+        else:
+            kernels = [
+                _train_one_kernel(
+                    index, members, centroids, extractor, config.svm, config.use_topology
+                )
+                for index, members in jobs
+            ]
     return MultiKernelModel(
         kernels=kernels,
         hotspot_clips=upsampled,

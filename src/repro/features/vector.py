@@ -33,6 +33,7 @@ from repro.geometry.rect import Rect
 from repro.geometry.transform import canonical_form
 from repro.layout.clip import Clip
 from repro.mtcg.features import extract_topological_features
+from repro.obs import trace
 
 #: Fixed serialisation order of the four feature types inside a vector.
 TYPE_ORDER: tuple[FeatureType, ...] = (
@@ -192,10 +193,12 @@ class FeatureExtractor:
         When ``schema`` is omitted it is derived from the population itself
         (per-type maximum counts).
         """
-        extractions = [self.extract(clip) for clip in clips]
-        if schema is None:
-            schema = FeatureSchema.from_extractions(extractions)
-        if not clips:
-            return np.zeros((0, schema.vector_length(self.config))), schema
-        rows = [self.vectorize(extraction, schema) for extraction in extractions]
-        return np.vstack(rows), schema
+        with trace("features.build_matrix", clips=len(clips)) as span:
+            extractions = [self.extract(clip) for clip in clips]
+            if schema is None:
+                schema = FeatureSchema.from_extractions(extractions)
+            span.set(vector_length=schema.vector_length(self.config))
+            if not clips:
+                return np.zeros((0, schema.vector_length(self.config))), schema
+            rows = [self.vectorize(extraction, schema) for extraction in extractions]
+            return np.vstack(rows), schema

@@ -19,8 +19,10 @@ relative to the window's bottom-left reference point.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.mtcg.rules import FeatureType, RuleRect
 from repro.geometry.rect import Rect
 from repro.mtcg.graph import Mtcg, build_mtcg
@@ -130,6 +132,22 @@ def extract_topological_features(
     vertically tiled ``Cv``, extracts all four feature types from them, and
     returns the deduplicated, canonically sorted rule-rectangle list.
     """
+    # This is the hottest path in the pipeline (once per clip per schema
+    # build); a full span per call would dominate the trace, so timings
+    # aggregate into one tally — and only when tracing is on.
+    if obs.enabled():
+        started = time.perf_counter()
+        result = _extract_topological_features(rects, window, diagonal_max_gap)
+        obs.tally("mtcg.features", time.perf_counter() - started)
+        return result
+    return _extract_topological_features(rects, window, diagonal_max_gap)
+
+
+def _extract_topological_features(
+    rects: Sequence[Rect],
+    window: Rect,
+    diagonal_max_gap: Optional[int],
+) -> list[RuleRect]:
     h_tiling = horizontal_tiling(rects, window)
     v_tiling = vertical_tiling(rects, window)
     ch = build_mtcg(

@@ -1,0 +1,70 @@
+"""repro.obs — tracing, structured logging, and run manifests.
+
+Zero-dependency (stdlib only) observability for the hotspot pipeline:
+
+- :func:`trace` / :class:`Tracer` — hierarchical spans with wall + CPU
+  time, JSON and Chrome ``chrome://tracing`` export, and an optional
+  bridge into a metrics registry (pipeline-stage histograms).
+- :func:`get_logger` / :func:`configure_logging` — JSON-lines logs with
+  run-scoped bound context; off by default.
+- :class:`RunManifest` — the per-run artifact (config, dataset
+  fingerprint, stage timings, headline metrics) rendered and compared
+  by ``repro report``.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from .logs import StructuredLogger, configure as configure_logging, get_logger
+from .manifest import (
+    RunManifest,
+    config_summary,
+    environment_summary,
+    fingerprint_clipset,
+    fingerprint_layout,
+    fingerprint_rects,
+    new_request_id,
+    new_run_id,
+)
+from .report import compare_manifests, render_manifest
+from .trace import (
+    NULL_TRACER,
+    STAGE_BUCKETS,
+    STAGE_METRIC,
+    NullTracer,
+    Span,
+    Tracer,
+    enabled,
+    get_tracer,
+    set_tracer,
+    tally,
+    trace,
+    traced,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "STAGE_BUCKETS",
+    "STAGE_METRIC",
+    "NullTracer",
+    "RunManifest",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "compare_manifests",
+    "config_summary",
+    "configure_logging",
+    "enabled",
+    "environment_summary",
+    "fingerprint_clipset",
+    "fingerprint_layout",
+    "fingerprint_rects",
+    "get_logger",
+    "get_tracer",
+    "new_request_id",
+    "new_run_id",
+    "render_manifest",
+    "set_tracer",
+    "tally",
+    "trace",
+    "traced",
+]

@@ -1,0 +1,132 @@
+"""Human-readable rendering and comparison of run manifests.
+
+Backs the ``repro report`` subcommand: render one manifest as an
+aligned text summary, or diff two (stage timings side by side, metric
+deltas, config/dataset drift).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .manifest import RunManifest
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_manifest(manifest: RunManifest) -> str:
+    """One manifest as an aligned, sectioned text block."""
+    lines = [
+        f"run      {manifest.run_id}",
+        f"command  {manifest.command}"
+        + (f" ({' '.join(manifest.argv)})" if manifest.argv else ""),
+        f"created  {time.strftime('%Y-%m-%d %H:%M:%S UTC', time.gmtime(manifest.created_unix))}",
+        f"wall     {_fmt_seconds(manifest.wall_s)}",
+    ]
+    if manifest.environment:
+        env = manifest.environment
+        lines.append(
+            f"env      python {env.get('python', '?')} on "
+            f"{env.get('platform', env.get('machine', '?'))}"
+        )
+    if manifest.dataset:
+        lines.append("dataset")
+        for name, value in sorted(manifest.dataset.items()):
+            if isinstance(value, dict):
+                detail = ", ".join(f"{k}={_fmt_value(v)}" for k, v in sorted(value.items()))
+                lines.append(f"  {name:<18} {detail}")
+            else:
+                lines.append(f"  {name:<18} {_fmt_value(value)}")
+    if manifest.stages:
+        lines.append("stages (wall / cpu / calls)")
+        width = max(len(name) for name in manifest.stages)
+        for name, entry in manifest.stages.items():
+            lines.append(
+                f"  {name:<{width}}  {_fmt_seconds(entry['wall_s']):>9}"
+                f"  {_fmt_seconds(entry.get('cpu_s', 0.0)):>9}"
+                f"  x{entry['count']}"
+            )
+    if manifest.metrics:
+        lines.append("metrics")
+        width = max(len(name) for name in manifest.metrics)
+        for name, value in sorted(manifest.metrics.items()):
+            lines.append(f"  {name:<{width}}  {_fmt_value(value)}")
+    if manifest.artifacts:
+        lines.append("artifacts")
+        for kind, path in sorted(manifest.artifacts.items()):
+            lines.append(f"  {kind:<10} {path}")
+    return "\n".join(lines)
+
+
+def compare_manifests(base: RunManifest, other: RunManifest) -> str:
+    """Two manifests side by side: stage timings, metric deltas, drift."""
+    lines = [
+        f"base   {base.run_id}  ({base.command}, {_fmt_seconds(base.wall_s)})",
+        f"other  {other.run_id}  ({other.command}, {_fmt_seconds(other.wall_s)})",
+    ]
+    if base.dataset != other.dataset:
+        lines.append("dataset DIFFERS — timing/metric deltas are not like-for-like")
+    if base.config != other.config:
+        drift = _config_drift(base.config, other.config)
+        lines.append(f"config  differs in {len(drift)} key(s): {', '.join(drift[:8])}")
+
+    stage_names = sorted(set(base.stages) | set(other.stages))
+    if stage_names:
+        width = max(len(name) for name in stage_names)
+        lines.append(f"  {'stage':<{width}}  {'base':>9}  {'other':>9}  {'delta':>8}")
+        for name in stage_names:
+            b = base.stages.get(name, {}).get("wall_s")
+            o = other.stages.get(name, {}).get("wall_s")
+            lines.append(
+                f"  {name:<{width}}"
+                f"  {_fmt_seconds(b) if b is not None else '-':>9}"
+                f"  {_fmt_seconds(o) if o is not None else '-':>9}"
+                f"  {_fmt_delta(b, o):>8}"
+            )
+
+    metric_names = sorted(set(base.metrics) | set(other.metrics))
+    if metric_names:
+        width = max(len(name) for name in metric_names)
+        lines.append(f"  {'metric':<{width}}  {'base':>10}  {'other':>10}")
+        for name in metric_names:
+            b = base.metrics.get(name)
+            o = other.metrics.get(name)
+            lines.append(
+                f"  {name:<{width}}"
+                f"  {_fmt_value(b) if b is not None else '-':>10}"
+                f"  {_fmt_value(o) if o is not None else '-':>10}"
+            )
+    return "\n".join(lines)
+
+
+def _fmt_delta(base: Optional[float], other: Optional[float]) -> str:
+    if base is None or other is None or base == 0:
+        return "-"
+    change = (other - base) / base * 100.0
+    return f"{change:+.0f}%"
+
+
+def _config_drift(base: dict, other: dict, prefix: str = "") -> list:
+    keys = sorted(set(base) | set(other))
+    drift = []
+    for key in keys:
+        b, o = base.get(key), other.get(key)
+        path = f"{prefix}{key}"
+        if isinstance(b, dict) and isinstance(o, dict):
+            drift.extend(_config_drift(b, o, prefix=f"{path}."))
+        elif b != o:
+            drift.append(path)
+    return drift

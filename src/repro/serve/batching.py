@@ -39,6 +39,7 @@ from repro.errors import (
     ServeError,
     ServerClosedError,
 )
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,8 @@ class _Request:
     context: object
     enqueued: float
     deadline: Optional[float]
+    #: Caller-supplied correlation id; surfaces in batch spans and logs.
+    request_id: Optional[str] = None
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[Sequence[object]] = None
     error: Optional[BaseException] = None
@@ -179,6 +182,7 @@ class MicroBatcher:
         items: Sequence[object],
         context: object = None,
         timeout: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> Sequence[object]:
         """Queue ``items`` and block until their results are ready.
 
@@ -200,6 +204,7 @@ class MicroBatcher:
             context=context,
             enqueued=now,
             deadline=None if timeout is None else now + timeout,
+            request_id=request_id,
         )
         with self._lock:
             if self._closing:
@@ -303,9 +308,17 @@ class MicroBatcher:
         group = batch[0].group
         payload = [(request.items, request.context) for request in batch]
         clip_count = sum(len(request.items) for request in batch)
+        request_ids = [r.request_id for r in batch if r.request_id is not None]
         started = time.perf_counter()
         try:
-            results = self.evaluate(group, payload)
+            with trace(
+                "serve.batch",
+                group=group,
+                requests=len(batch),
+                clips=clip_count,
+                request_ids=request_ids,
+            ):
+                results = self.evaluate(group, payload)
             if len(results) != len(batch):
                 raise ServeError(
                     f"batch function returned {len(results)} results "

@@ -48,6 +48,8 @@ class PredictResult:
     threshold: float
     flags: np.ndarray
     margins: np.ndarray
+    #: Correlation id echoed by the server (``X-Request-Id``).
+    request_id: Optional[str] = None
 
     @property
     def hotspot_count(self) -> int:
@@ -89,10 +91,16 @@ class ServeClient:
             self._local.conn = None
 
     def _request(
-        self, method: str, path: str, document: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        document: Optional[dict] = None,
+        request_id: Optional[str] = None,
     ) -> tuple[int, object, str]:
         body = None if document is None else json.dumps(document).encode("utf-8")
         headers = {"Content-Type": "application/json"} if body else {}
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -115,8 +123,14 @@ class ServeClient:
             decoded = payload.decode("utf-8", "replace")
         return response.status, decoded, content_type
 
-    def _request_ok(self, method: str, path: str, document: Optional[dict] = None):
-        status, decoded, _ = self._request(method, path, document)
+    def _request_ok(
+        self,
+        method: str,
+        path: str,
+        document: Optional[dict] = None,
+        request_id: Optional[str] = None,
+    ):
+        status, decoded, _ = self._request(method, path, document, request_id)
         if status >= 300:
             if isinstance(decoded, dict) and isinstance(decoded.get("error"), dict):
                 error = decoded["error"]
@@ -136,18 +150,20 @@ class ServeClient:
         clips: Sequence[Clip],
         model: Optional[str] = None,
         threshold: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> PredictResult:
         document: dict = {"clips": [encode_clip(clip) for clip in clips]}
         if model is not None:
             document["model"] = model
         if threshold is not None:
             document["threshold"] = threshold
-        response = self._request_ok("POST", "/v1/predict", document)
+        response = self._request_ok("POST", "/v1/predict", document, request_id)
         return PredictResult(
             model=response["model"],
             threshold=response["threshold"],
             flags=np.array(response["flags"], dtype=bool),
             margins=np.array(response["margins"], dtype=float),
+            request_id=response.get("request_id"),
         )
 
     def predict_payload(self, document: dict) -> dict:

@@ -36,6 +36,7 @@ from repro.errors import (
     ServeError,
     ServerClosedError,
 )
+from repro.obs import new_request_id
 from repro.serve.protocol import ProtocolError, encode_error
 from repro.serve.service import ServeService
 
@@ -77,6 +78,10 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
 
+    #: Correlation id of the in-flight request (header or generated);
+    #: echoed on every response and threaded into the batcher.
+    _request_id: Optional[str] = None
+
     # Populated by HotspotServer via the server instance.
     @property
     def service(self) -> ServeService:
@@ -94,6 +99,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -102,6 +109,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -120,6 +129,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle(self, endpoint: str, fn) -> None:
         started = time.perf_counter()
         status = 500
+        self._request_id = (
+            self.headers.get("X-Request-Id", "").strip() or new_request_id()
+        )
         try:
             status, payload, content_type = fn()
             if content_type == "application/json":
@@ -129,12 +141,17 @@ class _Handler(BaseHTTPRequestHandler):
         except BaseException as exc:  # noqa: BLE001 — mapped to HTTP codes
             status, code = _error_status(exc)
             try:
-                self._send_json(status, encode_error(code, str(exc)))
+                self._send_json(
+                    status, encode_error(code, str(exc), request_id=self._request_id)
+                )
             except (BrokenPipeError, ConnectionResetError):
                 pass
         finally:
             self.service.record_request(
-                endpoint, status, time.perf_counter() - started
+                endpoint,
+                status,
+                time.perf_counter() - started,
+                request_id=self._request_id,
             )
 
     # ------------------------------------------------------------------
@@ -172,7 +189,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "/v1/predict",
                 lambda: (
                     200,
-                    self.service.predict_payload(self._read_json_body()),
+                    self.service.predict_payload(
+                        self._read_json_body(), request_id=self._request_id
+                    ),
                     "application/json",
                 ),
             )
@@ -181,7 +200,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "/v1/scan",
                 lambda: (
                     200,
-                    self.service.scan_payload(self._read_json_body()),
+                    self.service.scan_payload(
+                        self._read_json_body(), request_id=self._request_id
+                    ),
                     "application/json",
                 ),
             )

@@ -150,7 +150,13 @@ class Histogram:
             return self._sum
 
     def quantile(self, q: float) -> float:
-        """Nearest-rank quantile over the recent-observation window."""
+        """Nearest-rank quantile over the recent-observation window.
+
+        Returns 0.0 for an empty histogram (back-compat convenience);
+        callers that must distinguish "no data" from "zero latency"
+        should use :meth:`stats`, which reports ``None`` quantiles for
+        empty histograms.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
@@ -159,6 +165,31 @@ class Histogram:
             return 0.0
         rank = min(len(window) - 1, max(0, int(round(q * (len(window) - 1)))))
         return window[rank]
+
+    def stats(self, quantiles: Sequence[float] = (0.50, 0.99)) -> dict:
+        """Atomic count/sum/quantile read under one lock acquisition.
+
+        ``count``, ``sum`` and every quantile come from the same locked
+        view, so concurrent ``observe`` calls from batcher worker
+        threads cannot produce a torn snapshot (e.g. a count that
+        disagrees with the quantile window).  Quantiles are ``None``
+        when the histogram is empty; a single sample is every quantile.
+        """
+        with self._lock:
+            count = self._count
+            total = self._sum
+            window = sorted(self._ring)
+        out: dict = {"count": count, "sum": total}
+        for q in quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+            key = f"p{q * 100:g}".replace(".", "_")
+            if not window:
+                out[key] = None
+            else:
+                rank = min(len(window) - 1, max(0, int(round(q * (len(window) - 1)))))
+                out[key] = window[rank]
+        return out
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -304,11 +335,12 @@ class MetricsRegistry:
                 if family.kind in ("counter", "gauge"):
                     out[key] = child.value
                 else:
+                    stats = child.stats((0.50, 0.99))
                     out[key] = {
-                        "count": child.count,
-                        "sum": child.sum,
-                        "p50": child.quantile(0.50),
-                        "p99": child.quantile(0.99),
+                        "count": stats["count"],
+                        "sum": stats["sum"],
+                        "p50": stats["p50"],
+                        "p99": stats["p99"],
                     }
         return out
 
@@ -340,6 +372,7 @@ class Timer:
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._started is not None
+        if self._started is None:  # __exit__ without __enter__ — record nothing
+            return
         self.elapsed = time.perf_counter() - self._started
         self._histogram.observe(self.elapsed)

@@ -154,14 +154,18 @@ def encode_predict_response(
     threshold: float,
     flags: Sequence[bool],
     margins: Sequence[float],
+    request_id: Optional[str] = None,
 ) -> dict:
-    return {
+    document = {
         "model": model,
         "threshold": threshold,
         "flags": [bool(f) for f in flags],
         "margins": [float(m) for m in margins],
         "count": int(sum(bool(f) for f in flags)),
     }
+    if request_id is not None:
+        document["request_id"] = request_id
+    return document
 
 
 # ----------------------------------------------------------------------
@@ -185,9 +189,9 @@ def decode_scan_request(
     return layout, layer, _get_threshold(document), _get_model(document)
 
 
-def encode_scan_response(model: str, report) -> dict:
+def encode_scan_response(model: str, report, request_id: Optional[str] = None) -> dict:
     """Serialise a :class:`~repro.core.detector.DetectionReport`."""
-    return {
+    document = {
         "model": model,
         "reports": [
             {"core": encode_rect(clip.core), "window": encode_rect(clip.window)}
@@ -199,6 +203,9 @@ def encode_scan_response(model: str, report) -> dict:
         "flagged_after_feedback": report.flagged_after_feedback,
         "eval_seconds": report.eval_seconds,
     }
+    if request_id is not None:
+        document["request_id"] = request_id
+    return document
 
 
 # ----------------------------------------------------------------------
@@ -206,6 +213,9 @@ def encode_scan_response(model: str, report) -> dict:
 # ----------------------------------------------------------------------
 
 
-def encode_error(code: str, message: str) -> dict:
+def encode_error(code: str, message: str, request_id: Optional[str] = None) -> dict:
     """The structured error envelope every non-2xx response carries."""
-    return {"error": {"code": code, "message": message}}
+    document: dict = {"error": {"code": code, "message": message}}
+    if request_id is not None:
+        document["request_id"] = request_id
+    return document

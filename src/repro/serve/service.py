@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import ServeError
 from repro.layout.clip import Clip
+from repro.obs import get_logger
 from repro.serve.batching import BatchingConfig, MicroBatcher
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import (
@@ -63,6 +64,7 @@ class ServeService:
             "End-to-end request latency by endpoint.",
             labels=("endpoint",),
         )
+        self._log = get_logger("serve")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -80,21 +82,45 @@ class ServeService:
     # ------------------------------------------------------------------
     # request accounting (shared with the HTTP layer)
     # ------------------------------------------------------------------
-    def record_request(self, endpoint: str, status: int, seconds: float) -> None:
+    def record_request(
+        self,
+        endpoint: str,
+        status: int,
+        seconds: float,
+        request_id: Optional[str] = None,
+    ) -> None:
         self._requests.labels(endpoint, status).inc()
         self._latency.labels(endpoint).observe(seconds)
+        self._log.info(
+            "request",
+            endpoint=endpoint,
+            status=status,
+            seconds=round(seconds, 6),
+            request_id=request_id,
+        )
 
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
-    def predict_payload(self, document: object, timeout: Optional[float] = None) -> dict:
+    def predict_payload(
+        self,
+        document: object,
+        timeout: Optional[float] = None,
+        request_id: Optional[str] = None,
+    ) -> dict:
         """Handle a ``/v1/predict`` body; returns the response document."""
         entry = self.registry.get(request_model_name(document))
         clips, threshold, _ = decode_predict_request(document, entry.spec)
         flags, margins, resolved = self.predict_clips(
-            clips, model=entry.name, threshold=threshold, timeout=timeout
+            clips,
+            model=entry.name,
+            threshold=threshold,
+            timeout=timeout,
+            request_id=request_id,
         )
-        return encode_predict_response(entry.name, resolved, flags, margins)
+        return encode_predict_response(
+            entry.name, resolved, flags, margins, request_id=request_id
+        )
 
     def predict_clips(
         self,
@@ -102,24 +128,29 @@ class ServeService:
         model: Optional[str] = None,
         threshold: Optional[float] = None,
         timeout: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> tuple[np.ndarray, np.ndarray, float]:
         """Batched clip prediction: (flags, margins, resolved threshold)."""
         entry = self.registry.get(model)
         if threshold is None:
             threshold = entry.detector.config.decision_threshold
         result = self.batcher.submit(
-            entry.name, list(clips), context=float(threshold), timeout=timeout
+            entry.name,
+            list(clips),
+            context=float(threshold),
+            timeout=timeout,
+            request_id=request_id,
         )
         flags = np.array([flag for flag, _ in result], dtype=bool)
         margins = np.array([margin for _, margin in result], dtype=float)
         return flags, margins, float(threshold)
 
-    def scan_payload(self, document: object) -> dict:
+    def scan_payload(self, document: object, request_id: Optional[str] = None) -> dict:
         """Handle a ``/v1/scan`` body; full-layout detection, unbatched."""
         entry = self.registry.get(request_model_name(document))
         layout, layer, threshold, _ = decode_scan_request(document)
         report = entry.detector.detect(layout, layer=layer, threshold=threshold)
-        return encode_scan_response(entry.name, report)
+        return encode_scan_response(entry.name, report, request_id=request_id)
 
     def health(self) -> tuple[bool, dict]:
         """(healthy?, document) — healthy iff a model is loaded and the

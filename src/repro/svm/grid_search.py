@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import SvmError
+from repro.obs import trace
 from repro.svm.model import SupportVectorClassifier
 
 
@@ -93,35 +94,40 @@ def train_iterative(
     best_model: Optional[SupportVectorClassifier] = None
     best_key: tuple[float, float] = (-1.0, -1.0)
 
-    c_value, gamma = config.initial_c, config.initial_gamma
-    for round_index in range(config.max_rounds):
-        model = SupportVectorClassifier(
-            C=c_value,
-            gamma=gamma,
-            kernel=config.kernel,
-            class_weight=config.class_weight,
-            far_field_floor=config.far_field_floor,
-            scale_features=config.scale_features,
-        )
-        model.fit(matrix, labels)
-        predictions = model.predict(matrix)
-        accuracy = float((predictions == labels).mean())
-        hotspot_mask = labels == 1
-        recall = (
-            float((predictions[hotspot_mask] == 1).mean())
-            if np.any(hotspot_mask)
-            else 1.0
-        )
-        history.append(TrainingRound(round_index, c_value, gamma, accuracy, recall))
+    with trace("svm.fit", samples=int(labels.size)) as span:
+        c_value, gamma = config.initial_c, config.initial_gamma
+        for round_index in range(config.max_rounds):
+            model = SupportVectorClassifier(
+                C=c_value,
+                gamma=gamma,
+                kernel=config.kernel,
+                class_weight=config.class_weight,
+                far_field_floor=config.far_field_floor,
+                scale_features=config.scale_features,
+            )
+            model.fit(matrix, labels)
+            predictions = model.predict(matrix)
+            accuracy = float((predictions == labels).mean())
+            hotspot_mask = labels == 1
+            recall = (
+                float((predictions[hotspot_mask] == 1).mean())
+                if np.any(hotspot_mask)
+                else 1.0
+            )
+            history.append(TrainingRound(round_index, c_value, gamma, accuracy, recall))
 
-        key = (accuracy, recall)
-        if key > best_key:
-            best_key, best_model = key, model
+            key = (accuracy, recall)
+            if key > best_key:
+                best_key, best_model = key, model
 
-        if accuracy >= config.target_accuracy:
-            break
-        c_value *= 2.0
-        gamma *= 2.0
+            if accuracy >= config.target_accuracy:
+                break
+            c_value *= 2.0
+            gamma *= 2.0
+        span.set(
+            rounds=len(history),
+            accuracy=history[-1].train_accuracy if history else 0.0,
+        )
 
     assert best_model is not None  # max_rounds >= 1 guarantees one round
     return IterativeResult(best_model, history)

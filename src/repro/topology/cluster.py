@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import TopologyError
 from repro.layout.clip import Clip
+from repro.obs import trace
 from repro.topology.density import (
     best_alignment,
     cluster_radius,
@@ -128,17 +129,19 @@ class TopologicalClassifier:
     # ------------------------------------------------------------------
     def classify(self, clips: Sequence[Clip]) -> list[Cluster]:
         """Cluster clips; returns clusters ordered by first-member index."""
-        string_groups: dict[tuple, list[int]] = {}
-        grids: list[np.ndarray] = []
-        for index, clip in enumerate(clips):
-            string_groups.setdefault(self._string_key(clip), []).append(index)
-            grids.append(self._grid(clip))
+        with trace("topology.classify", clips=len(clips)) as span:
+            string_groups: dict[tuple, list[int]] = {}
+            grids: list[np.ndarray] = []
+            for index, clip in enumerate(clips):
+                string_groups.setdefault(self._string_key(clip), []).append(index)
+                grids.append(self._grid(clip))
 
-        clusters: list[Cluster] = []
-        for key in sorted(string_groups, key=lambda k: string_groups[k][0]):
-            members = string_groups[key]
-            clusters.extend(self._density_split(key, members, grids))
-        return clusters
+            clusters: list[Cluster] = []
+            for key in sorted(string_groups, key=lambda k: string_groups[k][0]):
+                members = string_groups[key]
+                clusters.extend(self._density_split(key, members, grids))
+            span.set(string_groups=len(string_groups), clusters=len(clusters))
+            return clusters
 
     def _density_split(
         self, key: tuple, members: list[int], grids: list[np.ndarray]

@@ -1,0 +1,372 @@
+"""Tests for repro.obs — tracer, structured logs, manifests, CLI wiring."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.core.config import DetectorConfig
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
+from repro.serve.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with tracing/logging disabled."""
+    obs.set_tracer(None)
+    obs.configure_logging(False)
+    yield
+    obs.set_tracer(None)
+    obs.configure_logging(False)
+
+
+# ======================================================================
+# tracer
+# ======================================================================
+
+
+class TestTracer:
+    def test_nesting_links_parents(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = {span.name: span for span in tracer.finished()}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].wall_s >= 0.0
+        assert spans["inner"].status == "ok"
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = obs.Tracer()
+        with tracer.span("work", items=3) as span:
+            span.set(produced=2)
+        (span,) = tracer.finished()
+        assert span.attrs == {"items": 3, "produced": 2}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = obs.Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (span,) = tracer.finished()
+        assert span.status == "error"
+        assert "ValueError" in span.error
+        # The stack unwound: a following span is again a root span.
+        with tracer.span("after"):
+            pass
+        assert tracer.finished()[-1].parent_id is None
+
+    def test_disabled_global_path_is_noop(self):
+        assert not obs.enabled()
+        assert obs.get_tracer() is NULL_TRACER
+        with obs.trace("anything", attr=1) as span:
+            span.set(more=2)
+        assert span is NULL_SPAN
+        obs.tally("hot", 1.0)
+        assert obs.get_tracer().stage_totals() == {}
+
+    def test_set_tracer_installs_and_resets(self):
+        tracer = obs.Tracer()
+        assert obs.set_tracer(tracer) is tracer
+        assert obs.enabled()
+        with obs.trace("stage"):
+            pass
+        obs.set_tracer(None)
+        assert not obs.enabled()
+        assert [span.name for span in tracer.finished()] == ["stage"]
+
+    def test_tally_aggregates_counts_and_wall(self):
+        tracer = obs.Tracer()
+        tracer.tally("hot.loop", 0.5)
+        tracer.tally("hot.loop", 0.25, count=2)
+        totals = tracer.stage_totals()
+        assert totals["hot.loop"]["count"] == 3
+        assert totals["hot.loop"]["wall_s"] == pytest.approx(0.75)
+
+    def test_stage_totals_merge_spans_and_tallies(self):
+        tracer = obs.Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("a"):
+            pass
+        tracer.tally("b", 0.1)
+        totals = tracer.stage_totals()
+        assert totals["a"]["count"] == 2
+        assert totals["b"]["count"] == 1
+        assert list(totals) == sorted(totals)
+
+    def test_max_spans_bound_drops_but_counts(self):
+        tracer = obs.Tracer(max_spans=2)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.finished()) == 2
+        assert tracer.dropped == 3
+
+    def test_traced_decorator(self):
+        tracer = obs.Tracer()
+        obs.set_tracer(tracer)
+
+        @obs.traced("decorated.stage")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert [span.name for span in tracer.finished()] == ["decorated.stage"]
+
+    def test_threaded_spans_have_independent_stacks(self):
+        tracer = obs.Tracer()
+
+        def worker():
+            with tracer.span("thread.child"):
+                pass
+
+        with tracer.span("main.root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        spans = {span.name: span for span in tracer.finished()}
+        # The other thread's span must not adopt this thread's root.
+        assert spans["thread.child"].parent_id is None
+
+    def test_chrome_export_format(self):
+        tracer = obs.Tracer()
+        with tracer.span("stage.outer"):
+            with tracer.span("stage.inner", clips=4):
+                pass
+        document = tracer.export_chrome()
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert {e["name"] for e in complete} == {"stage.outer", "stage.inner"}
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "pid" in event and "tid" in event
+        inner = next(e for e in complete if e["name"] == "stage.inner")
+        assert inner["args"]["clips"] == 4
+        # Valid JSON end to end (what chrome://tracing will parse).
+        json.loads(json.dumps(document))
+
+    def test_chrome_export_error_span_annotated(self):
+        tracer = obs.Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError("x")
+        (event,) = [
+            e for e in tracer.export_chrome()["traceEvents"] if e.get("ph") == "X"
+        ]
+        assert event["args"]["status"] == "error"
+
+    def test_metrics_bridge_observes_stage_histograms(self):
+        metrics = MetricsRegistry()
+        tracer = obs.Tracer(metrics=metrics)
+        with tracer.span("stage.a"):
+            pass
+        tracer.tally("stage.b", 0.01)
+        text = metrics.render()
+        assert 'repro_pipeline_stage_seconds_bucket{stage="stage.a"' in text
+        assert 'repro_pipeline_stage_seconds_bucket{stage="stage.b"' in text
+
+    def test_metrics_bridge_survives_broken_sink(self):
+        class Broken:
+            def histogram(self, *args, **kwargs):
+                raise RuntimeError("no metrics for you")
+
+        tracer = obs.Tracer(metrics=Broken())
+        with tracer.span("stage.a"):
+            pass
+        assert len(tracer.finished()) == 1
+
+
+# ======================================================================
+# structured logging
+# ======================================================================
+
+
+class TestLogs:
+    def test_disabled_by_default_writes_nothing(self):
+        stream = io.StringIO()
+        obs.get_logger("x").info("event", stream_should_be_empty=True)
+        assert stream.getvalue() == ""
+
+    def test_emits_json_lines_with_context(self):
+        stream = io.StringIO()
+        obs.configure_logging(True, stream=stream, run="r-1")
+        log = obs.get_logger("pipeline").bind(stage="train")
+        log.info("kernel_trained", cluster=3)
+        record = json.loads(stream.getvalue().strip())
+        assert record["logger"] == "pipeline"
+        assert record["event"] == "kernel_trained"
+        assert record["run"] == "r-1"
+        assert record["stage"] == "train"
+        assert record["cluster"] == 3
+        assert record["level"] == "info"
+        assert "ts" in record
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        obs.configure_logging(True, stream=stream, level="warning")
+        log = obs.get_logger("noisy")
+        log.info("dropped")
+        log.warning("kept")
+        lines = [json.loads(l) for l in stream.getvalue().splitlines()]
+        assert [record["event"] for record in lines] == ["kept"]
+
+
+# ======================================================================
+# manifests and fingerprints
+# ======================================================================
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = obs.RunManifest.new("train", argv=["train", "--x"])
+        manifest.config = obs.config_summary(DetectorConfig.ours())
+        manifest.record_metrics(accuracy=0.9, kernels=5)
+        manifest.record_artifact("model", tmp_path / "m.npz")
+        tracer = obs.Tracer()
+        with tracer.span("stage.one"):
+            pass
+        manifest.finish(tracer)
+        path = manifest.write(tmp_path / "run.manifest.json")
+        loaded = obs.RunManifest.load(path)
+        assert loaded.run_id == manifest.run_id
+        assert loaded.command == "train"
+        assert loaded.metrics["accuracy"] == 0.9
+        assert "stage.one" in loaded.stages
+        assert loaded.schema == 1
+        assert loaded.config["svm"]  # nested config dataclass survived
+
+    def test_fingerprint_clipset_deterministic_and_sensitive(self, small_benchmark):
+        clips = list(small_benchmark.training)
+        first = obs.fingerprint_clipset(clips)
+        second = obs.fingerprint_clipset(clips)
+        assert first == second
+        assert first["clips"] == len(clips)
+        # Hotspot labels are counted, not every labeled clip.
+        hotspot_count = len(small_benchmark.training.hotspots())
+        assert first["hotspots"] == hotspot_count
+        assert 0 < hotspot_count < len(clips)
+        reordered = obs.fingerprint_clipset(list(reversed(clips)))
+        assert reordered["sha256"] != first["sha256"]
+
+    def test_fingerprint_layout(self, small_benchmark):
+        layer = small_benchmark.testing.layout.layer(1)
+        print_ = obs.fingerprint_layout(layer)
+        assert print_["rects"] == len(list(layer.rects))
+        assert print_ == obs.fingerprint_layout(layer)
+
+    def test_render_and_compare(self, tmp_path):
+        base = obs.RunManifest.new("scan", run_id="run-a")
+        base.stages = {"detect.margins": {"count": 1, "wall_s": 0.5, "cpu_s": 0.4}}
+        base.record_metrics(candidates=100)
+        other = obs.RunManifest.new("scan", run_id="run-b")
+        other.stages = {"detect.margins": {"count": 1, "wall_s": 0.25, "cpu_s": 0.2}}
+        other.record_metrics(candidates=90)
+        text = obs.render_manifest(base)
+        assert "run-a" in text and "detect.margins" in text
+        diff = obs.compare_manifests(base, other)
+        assert "run-a" in diff and "run-b" in diff
+        assert "detect.margins" in diff
+        assert "-50%" in diff
+
+
+# ======================================================================
+# CLI integration
+# ======================================================================
+
+
+class TestCliObservability:
+    def test_train_writes_manifest_and_trace(self, tmp_path):
+        out = tmp_path / "data"
+        assert (
+            cli_main(
+                [
+                    "generate",
+                    "--benchmark",
+                    "benchmark5",
+                    "--scale",
+                    "0.4",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        model = tmp_path / "model.npz"
+        trace_path = tmp_path / "train_trace.json"
+        assert (
+            cli_main(
+                [
+                    "train",
+                    "--clips",
+                    str(out / "benchmark5_training_clips.gds"),
+                    "--model",
+                    str(model),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        manifest = obs.RunManifest.load(model.with_suffix(".manifest.json"))
+        assert manifest.command == "train"
+        assert manifest.dataset["training_clips"]["clips"] > 0
+        assert manifest.metrics["kernels"] >= 1
+        for stage in ("topology.classify", "train.kernels", "svm.fit"):
+            assert stage in manifest.stages, stage
+        assert manifest.artifacts["model"] == str(model)
+        chrome = json.loads(trace_path.read_text())
+        assert any(e.get("ph") == "X" for e in chrome["traceEvents"])
+        # The global tracer was uninstalled when the command returned.
+        assert not obs.enabled()
+
+    def test_no_manifest_opt_out(self, tmp_path):
+        out = tmp_path / "data"
+        cli_main(
+            ["generate", "--benchmark", "benchmark5", "--scale", "0.4", "--out", str(out)]
+        )
+        model = tmp_path / "model.npz"
+        assert (
+            cli_main(
+                [
+                    "train",
+                    "--clips",
+                    str(out / "benchmark5_training_clips.gds"),
+                    "--model",
+                    str(model),
+                    "--no-manifest",
+                ]
+            )
+            == 0
+        )
+        assert not model.with_suffix(".manifest.json").exists()
+
+    def test_report_renders_and_compares(self, tmp_path, capsys):
+        first = obs.RunManifest.new("scan", run_id="base-run")
+        first.stages = {"detector.detect": {"count": 1, "wall_s": 1.0, "cpu_s": 0.9}}
+        first.record_metrics(reports=12)
+        path_a = first.write(tmp_path / "a.manifest.json")
+        second = obs.RunManifest.new("scan", run_id="other-run")
+        second.stages = {"detector.detect": {"count": 1, "wall_s": 0.5, "cpu_s": 0.4}}
+        second.record_metrics(reports=10)
+        path_b = second.write(tmp_path / "b.manifest.json")
+
+        assert cli_main(["report", str(path_a)]) == 0
+        rendered = capsys.readouterr().out
+        assert "base-run" in rendered and "detector.detect" in rendered
+
+        assert cli_main(["report", str(path_a), "--compare", str(path_b)]) == 0
+        diff = capsys.readouterr().out
+        assert "base-run" in diff and "other-run" in diff
+
+        assert cli_main(["report", str(path_a), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run_id"] == "base-run"
+
+    def test_report_missing_file_exits_2(self, tmp_path):
+        assert cli_main(["report", str(tmp_path / "missing.json")]) == 2

@@ -1,5 +1,6 @@
 """Tests for the batched, observable inference service (repro.serve)."""
 
+import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -78,6 +79,53 @@ class TestMetrics:
         metrics = MetricsRegistry()
         with pytest.raises(ValueError):
             metrics.counter("c").labels().inc(-1)
+
+    def test_stats_empty_histogram_has_none_quantiles(self):
+        hist = MetricsRegistry().histogram("empty").labels()
+        stats = hist.stats()
+        assert stats["count"] == 0
+        assert stats["sum"] == 0.0
+        assert stats["p50"] is None and stats["p99"] is None
+
+    def test_stats_single_sample_every_quantile(self):
+        hist = MetricsRegistry().histogram("one").labels()
+        hist.observe(0.123)
+        stats = hist.stats((0.0, 0.5, 0.99, 1.0))
+        assert stats["count"] == 1
+        for key in ("p0", "p50", "p99", "p100"):
+            assert stats[key] == pytest.approx(0.123)
+
+    def test_stats_rejects_out_of_range_quantile(self):
+        hist = MetricsRegistry().histogram("bad").labels()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.stats((1.5,))
+
+    def test_snapshot_empty_histogram_keys_stable(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("h").labels()
+        entry = metrics.snapshot()["repro_h"]
+        assert entry["count"] == 0
+        assert entry["p50"] is None and entry["p99"] is None
+
+    def test_concurrent_observations_stay_consistent(self):
+        hist = MetricsRegistry().histogram("hammer").labels()
+        counter = MetricsRegistry().counter("hits").labels()
+
+        def work():
+            for _ in range(1000):
+                hist.observe(0.001)
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = hist.stats()
+        assert stats["count"] == 8000
+        assert stats["sum"] == pytest.approx(8.0)
+        assert counter.value == 8000
 
 
 # ======================================================================
@@ -444,6 +492,70 @@ class TestHttpApi:
     def test_unknown_route_404(self, client):
         with pytest.raises(ServeClientError):
             client._request_ok("GET", "/nope")
+
+
+class TestRequestId:
+    def test_client_id_echoed_in_envelope(self, client, small_benchmark):
+        clips = small_benchmark.training.hotspots()[:2]
+        result = client.predict(clips, request_id="req-abc-123")
+        assert result.request_id == "req-abc-123"
+
+    def test_id_generated_when_absent(self, client, small_benchmark):
+        clips = small_benchmark.training.hotspots()[:2]
+        first = client.predict(clips)
+        second = client.predict(clips)
+        assert first.request_id and second.request_id
+        assert first.request_id != second.request_id
+
+    def test_header_echoed_on_response(self, server, small_benchmark):
+        import http.client
+
+        clips = small_benchmark.training.hotspots()[:1]
+        from repro.serve.protocol import encode_clip
+
+        body = json.dumps({"clips": [encode_clip(clip) for clip in clips]})
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        try:
+            conn.request(
+                "POST",
+                "/v1/predict",
+                body=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Request-Id": "hdr-42",
+                },
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 200
+            assert response.headers.get("X-Request-Id") == "hdr-42"
+            assert payload["request_id"] == "hdr-42"
+        finally:
+            conn.close()
+
+    def test_error_envelope_carries_id(self, client):
+        status, decoded, _ = client._request(
+            "POST",
+            "/v1/predict",
+            {"clips": "not-a-list"},
+            request_id="err-7",
+        )
+        assert status == 400
+        assert decoded["request_id"] == "err-7"
+        assert decoded["error"]["code"] == "bad_request"
+
+    def test_scan_envelope_carries_id(self, client, small_benchmark):
+        rects = list(small_benchmark.testing.layout.layer(1).rects)[:50]
+        response = client._request_ok(
+            "POST",
+            "/v1/scan",
+            {
+                "rects": [[r.x0, r.y0, r.x1, r.y1] for r in rects],
+                "layer": 1,
+            },
+            request_id="scan-9",
+        )
+        assert response["request_id"] == "scan-9"
 
 
 class TestBackpressureAndShutdown:
