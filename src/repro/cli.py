@@ -43,6 +43,7 @@ from repro.layout.io import (
     save_clipset_gds,
     save_layout_gds,
 )
+from repro.resilience import CheckpointStore, Deadline, QuarantineReport, faults
 
 
 def _add_obs_arguments(parser, manifest_by_default: bool) -> None:
@@ -192,6 +193,31 @@ def _add_train(subparsers) -> None:
         choices=("ours", "ours_med", "ours_low", "basic", "topology", "removal"),
     )
     parser.add_argument("--parallel", action="store_true")
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse kernel checkpoints left by an interrupted run",
+    )
+    group.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="per-kernel checkpoint directory (default: <model>.ckpt)",
+    )
+    group.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="train without writing kernel checkpoints",
+    )
+    group.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="training deadline; a timed-out run resumes with --resume",
+    )
     _add_obs_arguments(parser, manifest_by_default=True)
 
 
@@ -205,6 +231,13 @@ def _add_scan(subparsers) -> None:
     parser.add_argument("--threshold", type=float, default=None)
     parser.add_argument(
         "--report", type=Path, default=None, help="write reports as a GDSII overlay"
+    )
+    parser.add_argument(
+        "--quarantine",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSON report of inputs quarantined during the scan",
     )
     _add_obs_arguments(parser, manifest_by_default=True)
 
@@ -369,21 +402,41 @@ def cmd_train(args) -> int:
         session.set_config(detector.config)
         session.set_dataset("training_clips", obs.fingerprint_clipset(training))
         session.set_dataset("source", str(args.clips))
+        checkpoint = None
+        if not args.no_checkpoint:
+            checkpoint_dir = args.checkpoint_dir or args.model.with_suffix(".ckpt")
+            checkpoint = CheckpointStore(checkpoint_dir)
+        resumable = (
+            len(checkpoint.completed_indices())
+            if checkpoint is not None and args.resume
+            else 0
+        )
         started = time.perf_counter()
-        report = detector.fit(training)
+        report = detector.fit(
+            training,
+            checkpoint=checkpoint,
+            deadline=Deadline.after(args.max_seconds),
+            resume=args.resume,
+        )
         save_detector(detector, args.model, name=args.model.stem)
+        if checkpoint is not None:
+            # The model archive now holds every kernel; the per-kernel
+            # checkpoints have served their purpose.
+            checkpoint.clear()
         session.record(
             kernels=report.kernels,
             hotspot_clusters=report.hotspot_clusters,
             nonhotspot_centroids=report.nonhotspot_centroids,
             upsampled_hotspots=report.upsampled_hotspots,
             feedback_trained=report.feedback_trained,
+            resumed_kernels=resumable,
             train_seconds=round(report.train_seconds, 4),
         )
         session.artifact("model", args.model)
+        resumed_note = f", {resumable} resumed" if resumable else ""
         print(
             f"trained {report.kernels} kernels "
-            f"(feedback={report.feedback_trained}) in "
+            f"(feedback={report.feedback_trained}{resumed_note}) in "
             f"{time.perf_counter() - started:.1f}s -> {args.model}"
         )
         session.finish(
@@ -399,19 +452,34 @@ def cmd_scan(args) -> int:
         session.set_config(detector.config)
         session.set_dataset("layout", obs.fingerprint_layout(layout.layer(args.layer)))
         session.set_dataset("source", str(args.layout))
-        result = detector.detect(layout, layer=args.layer, threshold=args.threshold)
+        quarantine = QuarantineReport()
+        result = detector.detect(
+            layout,
+            layer=args.layer,
+            threshold=args.threshold,
+            quarantine=quarantine,
+        )
         session.record(
             candidates=result.extraction.candidate_count,
             reports=result.report_count,
             flagged_before_feedback=result.flagged_before_feedback,
             flagged_after_feedback=result.flagged_after_feedback,
+            quarantined=result.quarantined,
+            feedback_degraded=result.feedback_degraded,
             eval_seconds=round(result.eval_seconds, 4),
+        )
+        quarantine_note = (
+            f", {result.quarantined} quarantined" if result.quarantined else ""
         )
         print(
             f"{result.extraction.candidate_count} candidates, "
-            f"{result.report_count} hotspot reports "
+            f"{result.report_count} hotspot reports{quarantine_note} "
             f"({result.eval_seconds:.1f}s)"
         )
+        if args.quarantine is not None:
+            quarantine.write(args.quarantine)
+            session.artifact("quarantine", args.quarantine)
+            print(f"quarantine report -> {args.quarantine}", file=sys.stderr)
         for clip in result.reports:
             print(f"  core ({clip.core.x0}, {clip.core.y0}) - ({clip.core.x1}, {clip.core.y1})")
         if args.report is not None:
@@ -704,7 +772,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": cmd_serve,
         "client": cmd_client,
     }
-    return handlers[args.command](args)
+    # REPRO_FAULTS drives the CI chaos job: any command can run under an
+    # injected fault plan.  Uninstall afterwards — tests call main()
+    # in-process and must not inherit the plan.
+    injector = faults.from_env()
+    try:
+        return handlers[args.command](args)
+    finally:
+        if injector is not None:
+            faults.uninstall()
 
 
 if __name__ == "__main__":

@@ -32,13 +32,13 @@ import numpy as np
 
 from repro.core.config import DetectorConfig
 from repro.core.extraction import ExtractionReport, extract_for_detector
-from repro.obs import trace
+from repro.obs import get_logger, trace
 from repro.core.feedback import FeedbackKernel, train_feedback_kernel
 from repro.core.metrics import DetectionScore, score_reports
 from repro.core.removal import remove_redundant_clips
 from repro.core.training import MultiKernelModel, train_multi_kernel
 from repro.data.synth import TestingLayout
-from repro.errors import NotFittedError
+from repro.errors import NotFittedError, ReproError
 from repro.layout.clip import Clip, ClipLabel, ClipSet
 from repro.layout.layout import Layout
 
@@ -68,6 +68,10 @@ class DetectionReport:
     flagged_after_feedback: int
     eval_seconds: float
     score: Optional[DetectionScore] = None
+    #: Candidates skipped (not crashed on) for malformed geometry.
+    quarantined: int = 0
+    #: The feedback kernel errored and was bypassed for this run.
+    feedback_degraded: bool = False
 
     @property
     def report_count(self) -> int:
@@ -94,14 +98,38 @@ class HotspotDetector:
             if callable(observe):
                 observe(name, seconds)
 
+    def _increment(self, name: str, amount: float = 1.0) -> None:
+        sink = self.metrics_sink_
+        if sink is not None:
+            increment = getattr(sink, "increment", None)
+            if callable(increment):
+                increment(name, amount)
+
     # ------------------------------------------------------------------
     # training phase
     # ------------------------------------------------------------------
-    def fit(self, training: ClipSet) -> TrainingReport:
-        """Run the training phase on a labelled clip set."""
+    def fit(
+        self,
+        training: ClipSet,
+        checkpoint=None,
+        deadline=None,
+        resume: bool = True,
+    ) -> TrainingReport:
+        """Run the training phase on a labelled clip set.
+
+        ``checkpoint``/``deadline``/``resume`` flow into
+        :func:`~repro.core.training.train_multi_kernel` — see there for
+        the checkpoint/resume and stage-timeout semantics.
+        """
         started = time.perf_counter()
         with trace("detector.fit", clips=len(training)) as span:
-            self.model_ = train_multi_kernel(training, self.config)
+            self.model_ = train_multi_kernel(
+                training,
+                self.config,
+                checkpoint=checkpoint,
+                deadline=deadline,
+                resume=resume,
+            )
             self.feedback_ = (
                 train_feedback_kernel(self.model_, self.config)
                 if self.config.use_feedback
@@ -147,12 +175,27 @@ class HotspotDetector:
         flags = model.margins(clips) >= threshold
         if self.feedback_ is not None and np.any(flags):
             flagged_indices = np.flatnonzero(flags)
-            keep = np.asarray(
-                self.feedback_.keep_mask([clips[i] for i in flagged_indices]),
-                dtype=bool,
-            )
-            flags[flagged_indices[~keep]] = False
+            keep = self._feedback_keep([clips[i] for i in flagged_indices])
+            if keep is not None:
+                flags[flagged_indices[~keep]] = False
         return flags
+
+    def _feedback_keep(self, flagged: Sequence[Clip]) -> Optional[np.ndarray]:
+        """The feedback kernel's keep mask, or ``None`` on degradation.
+
+        The feedback kernel is a precision refinement; when it errors
+        (corrupt state, injected fault) the detector degrades gracefully
+        to the primary kernel verdicts instead of failing the request.
+        """
+        assert self.feedback_ is not None
+        try:
+            return np.asarray(self.feedback_.keep_mask(flagged), dtype=bool)
+        except ReproError as exc:
+            get_logger("detector").error(
+                "feedback_degraded", error=str(exc), flagged=len(flagged)
+            )
+            self._increment("feedback_degraded_total")
+            return None
 
     # ------------------------------------------------------------------
     # layout-level evaluation
@@ -162,15 +205,24 @@ class HotspotDetector:
         layout: Layout,
         layer: int = 1,
         threshold: Optional[float] = None,
+        quarantine=None,
     ) -> DetectionReport:
-        """Evaluate a full layout and return hotspot reports."""
+        """Evaluate a full layout and return hotspot reports.
+
+        ``quarantine`` is an optional
+        :class:`~repro.resilience.quarantine.QuarantineReport`; malformed
+        candidate clips are recorded there and skipped instead of failing
+        the whole evaluation.
+        """
         model = self._require_model()
         threshold = (
             self.config.decision_threshold if threshold is None else threshold
         )
         started = time.perf_counter()
         with trace("detector.detect", layer=layer, threshold=threshold) as span:
-            extraction = extract_for_detector(layout, self.config, layer)
+            extraction = extract_for_detector(
+                layout, self.config, layer, quarantine=quarantine
+            )
             candidates = extraction.clips
 
             with trace("detect.margins", candidates=len(candidates)):
@@ -189,10 +241,14 @@ class HotspotDetector:
             flagged = [clip for clip, f in zip(candidates, flags) if f]
             before_feedback = len(flagged)
 
+            feedback_degraded = False
             if self.feedback_ is not None and flagged:
                 with trace("detect.feedback", flagged=before_feedback):
-                    keep = self.feedback_.keep_mask(flagged)
-                    flagged = [clip for clip, k in zip(flagged, keep) if k]
+                    keep = self._feedback_keep(flagged)
+                    if keep is None:
+                        feedback_degraded = True
+                    else:
+                        flagged = [clip for clip, k in zip(flagged, keep) if k]
             after_feedback = len(flagged)
 
             if self.config.use_removal and flagged:
@@ -210,7 +266,11 @@ class HotspotDetector:
                 flagged_before_feedback=before_feedback,
                 flagged_after_feedback=after_feedback,
                 reports=len(reports),
+                quarantined=extraction.quarantined,
+                feedback_degraded=feedback_degraded,
             )
+        if extraction.quarantined:
+            self._increment("quarantined_inputs_total", extraction.quarantined)
         self._observe("detector_detect_seconds", time.perf_counter() - started)
         return DetectionReport(
             reports=reports,
@@ -218,6 +278,8 @@ class HotspotDetector:
             flagged_before_feedback=before_feedback,
             flagged_after_feedback=after_feedback,
             eval_seconds=time.perf_counter() - started,
+            quarantined=extraction.quarantined,
+            feedback_degraded=feedback_degraded,
         )
 
     def score(

@@ -21,11 +21,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.config import DetectorConfig, ExtractionConfig
+from repro.errors import ReproError
 from repro.geometry.dissect import cut_to_max_size
 from repro.geometry.rect import Rect, bounding_box
 from repro.layout.clip import Clip, ClipSpec
 from repro.layout.layout import Layout
 from repro.obs import trace
+from repro.resilience import faults
 
 
 @dataclass
@@ -37,6 +39,8 @@ class ExtractionReport:
     rejected_density: int = 0
     rejected_count: int = 0
     rejected_boundary: int = 0
+    #: Anchors whose clip could not be cut/validated; skipped, not fatal.
+    quarantined: int = 0
 
     @property
     def candidate_count(self) -> int:
@@ -75,6 +79,7 @@ def extract_candidate_clips(
     layer: int = 1,
     region: Optional[Rect] = None,
     parallel_workers: int = 1,
+    quarantine=None,
 ) -> ExtractionReport:
     """Extract every candidate clip of a layout layer.
 
@@ -82,6 +87,11 @@ def extract_candidate_clips(
     layouts across workers, Section III-G).  Cores are deduplicated by
     anchor position, so overlapping source rectangles do not multiply
     candidates.
+
+    ``quarantine`` is an optional
+    :class:`~repro.resilience.quarantine.QuarantineReport`: an anchor
+    whose clip raises a :class:`~repro.errors.ReproError` is recorded
+    there and skipped instead of aborting the whole extraction.
     """
     with trace("detect.extract", layer=layer, workers=parallel_workers) as span:
         rects = layout.layer(layer).rects
@@ -99,7 +109,9 @@ def extract_candidate_clips(
             with ThreadPoolExecutor(max_workers=parallel_workers) as pool:
                 reports = list(
                     pool.map(
-                        lambda part: _extract_from_anchors(layout, spec, config, layer, part),
+                        lambda part: _extract_from_anchors(
+                            layout, spec, config, layer, part, quarantine
+                        ),
                         parts,
                     )
                 )
@@ -109,15 +121,19 @@ def extract_candidate_clips(
                 merged.rejected_density += report.rejected_density
                 merged.rejected_count += report.rejected_count
                 merged.rejected_boundary += report.rejected_boundary
+                merged.quarantined += report.quarantined
             report = merged
         else:
-            report = _extract_from_anchors(layout, spec, config, layer, anchors)
+            report = _extract_from_anchors(
+                layout, spec, config, layer, anchors, quarantine
+            )
             report.anchor_count = len(anchors)
         span.set(
             candidates=len(report.clips),
             rejected_density=report.rejected_density,
             rejected_count=report.rejected_count,
             rejected_boundary=report.rejected_boundary,
+            quarantined=report.quarantined,
         )
         return report
 
@@ -128,12 +144,26 @@ def _extract_from_anchors(
     config: ExtractionConfig,
     layer: int,
     anchors: list[tuple[int, int]],
+    quarantine=None,
 ) -> ExtractionReport:
     report = ExtractionReport(clips=[], anchor_count=len(anchors))
     for x, y in anchors:
         core = Rect(x, y, x + spec.core_side, y + spec.core_side)
-        clip = layout.cut_clip_at_core(spec, core, layer)
-        ok, reason = _meets_distribution(clip, config)
+        try:
+            faults.inject("extract.clip", anchor=(x, y), layer=layer)
+            clip = layout.cut_clip_at_core(spec, core, layer)
+            ok, reason = _meets_distribution(clip, config)
+        except ReproError as exc:
+            report.quarantined += 1
+            if quarantine is not None:
+                quarantine.add(
+                    type(exc).__name__,
+                    str(exc),
+                    source="extract.clip",
+                    anchor=[x, y],
+                    layer=layer,
+                )
+            continue
         if ok:
             report.clips.append(clip)
         elif reason == "density":
@@ -146,10 +176,15 @@ def _extract_from_anchors(
 
 
 def extract_for_detector(
-    layout: Layout, config: DetectorConfig, layer: int = 1
+    layout: Layout, config: DetectorConfig, layer: int = 1, quarantine=None
 ) -> ExtractionReport:
     """Candidate extraction using a detector's configuration."""
     workers = config.worker_count if config.parallel else 1
     return extract_candidate_clips(
-        layout, config.spec, config.extraction, layer, parallel_workers=workers
+        layout,
+        config.spec,
+        config.extraction,
+        layer,
+        parallel_workers=workers,
+        quarantine=quarantine,
     )

@@ -123,6 +123,40 @@ def _decode_feature_config(payload: dict) -> FeatureConfig:
     return FeatureConfig(**payload)
 
 
+def encode_trained_kernel(kernel: TrainedKernel, arrays: dict, prefix: str) -> dict:
+    """Encode one kernel into ``arrays`` (mutated) plus a JSON-safe meta.
+
+    Shared by full-detector archives and per-cluster training
+    checkpoints (:mod:`repro.resilience.checkpoint`).
+    """
+    import dataclasses
+
+    return {
+        "cluster_index": kernel.cluster_index,
+        "schema": _encode_schema(kernel.schema),
+        "svc": _encode_svc(kernel.model, arrays, prefix),
+        "key_set": _encode_key_set(kernel.key_set),
+        "hotspot_count": kernel.hotspot_count,
+        "nonhotspot_count": kernel.nonhotspot_count,
+        "history": [dataclasses.asdict(round_) for round_ in kernel.history],
+    }
+
+
+def decode_trained_kernel(meta: dict, arrays, prefix: str) -> TrainedKernel:
+    """Inverse of :func:`encode_trained_kernel`."""
+    from repro.svm.grid_search import TrainingRound
+
+    return TrainedKernel(
+        cluster_index=meta["cluster_index"],
+        schema=_decode_schema(meta["schema"]),
+        model=_decode_svc(meta["svc"], arrays, prefix),
+        key_set=_decode_key_set(meta["key_set"]),
+        hotspot_count=meta["hotspot_count"],
+        nonhotspot_count=meta["nonhotspot_count"],
+        history=[TrainingRound(**round_) for round_ in meta.get("history") or []],
+    )
+
+
 # ----------------------------------------------------------------------
 # save / load
 # ----------------------------------------------------------------------
@@ -142,20 +176,10 @@ def save_detector(
     if model is None:
         raise NotFittedError("cannot save an unfitted detector")
     arrays: dict = {}
-    kernels_meta = []
-    for index, kernel in enumerate(model.kernels):
-        prefix = f"k{index}"
-        svc_meta = _encode_svc(kernel.model, arrays, prefix)
-        kernels_meta.append(
-            {
-                "cluster_index": kernel.cluster_index,
-                "schema": _encode_schema(kernel.schema),
-                "svc": svc_meta,
-                "key_set": _encode_key_set(kernel.key_set),
-                "hotspot_count": kernel.hotspot_count,
-                "nonhotspot_count": kernel.nonhotspot_count,
-            }
-        )
+    kernels_meta = [
+        encode_trained_kernel(kernel, arrays, f"k{index}")
+        for index, kernel in enumerate(model.kernels)
+    ]
     feedback_meta = None
     if detector.feedback_ is not None:
         feedback_meta = {
@@ -236,18 +260,10 @@ def load_detector(
         use_removal=switches.get("use_removal", base.use_removal),
     )
 
-    kernels = []
-    for index, kernel_meta in enumerate(meta["kernels"]):
-        kernels.append(
-            TrainedKernel(
-                cluster_index=kernel_meta["cluster_index"],
-                schema=_decode_schema(kernel_meta["schema"]),
-                model=_decode_svc(kernel_meta["svc"], arrays, f"k{index}"),
-                key_set=_decode_key_set(kernel_meta["key_set"]),
-                hotspot_count=kernel_meta["hotspot_count"],
-                nonhotspot_count=kernel_meta["nonhotspot_count"],
-            )
-        )
+    kernels = [
+        decode_trained_kernel(kernel_meta, arrays, f"k{index}")
+        for index, kernel_meta in enumerate(meta["kernels"])
+    ]
     model = MultiKernelModel(
         kernels=kernels,
         hotspot_clips=[],

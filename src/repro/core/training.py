@@ -9,7 +9,8 @@ topology.  Kernels are independent, so training parallelises trivially
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -25,6 +26,7 @@ from repro.errors import SvmError
 from repro.features.vector import FeatureExtractor, FeatureSchema
 from repro.layout.clip import Clip, ClipSet
 from repro.obs import trace
+from repro.resilience import faults
 from repro.svm.grid_search import IterativeConfig, TrainingRound, train_iterative
 from repro.svm.model import SupportVectorClassifier
 from repro.topology.cluster import Cluster, TopologicalClassifier
@@ -156,6 +158,7 @@ def _train_one_kernel(
     svm_config: IterativeConfig,
     gate: bool,
 ) -> TrainedKernel:
+    faults.inject("train.kernel", cluster=cluster_index)
     # The kernel trains against the nonhotspot centroids that pass its
     # gate, plus every nonhotspot sharing no key (kept out by gating
     # anyway); restricting to gate-compatible centroids would starve small
@@ -215,6 +218,9 @@ def train_multi_kernel(
     training: ClipSet,
     config: DetectorConfig,
     classifier: Optional[TopologicalClassifier] = None,
+    checkpoint=None,
+    deadline=None,
+    resume: bool = True,
 ) -> MultiKernelModel:
     """Run the full training phase of Fig. 9(a).
 
@@ -223,6 +229,17 @@ def train_multi_kernel(
        'Basic' ablation disabled clustering).
     3. Downsample nonhotspots to cluster centroids.
     4. Train one kernel per hotspot cluster.
+
+    ``checkpoint`` (a :class:`repro.resilience.checkpoint.
+    CheckpointStore`) persists each kernel as it converges; with
+    ``resume`` the kernels already on disk for this dataset + config are
+    reused instead of retrained, so a run killed mid-kernel (SIGTERM,
+    OOM, injected fault) loses at most one kernel's work.  ``deadline``
+    (a :class:`repro.resilience.retry.Deadline`) is checked between
+    kernels and raises :class:`~repro.errors.StageTimeout` — after the
+    completed kernels have checkpointed, so the timeout itself is
+    resumable.  Stages 1-3 are cheap and deterministic; they re-run on
+    every resume.
     """
     hotspots, nonhotspots = training.split()
     if not hotspots or not nonhotspots:
@@ -272,29 +289,73 @@ def train_multi_kernel(
         (index, [upsampled[i] for i in cluster.members])
         for index, cluster in enumerate(hotspot_clusters)
     ]
-    with trace("train.kernels", kernels=len(jobs), parallel=config.parallel):
-        if config.parallel and len(jobs) > 1:
+
+    done: dict[int, TrainedKernel] = {}
+    if checkpoint is not None:
+        from repro.resilience.checkpoint import training_fingerprint
+
+        fingerprint = training_fingerprint(training, config)
+        done = checkpoint.begin(fingerprint, len(jobs), resume=resume)
+    pending = [(index, members) for index, members in jobs if index not in done]
+
+    save_lock = threading.Lock()
+
+    def _finish(index: int, kernel: TrainedKernel) -> None:
+        done[index] = kernel
+        if checkpoint is not None:
+            with save_lock:
+                checkpoint.save_kernel(index, kernel)
+
+    with trace(
+        "train.kernels",
+        kernels=len(jobs),
+        resumed=len(done),
+        parallel=config.parallel,
+    ):
+        if config.parallel and len(pending) > 1:
             with ThreadPoolExecutor(max_workers=config.worker_count) as pool:
-                kernels = list(
-                    pool.map(
-                        lambda job: _train_one_kernel(
-                            job[0],
-                            job[1],
-                            centroids,
-                            extractor,
-                            config.svm,
-                            config.use_topology,
-                        ),
-                        jobs,
-                    )
-                )
+                futures = {
+                    pool.submit(
+                        _train_one_kernel,
+                        index,
+                        members,
+                        centroids,
+                        extractor,
+                        config.svm,
+                        config.use_topology,
+                    ): index
+                    for index, members in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    # Checkpoint every converged kernel before surfacing
+                    # any failure, so the failure itself is resumable.
+                    errors = []
+                    for future in finished:
+                        try:
+                            kernel = future.result()
+                        except Exception as exc:  # noqa: BLE001 — re-raised below
+                            errors.append(exc)
+                        else:
+                            _finish(futures[future], kernel)
+                    if errors:
+                        for future in remaining:
+                            future.cancel()
+                        raise errors[0]
+                    if deadline is not None and remaining and deadline.expired():
+                        for future in remaining:
+                            future.cancel()
+                        deadline.check("train.kernels")
         else:
-            kernels = [
-                _train_one_kernel(
+            for index, members in pending:
+                if deadline is not None:
+                    deadline.check("train.kernels")
+                kernel = _train_one_kernel(
                     index, members, centroids, extractor, config.svm, config.use_topology
                 )
-                for index, members in jobs
-            ]
+                _finish(index, kernel)
+    kernels = [done[index] for index, _ in jobs]
     return MultiKernelModel(
         kernels=kernels,
         hotspot_clips=upsampled,

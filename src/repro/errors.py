@@ -14,11 +14,43 @@ class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
 
-class GeometryError(ReproError):
+class InputError(ReproError):
+    """Malformed external input: a corrupt file, record, clip or payload.
+
+    Input errors are *quarantinable*: pipelines that process many
+    independent inputs (clip archives, layout scans) may skip the
+    offending item, record it in a
+    :class:`~repro.resilience.quarantine.QuarantineReport` and carry on,
+    instead of aborting the whole run.
+    """
+
+
+class TransientError(ReproError):
+    """A failure that may succeed on retry (IO hiccup, injected fault).
+
+    :func:`repro.resilience.retry.call_with_retry` retries these by
+    default; anything else is treated as a permanent failure.
+    """
+
+
+class StageTimeout(ReproError):
+    """A pipeline stage exceeded its deadline.
+
+    Raised by :class:`repro.resilience.retry.Deadline` checks (and by
+    injected ``timeout`` faults).  Training checkpoints persist before
+    the raise, so a timed-out ``repro train`` resumes with ``--resume``.
+    """
+
+
+class CheckpointError(ReproError):
+    """A training checkpoint could not be written, read or validated."""
+
+
+class GeometryError(InputError):
     """Invalid geometric input (degenerate rectangle, open polygon, ...)."""
 
 
-class GdsiiError(ReproError):
+class GdsiiError(InputError):
     """Malformed GDSII stream data or unsupported record usage."""
 
 
@@ -26,7 +58,7 @@ class GdsiiRecordError(GdsiiError):
     """A single GDSII record could not be decoded or encoded."""
 
 
-class LayoutError(ReproError):
+class LayoutError(InputError):
     """Inconsistent layout-model operation (unknown layer, bad clip...)."""
 
 
@@ -58,7 +90,7 @@ class ConfigError(ReproError):
     """Invalid detector configuration value."""
 
 
-class DataError(ReproError):
+class DataError(InputError):
     """Benchmark-data generation or loading failure."""
 
 
@@ -70,8 +102,12 @@ class ModelNotFoundError(ServeError):
     """The requested model name is not loaded in the registry."""
 
 
-class QueueFullError(ServeError):
-    """Backpressure: the batching queue cannot accept more work."""
+class QueueFullError(ServeError, TransientError):
+    """Backpressure: the batching queue cannot accept more work.
+
+    Also a :class:`TransientError` — the queue drains, so an idempotent
+    caller may retry after a short backoff (HTTP 429 + ``Retry-After``).
+    """
 
 
 class RequestTimeoutError(ServeError):
@@ -80,3 +116,15 @@ class RequestTimeoutError(ServeError):
 
 class ServerClosedError(ServeError):
     """The service is draining or stopped and rejects new work."""
+
+
+class CircuitOpenError(ServeError, TransientError):
+    """A circuit breaker is open: the model is failing, calls shed fast.
+
+    ``retry_after_s`` is the breaker's remaining cool-down, surfaced as
+    the HTTP ``Retry-After`` header on the 503 response.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

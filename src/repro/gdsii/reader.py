@@ -10,6 +10,7 @@ benchmark file should fail loudly.
 from __future__ import annotations
 
 import math
+import struct
 from pathlib import Path as FsPath
 from typing import Optional, Union
 
@@ -24,14 +25,21 @@ from repro.gdsii.library import (
     GdsStructure,
     GdsTransform,
 )
-from repro.gdsii.records import DataType, Record, RecordType, iter_records
+from repro.gdsii.records import DataType, Record, RecordType, decode_record
 from repro.geometry.point import Point
 
 
 def read_library(data: bytes) -> GdsLibrary:
     """Parse a full GDSII byte stream into a library."""
     reader = _StreamReader(data)
-    return reader.run()
+    try:
+        return reader.run()
+    except (IndexError, struct.error, UnicodeDecodeError) as exc:
+        # Raw decoder slips on corrupt payloads become typed input errors
+        # carrying the offending record's file offset.
+        raise GdsiiError(
+            f"malformed GDSII record at offset {reader.last_offset}: {exc}"
+        ) from exc
 
 
 def read_library_file(path: Union[str, FsPath]) -> GdsLibrary:
@@ -44,7 +52,11 @@ class _StreamReader:
     """Record-stream state machine producing a :class:`GdsLibrary`."""
 
     def __init__(self, data: bytes):
-        self._records = iter_records(data)
+        self._data = data
+        self._offset = 0
+        self._done = False
+        #: Offset of the most recently decoded record (error context).
+        self.last_offset = 0
         self._library = GdsLibrary()
         self._pushback: Optional[Record] = None
 
@@ -53,10 +65,13 @@ class _StreamReader:
         if self._pushback is not None:
             record, self._pushback = self._pushback, None
             return record
-        try:
-            return next(self._records)
-        except StopIteration:
-            raise GdsiiError("unexpected end of record stream") from None
+        if self._done or self._offset >= len(self._data):
+            raise GdsiiError("unexpected end of record stream")
+        self.last_offset = self._offset
+        record, self._offset = decode_record(self._data, self._offset)
+        if record.rtype is RecordType.ENDLIB:
+            self._done = True
+        return record
 
     def _push(self, record: Record) -> None:
         self._pushback = record

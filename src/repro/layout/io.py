@@ -14,14 +14,16 @@ import json
 from pathlib import Path as FsPath
 from typing import Optional, Union
 
-from repro.errors import LayoutError
+from repro.errors import InputError, LayoutError, ReproError
 from repro.gdsii.flatten import flatten_structure
 from repro.gdsii.library import GdsBoundary, GdsLibrary, GdsStructure
-from repro.gdsii.reader import read_library_file
+from repro.gdsii.reader import read_library
 from repro.gdsii.writer import write_library_file
 from repro.geometry.rect import Rect
 from repro.layout.clip import Clip, ClipLabel, ClipSpec, ClipSet
 from repro.layout.layout import Layout
+from repro.resilience import faults
+from repro.resilience.retry import IO_RETRY, call_with_retry
 
 _LABEL_PREFIX = {
     ClipLabel.HOTSPOT: "HS",
@@ -29,6 +31,22 @@ _LABEL_PREFIX = {
     ClipLabel.UNKNOWN: "UNK",
 }
 _PREFIX_LABEL = {v: k for k, v in _LABEL_PREFIX.items()}
+
+
+def _read_bytes(path: Union[str, FsPath]) -> bytes:
+    """Read a file with transient-IO retry and the ``io.read`` fault point."""
+    faults.inject("io.read", path=str(path))
+    return call_with_retry(
+        lambda: FsPath(path).read_bytes(), IO_RETRY, label=f"read:{path}"
+    )
+
+
+def _parse_library(data: bytes, path: Union[str, FsPath]) -> GdsLibrary:
+    """Parse GDSII bytes, prefixing input errors with the source path."""
+    try:
+        return read_library(data)
+    except InputError as exc:
+        raise type(exc)(f"{path}: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -70,7 +88,7 @@ def load_layout_gds(
     path: Union[str, FsPath], dissect_max_side: Optional[int] = None
 ) -> Layout:
     """Read a layout back from a GDSII file."""
-    return library_to_layout(read_library_file(path), dissect_max_side)
+    return library_to_layout(_parse_library(_read_bytes(path), path), dissect_max_side)
 
 
 def save_layout_auto(layout: Layout, path: Union[str, FsPath]) -> None:
@@ -93,13 +111,15 @@ def load_layout_auto(path: Union[str, FsPath]) -> Layout:
     OASIS files start with ``%SEMI-OASIS``; everything else is treated as
     GDSII.
     """
-    with open(path, "rb") as handle:
-        head = handle.read(13)
-    if head.startswith(b"%SEMI-OASIS"):
-        from repro.oasis.reader import read_oasis_file
+    data = _read_bytes(path)
+    if data.startswith(b"%SEMI-OASIS"):
+        from repro.oasis.reader import read_oasis
 
-        return read_oasis_file(path).layout
-    return load_layout_gds(path)
+        try:
+            return read_oasis(data).layout
+        except InputError as exc:
+            raise type(exc)(f"{path}: {exc}") from exc
+    return library_to_layout(_parse_library(data, path))
 
 
 # ----------------------------------------------------------------------
@@ -121,37 +141,63 @@ def clipset_to_library(clip_set: ClipSet, name: str = "CLIPS") -> GdsLibrary:
     return library
 
 
-def library_to_clipset(library: GdsLibrary, spec: ClipSpec) -> ClipSet:
-    """Inverse of :func:`clipset_to_library`."""
+def library_to_clipset(
+    library: GdsLibrary, spec: ClipSpec, quarantine=None
+) -> ClipSet:
+    """Inverse of :func:`clipset_to_library`.
+
+    With a :class:`~repro.resilience.quarantine.QuarantineReport`, a
+    malformed clip structure is recorded there and skipped; without one
+    (the default) it raises, preserving strict round-trip semantics.
+    """
     clip_set = ClipSet(spec)
     for structure_name in sorted(library.structures):
         structure = library.structures[structure_name]
-        prefix = structure_name.split("_", 1)[0]
-        if prefix not in _PREFIX_LABEL:
-            raise LayoutError(f"clip structure {structure_name!r} has no label prefix")
-        label = _PREFIX_LABEL[prefix]
-        window: Optional[Rect] = None
-        rects: list[Rect] = []
-        layer = 1
-        for boundary in structure.boundaries():
-            polygon_box = boundary.to_polygon().bbox()
-            if boundary.datatype == 255:
-                window = polygon_box
-            else:
-                rects.append(polygon_box)
-                layer = boundary.layer
-        if window is None:
-            raise LayoutError(f"clip structure {structure_name!r} lacks a window marker")
-        clip_set.add(Clip.build(window, spec, rects, label, layer))
+        try:
+            faults.inject("io.clip", structure=structure_name)
+            clip_set.add(_structure_to_clip(structure, structure_name, spec))
+        except ReproError as exc:
+            if quarantine is None:
+                raise
+            quarantine.add(
+                type(exc).__name__,
+                str(exc),
+                source="io.clip",
+                structure=structure_name,
+            )
     return clip_set
+
+
+def _structure_to_clip(
+    structure: GdsStructure, structure_name: str, spec: ClipSpec
+) -> Clip:
+    prefix = structure_name.split("_", 1)[0]
+    if prefix not in _PREFIX_LABEL:
+        raise LayoutError(f"clip structure {structure_name!r} has no label prefix")
+    label = _PREFIX_LABEL[prefix]
+    window: Optional[Rect] = None
+    rects: list[Rect] = []
+    layer = 1
+    for boundary in structure.boundaries():
+        polygon_box = boundary.to_polygon().bbox()
+        if boundary.datatype == 255:
+            window = polygon_box
+        else:
+            rects.append(polygon_box)
+            layer = boundary.layer
+    if window is None:
+        raise LayoutError(f"clip structure {structure_name!r} lacks a window marker")
+    return Clip.build(window, spec, rects, label, layer)
 
 
 def save_clipset_gds(clip_set: ClipSet, path: Union[str, FsPath]) -> None:
     write_library_file(clipset_to_library(clip_set), path)
 
 
-def load_clipset_gds(path: Union[str, FsPath], spec: ClipSpec) -> ClipSet:
-    return library_to_clipset(read_library_file(path), spec)
+def load_clipset_gds(
+    path: Union[str, FsPath], spec: ClipSpec, quarantine=None
+) -> ClipSet:
+    return library_to_clipset(_parse_library(_read_bytes(path), path), spec, quarantine)
 
 
 # ----------------------------------------------------------------------
@@ -201,5 +247,8 @@ def save_clipset_json(clip_set: ClipSet, path: Union[str, FsPath]) -> None:
 
 
 def load_clipset_json(path: Union[str, FsPath]) -> ClipSet:
-    with open(path, "r", encoding="ascii") as handle:
-        return clipset_from_json(handle.read())
+    try:
+        text = _read_bytes(path).decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise LayoutError(f"{path}: clip-set JSON is not ASCII: {exc}") from exc
+    return clipset_from_json(text)

@@ -10,6 +10,7 @@ than mis-parsing.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
@@ -84,34 +85,53 @@ def read_oasis(data: bytes) -> OasisDocument:
     modal = _Modal()
 
     while offset < len(data):
-        record, offset = decode_unsigned(data, offset)
+        record_offset = offset
+        try:
+            record, offset = decode_unsigned(data, offset)
+        except OasisError as exc:
+            raise OasisError(
+                f"malformed record header at offset {record_offset}: {exc}"
+            ) from exc
         if record == END_RECORD:
             break
         if record == 0:  # PAD
             continue
-        if record == CELLNAME_RECORD:
-            name, offset = decode_string(data, offset)
-            name_table.append(name)
-        elif record == CELL_NAME_RECORD:
-            name, offset = decode_string(data, offset)
-            cell_names.append(name)
-            modal = _Modal()
-        elif record == CELL_REF_RECORD:
-            ref, offset = decode_unsigned(data, offset)
-            if ref >= len(name_table):
-                raise OasisError(f"CELL reference {ref} has no CELLNAME")
-            cell_names.append(name_table[ref])
-            modal = _Modal()
-        elif record == RECTANGLE_RECORD:
-            offset = _read_rectangle(data, offset, layout, modal)
-        elif record == POLYGON_RECORD:
-            offset = _read_polygon(data, offset, layout, modal)
-        else:
+        try:
+            if record == CELLNAME_RECORD:
+                name, offset = decode_string(data, offset)
+                name_table.append(name)
+            elif record == CELL_NAME_RECORD:
+                name, offset = decode_string(data, offset)
+                cell_names.append(name)
+                modal = _Modal()
+            elif record == CELL_REF_RECORD:
+                ref, offset = decode_unsigned(data, offset)
+                if ref >= len(name_table):
+                    raise OasisError(f"CELL reference {ref} has no CELLNAME")
+                cell_names.append(name_table[ref])
+                modal = _Modal()
+            elif record == RECTANGLE_RECORD:
+                offset = _read_rectangle(data, offset, layout, modal)
+            elif record == POLYGON_RECORD:
+                offset = _read_polygon(data, offset, layout, modal)
+            else:
+                raise OasisError(
+                    f"record {record} is outside the supported OASIS subset"
+                )
+        except (IndexError, struct.error, UnicodeDecodeError) as exc:
+            # Decoder slips on torn bytes surface as typed input errors
+            # carrying the record's file offset, never raw IndexError.
             raise OasisError(
-                f"record {record} is outside the supported OASIS subset"
-            )
+                f"malformed record {record} at offset {record_offset}: {exc}"
+            ) from exc
+        except OasisError as exc:
+            if "offset" in str(exc):
+                raise
+            raise OasisError(
+                f"malformed record {record} at offset {record_offset}: {exc}"
+            ) from exc
     else:
-        raise OasisError("stream ended without END record")
+        raise OasisError(f"stream ended at offset {offset} without END record")
     return OasisDocument(layout, version, grid, cell_names)
 
 
@@ -119,8 +139,14 @@ def read_oasis_file(path: Union[str, Path]) -> OasisDocument:
     return read_oasis(Path(path).read_bytes())
 
 
+def _info_byte(data: bytes, offset: int) -> int:
+    if offset >= len(data):
+        raise OasisError(f"truncated geometry record at offset {offset}")
+    return data[offset]
+
+
 def _read_rectangle(data: bytes, offset: int, layout: Layout, modal: _Modal) -> int:
-    info = data[offset]
+    info = _info_byte(data, offset)
     offset += 1
     square = bool(info & 0x80)
     if info & 0x01:  # L
@@ -157,7 +183,7 @@ def _read_rectangle(data: bytes, offset: int, layout: Layout, modal: _Modal) -> 
 
 
 def _read_polygon(data: bytes, offset: int, layout: Layout, modal: _Modal) -> int:
-    info = data[offset]
+    info = _info_byte(data, offset)
     offset += 1
     if info & 0x01:  # L
         modal.layer, offset = decode_unsigned(data, offset)

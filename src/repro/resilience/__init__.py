@@ -1,0 +1,58 @@
+"""repro.resilience — fault tolerance for the hotspot pipeline.
+
+Stdlib-only building blocks, wired through core, IO and serving:
+
+- typed failures (:class:`~repro.errors.InputError`,
+  :class:`~repro.errors.TransientError`,
+  :class:`~repro.errors.StageTimeout`,
+  :class:`~repro.errors.CheckpointError`,
+  :class:`~repro.errors.CircuitOpenError`) re-exported here;
+- :func:`~repro.resilience.retry.call_with_retry` /
+  :class:`~repro.resilience.retry.RetryPolicy` /
+  :class:`~repro.resilience.retry.Deadline` — exponential backoff with
+  deterministic jitter and per-stage deadlines;
+- :class:`~repro.resilience.checkpoint.CheckpointStore` — per-cluster
+  kernel checkpoints behind ``repro train --resume``;
+- :class:`~repro.resilience.quarantine.QuarantineReport` — skip, count
+  and report malformed inputs instead of crashing;
+- :class:`~repro.resilience.breaker.CircuitBreaker` — per-model load
+  shedding in the serving path;
+- :mod:`~repro.resilience.faults` — seeded, deterministic fault
+  injection (``REPRO_FAULTS``) for the test suite and CI chaos job.
+
+See ``docs/RESILIENCE.md`` for the full tour.
+"""
+
+from repro.errors import (
+    CheckpointError,
+    CircuitOpenError,
+    InputError,
+    StageTimeout,
+    TransientError,
+)
+
+from . import faults
+from .breaker import BreakerConfig, CircuitBreaker
+from .checkpoint import CheckpointStore, training_fingerprint
+from .quarantine import QuarantineItem, QuarantineReport
+from .retry import IO_RETRY, Deadline, RetryPolicy, RetryState, call_with_retry
+
+__all__ = [
+    "BreakerConfig",
+    "CheckpointError",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "IO_RETRY",
+    "InputError",
+    "QuarantineItem",
+    "QuarantineReport",
+    "RetryPolicy",
+    "RetryState",
+    "StageTimeout",
+    "TransientError",
+    "call_with_retry",
+    "faults",
+    "training_fingerprint",
+]

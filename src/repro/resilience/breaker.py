@@ -1,0 +1,135 @@
+"""A per-resource circuit breaker (closed -> open -> half-open).
+
+Protects callers from a failing dependency — here, a served model whose
+evaluation keeps erroring — by *shedding* calls once failures pass a
+threshold, instead of queueing more doomed work:
+
+- **closed** — normal operation; consecutive failures are counted, any
+  success resets the count.
+- **open** — every call is rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (mapped to HTTP 503 +
+  ``Retry-After``) until ``reset_timeout_s`` elapses.
+- **half-open** — after the cool-down, a limited number of probe calls
+  pass through; a success closes the circuit, a failure re-opens it.
+
+The clock is injectable so tests step through states without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CircuitOpenError, ConfigError
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds of one circuit breaker."""
+
+    #: Consecutive failures that trip the circuit open.
+    failure_threshold: int = 5
+    #: Seconds the circuit stays open before probing.
+    reset_timeout_s: float = 10.0
+    #: Concurrent probe calls admitted while half-open.
+    half_open_max: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if self.reset_timeout_s <= 0:
+            raise ConfigError("reset_timeout_s must be positive")
+        if self.half_open_max < 1:
+            raise ConfigError("half_open_max must be >= 1")
+
+
+class CircuitBreaker:
+    """Thread-safe breaker guarding one named resource."""
+
+    def __init__(
+        self,
+        name: str,
+        config: BreakerConfig = BreakerConfig(),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        #: Monotonically increasing counters for metrics/health.
+        self.rejected_total = 0
+        self.opened_total = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    # ------------------------------------------------------------------
+    def before_call(self) -> None:
+        """Admit the call or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            if self._state == CLOSED:
+                return
+            now = self._clock()
+            remaining = self._opened_at + self.config.reset_timeout_s - now
+            if self._state == OPEN:
+                if remaining > 0:
+                    self.rejected_total += 1
+                    raise CircuitOpenError(
+                        f"circuit for {self.name!r} is open "
+                        f"({self._failures} consecutive failures); "
+                        f"retry in {max(remaining, 0.0):.1f}s",
+                        retry_after_s=max(remaining, 0.05),
+                    )
+                self._state = HALF_OPEN
+                self._probes = 0
+            # half-open: admit a bounded number of probes.
+            if self._probes >= self.config.half_open_max:
+                self.rejected_total += 1
+                raise CircuitOpenError(
+                    f"circuit for {self.name!r} is half-open and probing; "
+                    "retry shortly",
+                    retry_after_s=max(self.config.reset_timeout_s / 4, 0.05),
+                )
+            self._probes += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probes = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            tripped = (
+                self._state == HALF_OPEN
+                or self._failures >= self.config.failure_threshold
+            )
+            if tripped and self._state != OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.opened_total += 1
+            elif self._state == HALF_OPEN:
+                self._probes = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "CircuitBreaker":
+        self.before_call()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is None:
+            self.record_success()
+        elif not isinstance(exc, CircuitOpenError):
+            self.record_failure()
+        return False

@@ -1,0 +1,248 @@
+"""Deterministic fault injection for chaos testing the pipeline.
+
+A :class:`FaultPlan` is a set of rules bound to named *injection
+points* — call sites scattered through the stack (``io.read``,
+``train.kernel``, ``extract.clip``, ``serve.evaluate``, ...) that ask
+"should a fault fire here?" on every pass.  Whether a given hit fires is
+decided by a **seeded** PRNG plus per-point hit counters, so the same
+plan against the same workload injects exactly the same faults — chaos
+runs are reproducible and assertable.
+
+Plans are written as a compact spec string (the ``REPRO_FAULTS``
+environment variable uses the same syntax)::
+
+    seed=42;io.read=error:1.0!2;train.kernel=error:1@1!1;extract.clip=corrupt:0.3
+
+Entries are ``;``-separated.  ``seed=N`` seeds the PRNG; every other
+entry is ``point=kind:probability`` with two optional suffixes:
+``@N`` skips the first N matching hits, ``!M`` fires at most M times.
+``point`` is an :mod:`fnmatch` pattern, so ``train.*=error:0.1`` covers
+every training stage.  Kinds map to failure modes at the call site:
+
+- ``error``   -> raises :class:`~repro.errors.TransientError`
+- ``timeout`` -> raises :class:`~repro.errors.StageTimeout`
+- ``corrupt`` -> raises :class:`~repro.errors.InputError`
+- ``slow``    -> sleeps :data:`SLOW_SECONDS` and continues
+
+Install a plan process-wide with :func:`install` / :func:`from_env`, or
+scope one to a block with :func:`active`::
+
+    with faults.active("extract.clip=corrupt:0.5"):
+        report = detector.detect(layout)
+    assert report.quarantined > 0
+
+Injection points cost one module-global ``is None`` check when no plan
+is installed, so production paths pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError, InputError, StageTimeout, TransientError
+
+#: Environment variable holding the process-wide fault plan spec.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Seconds a ``slow`` fault stalls the injection point.
+SLOW_SECONDS = 0.05
+
+#: Failure modes a rule may request.
+KINDS = ("error", "timeout", "corrupt", "slow")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: where, what, how often."""
+
+    point: str
+    kind: str
+    probability: float
+    after: int = 0
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; use one of {KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError(f"fault probability must be in [0, 1], got {self.probability}")
+        if self.after < 0 or (self.limit is not None and self.limit < 1):
+            raise ConfigError("fault @after must be >= 0 and !limit >= 1")
+
+
+@dataclass
+class FaultPlan:
+    """Parsed rules plus the seed that makes them deterministic."""
+
+    rules: list[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse the ``seed=N;point=kind:prob[@N][!M]`` spec syntax."""
+        plan = cls()
+        for raw in spec.split(";"):
+            entry = raw.strip()
+            if not entry:
+                continue
+            name, sep, value = entry.partition("=")
+            if not sep:
+                raise ConfigError(f"fault entry {entry!r} is not name=value")
+            name = name.strip()
+            value = value.strip()
+            if name == "seed":
+                plan.seed = int(value)
+                continue
+            limit: Optional[int] = None
+            if "!" in value:
+                value, _, raw_limit = value.partition("!")
+                limit = int(raw_limit)
+            after = 0
+            if "@" in value:
+                value, _, raw_after = value.partition("@")
+                after = int(raw_after)
+            kind, sep, raw_prob = value.partition(":")
+            probability = float(raw_prob) if sep else 1.0
+            plan.rules.append(
+                FaultRule(
+                    point=name,
+                    kind=kind.strip(),
+                    probability=probability,
+                    after=after,
+                    limit=limit,
+                )
+            )
+        return plan
+
+
+@dataclass
+class FiredFault:
+    """Record of one injected fault (for reports and assertions)."""
+
+    point: str
+    kind: str
+    context: dict
+
+
+class FaultInjector:
+    """Executable plan state: seeded PRNG + per-rule counters."""
+
+    #: Details kept for the newest fires (counters are unbounded).
+    MAX_RECORDED = 256
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._random = random.Random(plan.seed)
+        self._lock = threading.Lock()
+        self._hits: dict[int, int] = {}
+        self._fires: dict[int, int] = {}
+        self.fired: list[FiredFault] = []
+        self.fire_count = 0
+
+    def match(self, point: str) -> Optional[FaultRule]:
+        """Decide whether a fault fires at ``point`` (counts the hit)."""
+        with self._lock:
+            for index, rule in enumerate(self.plan.rules):
+                if not fnmatchcase(point, rule.point):
+                    continue
+                self._hits[index] = self._hits.get(index, 0) + 1
+                if self._hits[index] <= rule.after:
+                    continue
+                if rule.limit is not None and self._fires.get(index, 0) >= rule.limit:
+                    continue
+                if rule.probability < 1.0 and self._random.random() >= rule.probability:
+                    continue
+                self._fires[index] = self._fires.get(index, 0) + 1
+                return rule
+        return None
+
+    def record(self, point: str, kind: str, context: dict) -> None:
+        with self._lock:
+            self.fire_count += 1
+            if len(self.fired) < self.MAX_RECORDED:
+                self.fired.append(FiredFault(point, kind, context))
+
+    def summary(self) -> dict:
+        with self._lock:
+            by_point: dict[str, int] = {}
+            for fault in self.fired:
+                by_point[fault.point] = by_point.get(fault.point, 0) + 1
+            return {"fired": self.fire_count, "by_point": by_point}
+
+
+_injector: Optional[FaultInjector] = None
+
+
+def install(plan: FaultPlan) -> FaultInjector:
+    """Install a plan process-wide; returns the live injector."""
+    global _injector
+    _injector = FaultInjector(plan)
+    return _injector
+
+
+def uninstall() -> None:
+    global _injector
+    _injector = None
+
+
+def get() -> Optional[FaultInjector]:
+    """The installed injector, or ``None`` when injection is off."""
+    return _injector
+
+
+def from_env(environ=os.environ) -> Optional[FaultInjector]:
+    """Install the plan named by ``REPRO_FAULTS``; no-op when unset."""
+    spec = environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return install(FaultPlan.from_spec(spec))
+
+
+@contextmanager
+def active(plan_or_spec) -> Iterator[FaultInjector]:
+    """Scope a plan to a ``with`` block, restoring the previous one."""
+    plan = (
+        FaultPlan.from_spec(plan_or_spec)
+        if isinstance(plan_or_spec, str)
+        else plan_or_spec
+    )
+    global _injector
+    previous = _injector
+    injector = FaultInjector(plan)
+    _injector = injector
+    try:
+        yield injector
+    finally:
+        _injector = previous
+
+
+def inject(point: str, **context) -> None:
+    """The injection-point hook: raise/stall when the plan says so.
+
+    Call this at the top of any operation chaos tests should be able to
+    break.  With no plan installed this is a single ``is None`` check.
+    """
+    injector = _injector
+    if injector is None:
+        return
+    rule = injector.match(point)
+    if rule is None:
+        return
+    injector.record(point, rule.kind, context)
+    detail = ", ".join(f"{k}={v}" for k, v in context.items())
+    message = f"injected {rule.kind} fault at {point}" + (f" ({detail})" if detail else "")
+    if rule.kind == "slow":
+        time.sleep(SLOW_SECONDS)
+        return
+    if rule.kind == "timeout":
+        raise StageTimeout(message)
+    if rule.kind == "corrupt":
+        raise InputError(message)
+    raise TransientError(message)

@@ -1,0 +1,124 @@
+"""Quarantine-not-crash: collect bad inputs instead of aborting.
+
+Full-chip workloads routinely contain a few malformed records — a
+truncated clip structure, a zero-area geometry, a corrupt OASIS record.
+One bad item must not abort a multi-hour run, but it must not vanish
+silently either.  A :class:`QuarantineReport` is the middle path: the
+pipeline skips the item, the report counts it (by kind) and keeps a
+bounded sample of details, and the run's manifest / ``/metrics`` expose
+the totals.  ``repro scan --quarantine`` writes the report as JSON for
+offline triage.
+
+Thread-safe: extraction workers add items concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+
+@dataclass
+class QuarantineItem:
+    """One skipped input: what it was, why, and where it came from."""
+
+    kind: str
+    reason: str
+    source: Optional[str] = None
+    context: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "reason": self.reason}
+        if self.source:
+            out["source"] = self.source
+        if self.context:
+            out["context"] = {k: str(v) for k, v in self.context.items()}
+        return out
+
+
+class QuarantineReport:
+    """Counters plus a bounded sample of quarantined inputs."""
+
+    #: Item details kept; counts keep increasing past this.
+    MAX_ITEMS = 200
+
+    def __init__(self, max_items: int = MAX_ITEMS) -> None:
+        self._lock = threading.Lock()
+        self._items: list[QuarantineItem] = []
+        self._by_kind: dict[str, int] = {}
+        self._total = 0
+        self._max_items = max_items
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        kind: str,
+        reason: str,
+        source: Optional[object] = None,
+        **context,
+    ) -> None:
+        """Record one quarantined input."""
+        with self._lock:
+            self._total += 1
+            self._by_kind[kind] = self._by_kind.get(kind, 0) + 1
+            if len(self._items) < self._max_items:
+                self._items.append(
+                    QuarantineItem(
+                        kind=kind,
+                        reason=reason,
+                        source=None if source is None else str(source),
+                        context=context,
+                    )
+                )
+
+    def merge(self, other: "QuarantineReport") -> None:
+        with other._lock:
+            items = list(other._items)
+            by_kind = dict(other._by_kind)
+            total = other._total
+        with self._lock:
+            self._total += total
+            for kind, count in by_kind.items():
+                self._by_kind[kind] = self._by_kind.get(kind, 0) + count
+            room = self._max_items - len(self._items)
+            if room > 0:
+                self._items.extend(items[:room])
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+    def counts_by_kind(self) -> dict:
+        with self._lock:
+            return dict(self._by_kind)
+
+    def items(self) -> list[QuarantineItem]:
+        with self._lock:
+            return list(self._items)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "total": self._total,
+                "by_kind": dict(self._by_kind),
+                "items": [item.to_dict() for item in self._items],
+                "truncated": self._total > len(self._items),
+            }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the report as a JSON artifact."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return path

@@ -39,7 +39,9 @@ from repro.errors import (
     ServeError,
     ServerClosedError,
 )
-from repro.obs import trace
+from repro.obs import get_logger, trace
+
+_log = get_logger("serve.batching")
 
 
 @dataclass(frozen=True)
@@ -318,13 +320,24 @@ class MicroBatcher:
                 clips=clip_count,
                 request_ids=request_ids,
             ):
+                # The span marks itself errored on the way out, so the
+                # failure is visible in traces as well as in the log line.
                 results = self.evaluate(group, payload)
             if len(results) != len(batch):
                 raise ServeError(
                     f"batch function returned {len(results)} results "
                     f"for {len(batch)} requests"
                 )
-        except BaseException as exc:  # noqa: BLE001 — forwarded to submitters
+        except Exception as exc:  # forwarded to each submitting thread
+            _log.error(
+                "batch_failed",
+                group=group,
+                requests=len(batch),
+                clips=clip_count,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                request_ids=request_ids,
+            )
             for request in batch:
                 request.finish(None, exc)
             return

@@ -18,16 +18,31 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 import urllib.parse
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ServeError
 from repro.geometry.rect import Rect
 from repro.layout.clip import Clip
+from repro.resilience.retry import RetryPolicy
 from repro.serve.protocol import encode_clip, encode_rect
+
+#: HTTP statuses the client treats as transient for idempotent requests.
+RETRYABLE_STATUSES = (429, 503)
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Delay seconds from a ``Retry-After`` header (delta form only)."""
+    if not value:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None  # HTTP-date form: fall back to local backoff
 
 
 class ServeClientError(ServeError):
@@ -50,6 +65,8 @@ class PredictResult:
     margins: np.ndarray
     #: Correlation id echoed by the server (``X-Request-Id``).
     request_id: Optional[str] = None
+    #: Transport attempts the client spent (1 = no retry needed).
+    attempts: int = 1
 
     @property
     def hotspot_count(self) -> int:
@@ -59,7 +76,14 @@ class PredictResult:
 class ServeClient:
     """Thin, thread-safe client for one hotspot-inference server."""
 
-    def __init__(self, url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme not in ("http", ""):
             raise ServeError(f"unsupported scheme {parsed.scheme!r}")
@@ -70,6 +94,13 @@ class ServeClient:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        #: Extra attempts on 429/503 for idempotent requests; the
+        #: server's ``Retry-After`` wins over the local backoff schedule.
+        self.retries = retries
+        self.backoff = backoff or RetryPolicy(
+            attempts=retries + 1, base_delay_s=0.05, max_delay_s=1.0
+        )
+        self._sleep = sleep
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -96,7 +127,7 @@ class ServeClient:
         path: str,
         document: Optional[dict] = None,
         request_id: Optional[str] = None,
-    ) -> tuple[int, object, str]:
+    ) -> tuple[int, object, str, dict]:
         body = None if document is None else json.dumps(document).encode("utf-8")
         headers = {"Content-Type": "application/json"} if body else {}
         if request_id is not None:
@@ -121,7 +152,7 @@ class ServeClient:
                 raise ServeError(f"invalid JSON from server: {exc}") from exc
         else:
             decoded = payload.decode("utf-8", "replace")
-        return response.status, decoded, content_type
+        return response.status, decoded, content_type, dict(response.headers)
 
     def _request_ok(
         self,
@@ -129,9 +160,34 @@ class ServeClient:
         path: str,
         document: Optional[dict] = None,
         request_id: Optional[str] = None,
-    ):
-        status, decoded, _ = self._request(method, path, document, request_id)
-        if status >= 300:
+        idempotent: bool = True,
+    ) -> tuple[object, int]:
+        """Request with transient-status retry; returns (body, attempts).
+
+        ``429``/``503`` responses to idempotent requests are retried up
+        to ``self.retries`` extra times, sleeping for the server's
+        ``Retry-After`` when present and the local deterministic backoff
+        otherwise.  Every repro-serve endpoint is a pure function of its
+        payload, so prediction and scan requests are safely idempotent.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            status, decoded, _, headers = self._request(
+                method, path, document, request_id
+            )
+            if status < 300:
+                return decoded, attempts
+            if (
+                idempotent
+                and status in RETRYABLE_STATUSES
+                and attempts <= self.retries
+            ):
+                delay = _parse_retry_after(headers.get("Retry-After"))
+                if delay is None:
+                    delay = self.backoff.delay(attempts - 1, label=path)
+                self._sleep(delay)
+                continue
             if isinstance(decoded, dict) and isinstance(decoded.get("error"), dict):
                 error = decoded["error"]
                 raise ServeClientError(
@@ -140,7 +196,6 @@ class ServeClient:
                     str(error.get("message", "")),
                 )
             raise ServeClientError(status, "error", str(decoded)[:200])
-        return decoded
 
     # ------------------------------------------------------------------
     # endpoints
@@ -157,18 +212,21 @@ class ServeClient:
             document["model"] = model
         if threshold is not None:
             document["threshold"] = threshold
-        response = self._request_ok("POST", "/v1/predict", document, request_id)
+        response, attempts = self._request_ok(
+            "POST", "/v1/predict", document, request_id
+        )
         return PredictResult(
             model=response["model"],
             threshold=response["threshold"],
             flags=np.array(response["flags"], dtype=bool),
             margins=np.array(response["margins"], dtype=float),
             request_id=response.get("request_id"),
+            attempts=attempts,
         )
 
     def predict_payload(self, document: dict) -> dict:
         """Raw ``/v1/predict`` for callers that already hold payloads."""
-        return self._request_ok("POST", "/v1/predict", document)
+        return self._request_ok("POST", "/v1/predict", document)[0]
 
     def scan(
         self,
@@ -185,11 +243,14 @@ class ServeClient:
             document["model"] = model
         if threshold is not None:
             document["threshold"] = threshold
-        return self._request_ok("POST", "/v1/scan", document)
+        response, attempts = self._request_ok("POST", "/v1/scan", document)
+        assert isinstance(response, dict)
+        response["client_attempts"] = attempts
+        return response
 
     def healthz(self) -> dict:
         """The health document; raises :class:`ServeClientError` on 503."""
-        status, decoded, _ = self._request("GET", "/healthz")
+        status, decoded, _, _ = self._request("GET", "/healthz")
         if status != 200:
             message = decoded.get("status", "") if isinstance(decoded, dict) else ""
             raise ServeClientError(status, "unhealthy", str(message))
@@ -198,16 +259,16 @@ class ServeClient:
 
     def health_document(self) -> tuple[int, dict]:
         """(status code, body) without raising — for readiness probes."""
-        status, decoded, _ = self._request("GET", "/healthz")
+        status, decoded, _, _ = self._request("GET", "/healthz")
         return status, decoded if isinstance(decoded, dict) else {}
 
     def models(self) -> dict:
-        result = self._request_ok("GET", "/v1/models")
+        result = self._request_ok("GET", "/v1/models")[0]
         assert isinstance(result, dict)
         return result
 
     def metrics_text(self) -> str:
-        status, decoded, _ = self._request("GET", "/metrics")
+        status, decoded, _, _ = self._request("GET", "/metrics")
         if status != 200:
             raise ServeClientError(status, "metrics", str(decoded)[:200])
         assert isinstance(decoded, str)

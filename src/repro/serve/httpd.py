@@ -10,9 +10,10 @@ in a ``ThreadingHTTPServer``.  Endpoints:
 - ``GET  /metrics``    — Prometheus text metrics.
 
 Error mapping: malformed payload -> ``400``; unknown model -> ``404``;
-queue full (backpressure) -> ``429``; draining -> ``503``; request
-timeout -> ``504``.  Every error body is the structured JSON envelope
-``{"error": {"code", "message"}}``.
+queue full (backpressure) -> ``429``; open circuit breaker or draining
+-> ``503``; request timeout -> ``504``.  ``429``/``503`` responses carry
+a ``Retry-After`` header so well-behaved clients back off.  Every error
+body is the structured JSON envelope ``{"error": {"code", "message"}}``.
 
 Shutdown is graceful: ``stop()`` (also installed as the SIGTERM/SIGINT
 handler by the CLI) stops accepting connections, then drains the
@@ -29,14 +30,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.errors import (
-    LayoutError,
+    CircuitOpenError,
+    InputError,
     ModelNotFoundError,
     QueueFullError,
     RequestTimeoutError,
     ServeError,
     ServerClosedError,
 )
-from repro.obs import new_request_id
+from repro.obs import get_logger, new_request_id
 from repro.serve.protocol import ProtocolError, encode_error
 from repro.serve.service import ServeService
 
@@ -54,22 +56,30 @@ class ServerConfig:
     port: int = 0
 
 
-def _error_status(exc: BaseException) -> tuple[int, str]:
+#: Retry-After (seconds) advertised with backpressure rejections.
+QUEUE_FULL_RETRY_AFTER_S = 1.0
+DRAINING_RETRY_AFTER_S = 2.0
+
+
+def _error_status(exc: BaseException) -> tuple[int, str, Optional[float]]:
+    """Map an exception to (HTTP status, error code, Retry-After seconds)."""
     if isinstance(exc, ProtocolError):
-        return 400, "bad_request"
+        return 400, "bad_request", None
     if isinstance(exc, ModelNotFoundError):
-        return 404, "model_not_found"
+        return 404, "model_not_found", None
     if isinstance(exc, QueueFullError):
-        return 429, "queue_full"
+        return 429, "queue_full", QUEUE_FULL_RETRY_AFTER_S
+    if isinstance(exc, CircuitOpenError):
+        return 503, "circuit_open", exc.retry_after_s
     if isinstance(exc, ServerClosedError):
-        return 503, "shutting_down"
+        return 503, "shutting_down", DRAINING_RETRY_AFTER_S
     if isinstance(exc, RequestTimeoutError):
-        return 504, "timeout"
-    if isinstance(exc, LayoutError):
-        return 400, "bad_geometry"
+        return 504, "timeout", None
+    if isinstance(exc, InputError):
+        return 400, "bad_geometry", None
     if isinstance(exc, ServeError):
-        return 500, "serve_error"
-    return 500, "internal_error"
+        return 500, "serve_error", None
+    return 500, "internal_error", None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -94,11 +104,19 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, document: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        document: dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
         body = json.dumps(document).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Integral seconds per RFC 9110; never advertise zero.
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
         if self._request_id:
             self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
@@ -138,11 +156,22 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(status, payload)
             else:
                 self._send_text(status, payload, content_type)
-        except BaseException as exc:  # noqa: BLE001 — mapped to HTTP codes
-            status, code = _error_status(exc)
+        except Exception as exc:  # mapped to HTTP codes
+            status, code, retry_after = _error_status(exc)
+            if status >= 500:
+                get_logger("serve.httpd").error(
+                    "request_failed",
+                    endpoint=endpoint,
+                    code=code,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    request_id=self._request_id,
+                )
             try:
                 self._send_json(
-                    status, encode_error(code, str(exc), request_id=self._request_id)
+                    status,
+                    encode_error(code, str(exc), request_id=self._request_id),
+                    retry_after=retry_after,
                 )
             except (BrokenPipeError, ConnectionResetError):
                 pass

@@ -202,6 +202,8 @@ def encode_scan_response(model: str, report, request_id: Optional[str] = None) -
         "flagged_before_feedback": report.flagged_before_feedback,
         "flagged_after_feedback": report.flagged_after_feedback,
         "eval_seconds": report.eval_seconds,
+        "quarantined": getattr(report, "quarantined", 0),
+        "feedback_degraded": getattr(report, "feedback_degraded", False),
     }
     if request_id is not None:
         document["request_id"] = request_id

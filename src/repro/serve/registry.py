@@ -23,10 +23,22 @@ from typing import Optional, Union
 
 from repro.core.detector import HotspotDetector
 from repro.core.persist import load_detector, read_archive_info
-from repro.errors import ModelNotFoundError, ServeError
+from repro.errors import ModelNotFoundError, ServeError, TransientError
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy, call_with_retry
 
 #: Registry name used when the caller does not pick one.
 DEFAULT_MODEL = "default"
+
+#: Archive loads retry torn reads: a deploy is "overwrite the file", so a
+#: reader can race the writer and see a half-written npz for a moment.
+#: ValueError covers numpy/zip/json complaints about truncated archives.
+LOAD_RETRY = RetryPolicy(
+    attempts=3,
+    base_delay_s=0.02,
+    max_delay_s=0.25,
+    retry_on=(TransientError, OSError, ValueError),
+)
 
 
 @dataclass
@@ -83,13 +95,19 @@ class ModelRegistry:
         if name is None:
             name = DEFAULT_MODEL if not self._entries else path.stem
         started = time.perf_counter()
+
+        def _load() -> tuple[tuple[float, int], HotspotDetector, dict]:
+            faults.inject("registry.load", model=name, path=str(path))
+            signature = _stat_signature(path)
+            return signature, load_detector(path), read_archive_info(path)
+
         try:
-            mtime, size = _stat_signature(path)
-            detector = load_detector(path)
-            info = read_archive_info(path)
+            (mtime, size), detector, info = call_with_retry(
+                _load, LOAD_RETRY, label=f"model:{name}"
+            )
             if self.metrics is not None:
                 detector.metrics_sink_ = self.metrics
-        except OSError as exc:
+        except (OSError, ValueError) as exc:
             raise ServeError(f"cannot load model {name!r} from {path}: {exc}") from exc
         entry = ModelEntry(
             name=name,

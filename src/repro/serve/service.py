@@ -17,14 +17,22 @@ flagged survivors of the whole batch in one pass.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ServeError
+from repro.errors import (
+    QueueFullError,
+    ReproError,
+    RequestTimeoutError,
+    ServeError,
+    ServerClosedError,
+)
 from repro.layout.clip import Clip
 from repro.obs import get_logger
+from repro.resilience import BreakerConfig, CircuitBreaker, QuarantineReport, faults
 from repro.serve.batching import BatchingConfig, MicroBatcher
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.protocol import (
@@ -45,6 +53,7 @@ class ServeService:
         registry: Optional[ModelRegistry] = None,
         batching: Optional[BatchingConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        breaker: Optional[BreakerConfig] = None,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
         self.registry = registry or ModelRegistry(metrics=self.metrics)
@@ -64,6 +73,14 @@ class ServeService:
             "End-to-end request latency by endpoint.",
             labels=("endpoint",),
         )
+        self._breaker_rejected = self.metrics.counter(
+            "serve_breaker_rejected_total",
+            "Requests shed by an open per-model circuit breaker.",
+            labels=("model",),
+        )
+        self._breaker_config = breaker or BreakerConfig()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         self._log = get_logger("serve")
 
     # ------------------------------------------------------------------
@@ -100,6 +117,39 @@ class ServeService:
         )
 
     # ------------------------------------------------------------------
+    # load shedding
+    # ------------------------------------------------------------------
+    def breaker_for(self, model: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding one model."""
+        with self._breakers_lock:
+            breaker = self._breakers.get(model)
+            if breaker is None:
+                breaker = CircuitBreaker(model, self._breaker_config)
+                self._breakers[model] = breaker
+            return breaker
+
+    def _guarded(self, model: str):
+        """Admit a call through the model's breaker (counting rejections)."""
+        breaker = self.breaker_for(model)
+        try:
+            breaker.before_call()
+        except ReproError:
+            self._breaker_rejected.labels(model).inc()
+            raise
+        return breaker
+
+    def _record_outcome(self, breaker: CircuitBreaker, exc: Optional[BaseException]) -> None:
+        # Backpressure and client deadline misses are load signals, not
+        # evidence the model itself is broken — they must not trip the
+        # circuit and turn a busy server into an unavailable one.
+        if exc is None:
+            breaker.record_success()
+        elif not isinstance(
+            exc, (QueueFullError, RequestTimeoutError, ServerClosedError)
+        ):
+            breaker.record_failure()
+
+    # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
     def predict_payload(
@@ -134,22 +184,49 @@ class ServeService:
         entry = self.registry.get(model)
         if threshold is None:
             threshold = entry.detector.config.decision_threshold
-        result = self.batcher.submit(
-            entry.name,
-            list(clips),
-            context=float(threshold),
-            timeout=timeout,
-            request_id=request_id,
-        )
+        breaker = self._guarded(entry.name)
+        try:
+            result = self.batcher.submit(
+                entry.name,
+                list(clips),
+                context=float(threshold),
+                timeout=timeout,
+                request_id=request_id,
+            )
+        except BaseException as exc:
+            self._record_outcome(breaker, exc)
+            raise
+        self._record_outcome(breaker, None)
         flags = np.array([flag for flag, _ in result], dtype=bool)
         margins = np.array([margin for _, margin in result], dtype=float)
         return flags, margins, float(threshold)
 
     def scan_payload(self, document: object, request_id: Optional[str] = None) -> dict:
-        """Handle a ``/v1/scan`` body; full-layout detection, unbatched."""
+        """Handle a ``/v1/scan`` body; full-layout detection, unbatched.
+
+        Malformed clip regions are quarantined (skipped and counted on
+        the response and ``/metrics``) rather than failing the scan.
+        """
         entry = self.registry.get(request_model_name(document))
         layout, layer, threshold, _ = decode_scan_request(document)
-        report = entry.detector.detect(layout, layer=layer, threshold=threshold)
+        breaker = self._guarded(entry.name)
+        quarantine = QuarantineReport()
+        try:
+            report = entry.detector.detect(
+                layout, layer=layer, threshold=threshold, quarantine=quarantine
+            )
+        except BaseException as exc:
+            self._record_outcome(breaker, exc)
+            raise
+        self._record_outcome(breaker, None)
+        if quarantine:
+            self._log.warning(
+                "scan_quarantined",
+                model=entry.name,
+                quarantined=quarantine.total,
+                by_kind=quarantine.counts_by_kind(),
+                request_id=request_id,
+            )
         return encode_scan_response(entry.name, report, request_id=request_id)
 
     def health(self) -> tuple[bool, dict]:
@@ -178,6 +255,7 @@ class ServeService:
     def _evaluate_batch(
         self, group: str, requests: list[tuple[Sequence[Clip], object]]
     ) -> list[list[tuple[bool, float]]]:
+        faults.inject("serve.evaluate", group=group)
         entry = self.registry.get(group)
         detector = entry.detector
         model = detector.model_
@@ -197,14 +275,14 @@ class ServeService:
             flags[start:stop] = margins[start:stop] >= threshold
 
         # One feedback pass over every flagged clip in the batch — the
-        # filter is per-clip, so batching cannot change any verdict.
+        # filter is per-clip, so batching cannot change any verdict.  An
+        # erroring feedback kernel degrades to the primary verdicts
+        # (logged + counted) instead of failing the whole batch.
         if detector.feedback_ is not None and np.any(flags):
             flagged_indices = np.flatnonzero(flags)
-            keep = np.asarray(
-                detector.feedback_.keep_mask([all_clips[i] for i in flagged_indices]),
-                dtype=bool,
-            )
-            flags[flagged_indices[~keep]] = False
+            keep = detector._feedback_keep([all_clips[i] for i in flagged_indices])
+            if keep is not None:
+                flags[flagged_indices[~keep]] = False
 
         return [
             list(zip(flags[start:stop].tolist(), margins[start:stop].tolist()))

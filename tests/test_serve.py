@@ -534,7 +534,7 @@ class TestRequestId:
             conn.close()
 
     def test_error_envelope_carries_id(self, client):
-        status, decoded, _ = client._request(
+        status, decoded, _, _ = client._request(
             "POST",
             "/v1/predict",
             {"clips": "not-a-list"},
@@ -546,7 +546,7 @@ class TestRequestId:
 
     def test_scan_envelope_carries_id(self, client, small_benchmark):
         rects = list(small_benchmark.testing.layout.layer(1).rects)[:50]
-        response = client._request_ok(
+        response, _ = client._request_ok(
             "POST",
             "/v1/scan",
             {
@@ -609,8 +609,10 @@ class TestBackpressureAndShutdown:
             ):
                 time.sleep(0.01)
             assert server.service.batcher.queue_depth() == 4
+            # retries=0: the queue stays full while the worker is blocked,
+            # so retrying would only sleep through Retry-After and re-fail.
             with pytest.raises(ServeClientError) as excinfo:
-                ServeClient(server.url).predict(clips)
+                ServeClient(server.url, retries=0).predict(clips)
             assert excinfo.value.status == 429
             assert excinfo.value.code == "queue_full"
             release.set()
