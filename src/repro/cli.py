@@ -239,6 +239,47 @@ def _add_scan(subparsers) -> None:
         metavar="PATH",
         help="write a JSON report of inputs quarantined during the scan",
     )
+    group = parser.add_argument_group("execution")
+    group.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help="scan execution backend (default: the model's config, "
+        "normally 'thread'); 'process' runs a crash-isolated, "
+        "journaled sharded scan",
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for either backend",
+    )
+    group.add_argument(
+        "--shard-side",
+        type=int,
+        default=None,
+        metavar="DBU",
+        help="process backend: shard cell edge (default 4x clip side)",
+    )
+    group.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="process backend: shard journal directory "
+        "(default: <layout>.scanjournal)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="process backend: skip shards journaled by an interrupted run",
+    )
+    group.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="process backend: scan without writing a shard journal",
+    )
     _add_obs_arguments(parser, manifest_by_default=True)
 
 
@@ -446,19 +487,75 @@ def cmd_train(args) -> int:
 
 
 def cmd_scan(args) -> int:
+    import signal
+    import threading
+    from dataclasses import replace
+
+    from repro.errors import ScanDrainedError
+
     with _ObsSession(args, "scan") as session:
         detector = load_detector(args.model)
         layout = load_layout_auto(args.layout)
+        backend = args.backend or detector.config.backend
+        if backend == "thread" and args.workers:
+            detector.config = replace(
+                detector.config, parallel=True, worker_count=args.workers
+            )
         session.set_config(detector.config)
         session.set_dataset("layout", obs.fingerprint_layout(layout.layer(args.layer)))
         session.set_dataset("source", str(args.layout))
         quarantine = QuarantineReport()
-        result = detector.detect(
-            layout,
-            layer=args.layer,
-            threshold=args.threshold,
-            quarantine=quarantine,
-        )
+
+        work = None
+        stop_event = None
+        previous_sigterm = None
+        if backend == "process":
+            from repro.work import ScanOptions
+
+            stop_event = threading.Event()
+            journal_dir = (
+                None
+                if args.no_journal
+                else args.journal_dir or args.layout.with_suffix(".scanjournal")
+            )
+            work = ScanOptions(
+                workers=args.workers or detector.config.worker_count,
+                shard_side=args.shard_side,
+                journal_dir=journal_dir,
+                resume=args.resume,
+                stop_event=stop_event,
+            )
+
+            def _drain(signum, frame):
+                print(
+                    f"signal {signum}: draining scan "
+                    "(finished shards stay journaled; rerun with --resume)",
+                    file=sys.stderr,
+                )
+                stop_event.set()
+
+            try:
+                previous_sigterm = signal.signal(signal.SIGTERM, _drain)
+            except ValueError:
+                previous_sigterm = None  # not the main thread (tests)
+        try:
+            result = detector.detect(
+                layout,
+                layer=args.layer,
+                threshold=args.threshold,
+                quarantine=quarantine,
+                work=work,
+            )
+        except ScanDrainedError as exc:
+            print(f"scan drained: {exc}", file=sys.stderr)
+            session.record(drained=True, backend=backend)
+            session.finish(
+                default_manifest=args.model.with_suffix(".scan.manifest.json")
+            )
+            return 3
+        finally:
+            if previous_sigterm is not None:
+                signal.signal(signal.SIGTERM, previous_sigterm)
         session.record(
             candidates=result.extraction.candidate_count,
             reports=result.report_count,
@@ -467,7 +564,16 @@ def cmd_scan(args) -> int:
             quarantined=result.quarantined,
             feedback_degraded=result.feedback_degraded,
             eval_seconds=round(result.eval_seconds, 4),
+            backend=result.backend,
         )
+        if result.backend == "process":
+            session.record(
+                workers=work.workers,
+                shards_total=result.shards_total,
+                shards_resumed=result.shards_resumed,
+                worker_restarts=result.worker_restarts,
+                poison_tasks=result.poison_tasks,
+            )
         quarantine_note = (
             f", {result.quarantined} quarantined" if result.quarantined else ""
         )
@@ -476,6 +582,14 @@ def cmd_scan(args) -> int:
             f"{result.report_count} hotspot reports{quarantine_note} "
             f"({result.eval_seconds:.1f}s)"
         )
+        if result.backend == "process":
+            print(
+                f"process backend: {result.shards_total} shards "
+                f"({result.shards_resumed} resumed), "
+                f"{result.worker_restarts} worker restarts, "
+                f"{result.poison_tasks} poison tasks",
+                file=sys.stderr,
+            )
         if args.quarantine is not None:
             quarantine.write(args.quarantine)
             session.artifact("quarantine", args.quarantine)

@@ -72,6 +72,13 @@ class DetectionReport:
     quarantined: int = 0
     #: The feedback kernel errored and was bypassed for this run.
     feedback_degraded: bool = False
+    #: Execution backend used ("thread" or "process").
+    backend: str = "thread"
+    #: Process-backend supervision counters (zero on the thread path).
+    worker_restarts: int = 0
+    poison_tasks: int = 0
+    shards_total: int = 0
+    shards_resumed: int = 0
 
     @property
     def report_count(self) -> int:
@@ -206,6 +213,7 @@ class HotspotDetector:
         layer: int = 1,
         threshold: Optional[float] = None,
         quarantine=None,
+        work=None,
     ) -> DetectionReport:
         """Evaluate a full layout and return hotspot reports.
 
@@ -213,30 +221,65 @@ class HotspotDetector:
         :class:`~repro.resilience.quarantine.QuarantineReport`; malformed
         candidate clips are recorded there and skipped instead of failing
         the whole evaluation.
+
+        ``work`` is an optional :class:`repro.work.ScanOptions`; passing
+        one (or configuring ``backend="process"``) runs extraction and
+        margin evaluation as a crash-isolated, journaled sharded scan on
+        a :class:`repro.work.SupervisedPool` — same hotspot set, but a
+        worker crash, hang or poison clip no longer kills the run.
         """
         model = self._require_model()
         threshold = (
             self.config.decision_threshold if threshold is None else threshold
         )
+        backend = (
+            "process"
+            if work is not None or self.config.backend == "process"
+            else "thread"
+        )
+        scan = None
         started = time.perf_counter()
         with trace("detector.detect", layer=layer, threshold=threshold) as span:
-            extraction = extract_for_detector(
-                layout, self.config, layer, quarantine=quarantine
-            )
-            candidates = extraction.clips
+            if backend == "process":
+                from repro.work.shard import ScanOptions, run_sharded_scan
 
-            with trace("detect.margins", candidates=len(candidates)):
-                if self.config.parallel and len(candidates) > 64:
-                    chunk = (len(candidates) + self.config.worker_count - 1) // self.config.worker_count
-                    parts = [
-                        candidates[i : i + chunk]
-                        for i in range(0, len(candidates), chunk)
-                    ]
-                    with ThreadPoolExecutor(max_workers=self.config.worker_count) as pool:
-                        margin_parts = list(pool.map(model.margins, parts))
-                    margins = np.concatenate(margin_parts) if margin_parts else np.zeros(0)
-                else:
-                    margins = model.margins(candidates)
+                options = (
+                    work
+                    if work is not None
+                    else ScanOptions(workers=self.config.worker_count)
+                )
+                scan = run_sharded_scan(
+                    self, layout, layer=layer, quarantine=quarantine,
+                    options=options,
+                )
+                extraction = ExtractionReport(
+                    clips=scan.clips,
+                    anchor_count=scan.anchor_count,
+                    rejected_density=scan.rejected_density,
+                    rejected_count=scan.rejected_count,
+                    rejected_boundary=scan.rejected_boundary,
+                    quarantined=scan.quarantined,
+                )
+                candidates = scan.clips
+                margins = scan.margins
+            else:
+                extraction = extract_for_detector(
+                    layout, self.config, layer, quarantine=quarantine
+                )
+                candidates = extraction.clips
+
+                with trace("detect.margins", candidates=len(candidates)):
+                    if self.config.parallel and len(candidates) > 64:
+                        chunk = (len(candidates) + self.config.worker_count - 1) // self.config.worker_count
+                        parts = [
+                            candidates[i : i + chunk]
+                            for i in range(0, len(candidates), chunk)
+                        ]
+                        with ThreadPoolExecutor(max_workers=self.config.worker_count) as pool:
+                            margin_parts = list(pool.map(model.margins, parts))
+                        margins = np.concatenate(margin_parts) if margin_parts else np.zeros(0)
+                    else:
+                        margins = model.margins(candidates)
             flags = margins >= threshold
             flagged = [clip for clip, f in zip(candidates, flags) if f]
             before_feedback = len(flagged)
@@ -268,9 +311,14 @@ class HotspotDetector:
                 reports=len(reports),
                 quarantined=extraction.quarantined,
                 feedback_degraded=feedback_degraded,
+                backend=backend,
             )
         if extraction.quarantined:
             self._increment("quarantined_inputs_total", extraction.quarantined)
+        if scan is not None:
+            self._increment("worker_restarts_total", scan.stats.worker_restarts)
+            self._increment("poison_tasks_total", scan.stats.poison_tasks)
+            self._increment("shards_resumed", scan.shards_resumed)
         self._observe("detector_detect_seconds", time.perf_counter() - started)
         return DetectionReport(
             reports=reports,
@@ -280,6 +328,11 @@ class HotspotDetector:
             eval_seconds=time.perf_counter() - started,
             quarantined=extraction.quarantined,
             feedback_degraded=feedback_degraded,
+            backend=backend,
+            worker_restarts=scan.stats.worker_restarts if scan else 0,
+            poison_tasks=scan.stats.poison_tasks if scan else 0,
+            shards_total=scan.shards_total if scan else 0,
+            shards_resumed=scan.shards_resumed if scan else 0,
         )
 
     def score(

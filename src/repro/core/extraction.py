@@ -72,6 +72,38 @@ def _meets_distribution(
     return True, ""
 
 
+def candidate_anchors(
+    layout: Layout,
+    spec: ClipSpec,
+    layer: int = 1,
+    region: Optional[Rect] = None,
+    within: Optional[Rect] = None,
+) -> list[tuple[int, int]]:
+    """Deduplicated, sorted candidate anchor positions of a layer.
+
+    ``region`` restricts which source rectangles are considered (any
+    rectangle overlapping it); ``within`` additionally keeps only the
+    anchors falling inside the **half-open** window
+    ``[x0, x1) x [y0, y1)``.  Because rectangle cutting is per-rectangle
+    deterministic, regions tiling a layout with half-open ``within``
+    windows partition the global anchor set exactly — the property the
+    sharded process scan (:mod:`repro.work`) relies on for bit-identical
+    results.
+    """
+    rects = layout.layer(layer).rects
+    if region is not None:
+        rects = [r for r in rects if r.overlaps(region)]
+    pieces = cut_to_max_size(rects, spec.core_side)
+    anchors = sorted({(piece.x0, piece.y0) for piece in pieces})
+    if within is not None:
+        anchors = [
+            (x, y)
+            for x, y in anchors
+            if within.x0 <= x < within.x1 and within.y0 <= y < within.y1
+        ]
+    return anchors
+
+
 def extract_candidate_clips(
     layout: Layout,
     spec: ClipSpec,
@@ -94,11 +126,7 @@ def extract_candidate_clips(
     there and skipped instead of aborting the whole extraction.
     """
     with trace("detect.extract", layer=layer, workers=parallel_workers) as span:
-        rects = layout.layer(layer).rects
-        if region is not None:
-            rects = [r for r in rects if r.overlaps(region)]
-        pieces = cut_to_max_size(rects, spec.core_side)
-        anchors = sorted({(piece.x0, piece.y0) for piece in pieces})
+        anchors = candidate_anchors(layout, spec, layer, region=region)
         span.set(anchors=len(anchors))
 
         if parallel_workers > 1 and len(anchors) > 64:
@@ -109,7 +137,7 @@ def extract_candidate_clips(
             with ThreadPoolExecutor(max_workers=parallel_workers) as pool:
                 reports = list(
                     pool.map(
-                        lambda part: _extract_from_anchors(
+                        lambda part: extract_from_anchors(
                             layout, spec, config, layer, part, quarantine
                         ),
                         parts,
@@ -124,7 +152,7 @@ def extract_candidate_clips(
                 merged.quarantined += report.quarantined
             report = merged
         else:
-            report = _extract_from_anchors(
+            report = extract_from_anchors(
                 layout, spec, config, layer, anchors, quarantine
             )
             report.anchor_count = len(anchors)
@@ -138,7 +166,7 @@ def extract_candidate_clips(
         return report
 
 
-def _extract_from_anchors(
+def extract_from_anchors(
     layout: Layout,
     spec: ClipSpec,
     config: ExtractionConfig,
@@ -146,11 +174,22 @@ def _extract_from_anchors(
     anchors: list[tuple[int, int]],
     quarantine=None,
 ) -> ExtractionReport:
+    """Cut and validate the clips of an explicit anchor list.
+
+    The building block both the thread path (chunks of the global anchor
+    list) and the :mod:`repro.work` process shards are assembled from.
+    """
     report = ExtractionReport(clips=[], anchor_count=len(anchors))
+    inject_per_anchor = faults.get() is not None
     for x, y in anchors:
         core = Rect(x, y, x + spec.core_side, y + spec.core_side)
         try:
             faults.inject("extract.clip", anchor=(x, y), layer=layer)
+            if inject_per_anchor:
+                # Anchor-addressed point (``extract.anchor.X_Y``): lets
+                # chaos plans target one exact clip no matter which
+                # worker or backend ends up processing it.
+                faults.inject(f"extract.anchor.{x}_{y}", layer=layer)
             clip = layout.cut_clip_at_core(spec, core, layer)
             ok, reason = _meets_distribution(clip, config)
         except ReproError as exc:

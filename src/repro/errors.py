@@ -94,6 +94,35 @@ class DataError(InputError):
     """Benchmark-data generation or loading failure."""
 
 
+class WorkError(ReproError):
+    """Base class for supervised worker-pool failures."""
+
+
+class WorkerCrashError(WorkError):
+    """A pool worker died (native crash, OOM kill, SIGKILL) mid-task.
+
+    The supervisor retries the in-flight task on a fresh worker; this
+    error surfaces only when retries (and bisection, for splittable
+    tasks) are exhausted.
+    """
+
+
+class PoisonTaskError(WorkError):
+    """A task repeatedly killed workers and was isolated by bisection.
+
+    Poison tasks are routed into the run's
+    :class:`~repro.resilience.quarantine.QuarantineReport` instead of
+    failing the scan; the error records what the offending unit was.
+    """
+
+
+class ScanDrainedError(WorkError):
+    """A sharded scan drained on request (SIGTERM) before completing.
+
+    Completed shards are journaled; rerun with ``--resume`` to finish.
+    """
+
+
 class ServeError(ReproError):
     """Base class for inference-service failures."""
 

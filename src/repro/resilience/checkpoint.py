@@ -47,13 +47,14 @@ def training_fingerprint(training, config) -> str:
 
     Covers the training set's geometry (via the observability
     fingerprint) and the detector configuration, minus execution-only
-    knobs (``parallel``/``worker_count`` — the same kernels fall out
-    either way, so toggling parallelism must not invalidate a resume).
+    knobs (``parallel``/``worker_count``/``backend`` — the same kernels
+    fall out either way, so toggling parallelism must not invalidate a
+    resume).
     """
     from repro.obs import config_summary, fingerprint_clipset
 
     summary = config_summary(config)
-    for volatile in ("parallel", "worker_count"):
+    for volatile in ("parallel", "worker_count", "backend"):
         summary.pop(volatile, None)
     blob = json.dumps(
         {"clips": fingerprint_clipset(training), "config": summary},

@@ -23,6 +23,11 @@ every training stage.  Kinds map to failure modes at the call site:
 - ``timeout`` -> raises :class:`~repro.errors.StageTimeout`
 - ``corrupt`` -> raises :class:`~repro.errors.InputError`
 - ``slow``    -> sleeps :data:`SLOW_SECONDS` and continues
+- ``kill``    -> SIGKILLs the **current process** — simulates a native
+  crash or OOM kill.  Inside a :mod:`repro.work` pool worker this is
+  survivable chaos (the supervisor respawns the worker and retries the
+  task); at a parent-side point like ``work.shard`` it kills the whole
+  run, which is how the CI chaos job produces a journal to resume.
 
 Install a plan process-wide with :func:`install` / :func:`from_env`, or
 scope one to a block with :func:`active`::
@@ -39,6 +44,7 @@ from __future__ import annotations
 
 import os
 import random
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -55,7 +61,7 @@ ENV_VAR = "REPRO_FAULTS"
 SLOW_SECONDS = 0.05
 
 #: Failure modes a rule may request.
-KINDS = ("error", "timeout", "corrupt", "slow")
+KINDS = ("error", "timeout", "corrupt", "slow", "kill")
 
 
 @dataclass(frozen=True)
@@ -241,6 +247,10 @@ def inject(point: str, **context) -> None:
     if rule.kind == "slow":
         time.sleep(SLOW_SECONDS)
         return
+    if rule.kind == "kill":
+        # A real crash takes no exception path: no handlers, no cleanup.
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover — the line above does not return
     if rule.kind == "timeout":
         raise StageTimeout(message)
     if rule.kind == "corrupt":

@@ -75,6 +75,7 @@ class QuarantineReport:
                 )
 
     def merge(self, other: "QuarantineReport") -> None:
+        """Fold another report (e.g. a per-process one) into this one."""
         with other._lock:
             items = list(other._items)
             by_kind = dict(other._by_kind)
@@ -86,6 +87,22 @@ class QuarantineReport:
             room = self._max_items - len(self._items)
             if room > 0:
                 self._items.extend(items[:room])
+
+    # ------------------------------------------------------------------
+    # pickling: reports cross process boundaries (repro.work shard
+    # results, shard-journal replay), and locks do not pickle.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = dict(self.__dict__)
+            state["_items"] = list(self._items)
+            state["_by_kind"] = dict(self._by_kind)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +123,30 @@ class QuarantineReport:
     def items(self) -> list[QuarantineItem]:
         with self._lock:
             return list(self._items)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuarantineReport":
+        """Rebuild a report from :meth:`to_dict` output (journal replay).
+
+        Counters round-trip exactly; item details round-trip up to the
+        sampling bound that was in force when the source was written.
+        """
+        report = cls()
+        report._total = int(payload.get("total", 0))
+        report._by_kind = {
+            str(kind): int(count)
+            for kind, count in dict(payload.get("by_kind", {})).items()
+        }
+        for item in payload.get("items", []):
+            report._items.append(
+                QuarantineItem(
+                    kind=str(item.get("kind", "")),
+                    reason=str(item.get("reason", "")),
+                    source=item.get("source"),
+                    context=dict(item.get("context", {})),
+                )
+            )
+        return report
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

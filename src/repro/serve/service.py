@@ -193,8 +193,17 @@ class ServeService:
                 timeout=timeout,
                 request_id=request_id,
             )
-        except BaseException as exc:
+        except (KeyboardInterrupt, SystemExit):
+            raise  # process shutdown, not a model failure
+        except Exception as exc:
             self._record_outcome(breaker, exc)
+            self._log.error(
+                "predict_failed",
+                model=entry.name,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                request_id=request_id,
+            )
             raise
         self._record_outcome(breaker, None)
         flags = np.array([flag for flag, _ in result], dtype=bool)
@@ -215,8 +224,17 @@ class ServeService:
             report = entry.detector.detect(
                 layout, layer=layer, threshold=threshold, quarantine=quarantine
             )
-        except BaseException as exc:
+        except (KeyboardInterrupt, SystemExit):
+            raise  # process shutdown, not a model failure
+        except Exception as exc:
             self._record_outcome(breaker, exc)
+            self._log.error(
+                "scan_failed",
+                model=entry.name,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                request_id=request_id,
+            )
             raise
         self._record_outcome(breaker, None)
         if quarantine:

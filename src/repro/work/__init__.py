@@ -1,0 +1,39 @@
+"""repro.work — crash-isolated supervised execution for layout scans.
+
+Two layers:
+
+- :mod:`repro.work.pool` — :class:`SupervisedPool`, a generic
+  ``multiprocessing`` worker pool with heartbeats, hung-task kill,
+  crash retry, poison-task bisection, worker recycling and graceful
+  drain;
+- :mod:`repro.work.shard` — the sharded scan driver that runs a
+  layout's candidate anchors on the pool and journals completed shards
+  for ``repro scan --resume``.
+
+Select it per scan via ``HotspotDetector.detect(..., work=ScanOptions(...))``,
+per config via ``DetectorConfig(backend="process")``, or from the CLI
+with ``repro scan --backend process --workers N``.
+"""
+
+from repro.work.pool import PoolConfig, PoolStats, PoolTask, SupervisedPool
+from repro.work.shard import (
+    ScanJournal,
+    ScanOptions,
+    ScanResult,
+    run_sharded_scan,
+    scan_fingerprint,
+    shard_anchors,
+)
+
+__all__ = [
+    "PoolConfig",
+    "PoolStats",
+    "PoolTask",
+    "SupervisedPool",
+    "ScanJournal",
+    "ScanOptions",
+    "ScanResult",
+    "run_sharded_scan",
+    "scan_fingerprint",
+    "shard_anchors",
+]

@@ -1,0 +1,693 @@
+"""Journaled, resumable sharded layout scans on a supervised pool.
+
+The scan driver splits a layout's candidate anchors into region shards
+(a grid of ``shard_side`` cells over the layer bounding box), runs one
+task per shard on a :class:`~repro.work.pool.SupervisedPool`, and
+appends every completed shard to an on-disk **journal** so an
+interrupted run — crash, OOM kill, SIGTERM drain — resumes from the
+completed shards instead of restarting a multi-hour scan from zero.
+
+Bit-identical by construction: anchors are bucketed into half-open
+shard windows (each anchor belongs to exactly one shard), workers cut
+clips from the *full* layout (shard membership never changes a clip's
+content), and the merged candidates are re-sorted into the global
+anchor order the thread backend produces — so thread and process
+backends, faulted + resumed or not, yield the same hotspot set.
+
+Journal layout (``<layout>.scanjournal/`` by default)::
+
+    journal.jsonl     line 1: header {version, fingerprint, shards,
+                      shard_side, created_unix}; then one line per
+                      completed shard {shard, file, anchors, candidates}
+    shard_NNNN.npz    anchors (N,2) int64 + margins (N,) float64 + a
+                      JSON meta blob (funnel counts, quarantine dump),
+                      written atomically (tmp + os.replace)
+
+The header fingerprint hashes the layer geometry, the detector config
+minus execution/threshold knobs, the trained kernels, the layer and the
+shard grid — mirroring ``resilience/checkpoint.py``: a mismatched
+journal is discarded with a warning, never silently mixed.  Margins are
+threshold-independent, so a journaled run may resume under a different
+``--threshold``.
+
+A task that repeatedly kills workers is bisected down the anchor list
+until the single offending anchor is isolated; that anchor lands in the
+run's :class:`~repro.resilience.quarantine.QuarantineReport` (kind
+``PoisonTaskError``) and the scan carries on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from hashlib import sha256
+from io import BytesIO
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.extraction import candidate_anchors, extract_from_anchors
+from repro.errors import CheckpointError, NotFittedError, ScanDrainedError
+from repro.geometry.rect import Rect
+from repro.layout.clip import Clip
+from repro.obs import fingerprint_layout, get_logger, tally, trace
+from repro.resilience import faults
+from repro.resilience.quarantine import QuarantineReport
+from repro.work.pool import PoolConfig, PoolStats, PoolTask, SupervisedPool
+
+#: Bump on breaking journal-layout changes.
+SCAN_JOURNAL_VERSION = 1
+
+#: Default shard edge, in multiples of the clip side: big enough that
+#: per-shard overhead amortises, small enough that losing one shard to a
+#: crash costs little recomputation.
+DEFAULT_SHARD_CLIPS = 4
+
+_log = get_logger("work.shard")
+
+
+# ----------------------------------------------------------------------
+# options / results
+# ----------------------------------------------------------------------
+@dataclass
+class ScanOptions:
+    """Execution knobs of one sharded process scan."""
+
+    workers: int = 2
+    #: Shard cell edge in DBU (default ``DEFAULT_SHARD_CLIPS * clip_side``).
+    shard_side: Optional[int] = None
+    #: Journal directory; ``None`` scans without resumability.
+    journal_dir: Optional[Union[str, Path]] = None
+    #: Reuse a compatible journal's completed shards.
+    resume: bool = False
+    #: Supervision overrides; ``workers`` above wins over ``pool.workers``.
+    pool: Optional[PoolConfig] = None
+    #: Set (e.g. from a SIGTERM handler) to drain: in-flight shards
+    #: finish and journal, then the scan raises ``ScanDrainedError``.
+    stop_event: Optional[threading.Event] = None
+    #: Keep the journal after a successful scan (default: cleared, like
+    #: training checkpoints).
+    keep_journal: bool = False
+
+
+@dataclass
+class ScanResult:
+    """Merged output of a sharded scan, in global anchor order."""
+
+    clips: list[Clip]
+    margins: np.ndarray
+    anchor_count: int
+    rejected_density: int
+    rejected_count: int
+    rejected_boundary: int
+    quarantined: int
+    stats: PoolStats
+    shards_total: int
+    shards_resumed: int
+
+
+@dataclass
+class _ShardRecord:
+    """One completed shard: candidate anchors, margins, funnel counts."""
+
+    shard_id: int
+    anchors: list[tuple[int, int]]
+    margins: np.ndarray
+    anchor_count: int
+    rejected_density: int = 0
+    rejected_count: int = 0
+    rejected_boundary: int = 0
+    quarantine: dict = field(default_factory=dict)
+    #: Candidate clips, parallel to ``anchors``; ``None`` for shards
+    #: loaded from the journal (re-cut from the layout at merge time).
+    clips: Optional[list[Clip]] = None
+
+
+# ----------------------------------------------------------------------
+# fingerprint
+# ----------------------------------------------------------------------
+def _model_hash(model) -> str:
+    """Hash of the trained kernels (margins depend on nothing else)."""
+    from repro.core.persist import encode_trained_kernel
+
+    arrays: dict = {}
+    metas = [
+        encode_trained_kernel(kernel, arrays, f"k{index}")
+        for index, kernel in enumerate(model.kernels)
+    ]
+    digest = sha256(json.dumps(metas, sort_keys=True, default=str).encode("utf-8"))
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def scan_fingerprint(layout, layer: int, config, model, shard_side: int) -> str:
+    """Hash of everything that must match for a journal to be reusable.
+
+    Mirrors :func:`repro.resilience.checkpoint.training_fingerprint`:
+    execution knobs (``parallel``/``worker_count``/``backend``) and the
+    decision threshold are excluded — margins are computed before
+    thresholding, so a resume may change them freely.
+    """
+    from repro.obs import config_summary
+
+    summary = config_summary(config)
+    for volatile in ("parallel", "worker_count", "backend", "decision_threshold"):
+        summary.pop(volatile, None)
+    blob = json.dumps(
+        {
+            "version": SCAN_JOURNAL_VERSION,
+            "layout": fingerprint_layout(layout.layer(layer)),
+            "config": summary,
+            "model": _model_hash(model),
+            "layer": layer,
+            "shard_side": shard_side,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the journal
+# ----------------------------------------------------------------------
+class ScanJournal:
+    """Append-only record of completed shards (checkpoint-store style)."""
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def _journal_path(self) -> Path:
+        return self.directory / self.JOURNAL_NAME
+
+    def _shard_path(self, shard_id: int) -> Path:
+        return self.directory / f"shard_{shard_id:04d}.npz"
+
+    # ------------------------------------------------------------------
+    def begin(
+        self, fingerprint: str, shards: int, shard_side: int, resume: bool = True
+    ) -> dict[int, _ShardRecord]:
+        """Prepare the journal; return resumable shards by id.
+
+        With ``resume`` and a matching header, previously completed
+        shards are loaded; otherwise stale artifacts are cleared and a
+        fresh header is written.
+        """
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create journal directory {self.directory}: {exc}"
+            ) from exc
+        header, entries = self._read_lines()
+        compatible = (
+            header is not None
+            and header.get("version") == SCAN_JOURNAL_VERSION
+            and header.get("fingerprint") == fingerprint
+            and header.get("shards") == shards
+            and header.get("shard_side") == shard_side
+        )
+        loaded: dict[int, _ShardRecord] = {}
+        if compatible and resume:
+            loaded = self._load_shards(entries, shards)
+            return loaded
+        if header is not None and resume:
+            _log.warning(
+                "journal_fingerprint_mismatch",
+                directory=str(self.directory),
+                expected=fingerprint[:16],
+                found=str(header.get("fingerprint"))[:16],
+            )
+        self._clear_shards()
+        payload = {
+            "version": SCAN_JOURNAL_VERSION,
+            "fingerprint": fingerprint,
+            "shards": shards,
+            "shard_side": shard_side,
+            "created_unix": time.time(),
+        }
+        try:
+            self._journal_path().write_text(
+                json.dumps(payload) + "\n", encoding="utf-8"
+            )
+        except OSError as exc:
+            raise CheckpointError(f"cannot write scan journal: {exc}") from exc
+        return loaded
+
+    def _read_lines(self) -> tuple[Optional[dict], list[dict]]:
+        try:
+            text = self._journal_path().read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None, []
+        except OSError as exc:
+            _log.warning(
+                "journal_unreadable", path=str(self._journal_path()), error=str(exc)
+            )
+            return None, []
+        header: Optional[dict] = None
+        entries: list[dict] = []
+        for line_number, line in enumerate(text.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                document = json.loads(line)
+            except ValueError:
+                # A torn append (crash mid-write) truncates the final
+                # line; that shard is simply re-scanned.
+                _log.warning("journal_torn_line", line=line_number)
+                continue
+            if header is None:
+                header = document
+            else:
+                entries.append(document)
+        return header, entries
+
+    def _load_shards(
+        self, entries: list[dict], shards: int
+    ) -> dict[int, _ShardRecord]:
+        loaded: dict[int, _ShardRecord] = {}
+        for entry in entries:
+            try:
+                shard_id = int(entry["shard"])
+                if not 0 <= shard_id < shards:
+                    raise ValueError(f"shard id {shard_id} out of range")
+                path = self._shard_path(shard_id)
+                with np.load(path) as archive:
+                    anchors = archive["anchors"]
+                    margins = archive["margins"]
+                    meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+                if len(anchors) != len(margins):
+                    raise ValueError("anchors/margins length mismatch")
+                loaded[shard_id] = _ShardRecord(
+                    shard_id=shard_id,
+                    anchors=[(int(x), int(y)) for x, y in anchors],
+                    margins=np.asarray(margins, dtype=float),
+                    anchor_count=int(meta.get("anchor_count", len(anchors))),
+                    rejected_density=int(meta.get("rejected_density", 0)),
+                    rejected_count=int(meta.get("rejected_count", 0)),
+                    rejected_boundary=int(meta.get("rejected_boundary", 0)),
+                    quarantine=dict(meta.get("quarantine", {})),
+                    clips=None,
+                )
+            except (OSError, KeyError, ValueError) as exc:
+                # One corrupt shard costs one shard's rescan, never the
+                # whole resume.
+                _log.warning(
+                    "journal_shard_unreadable",
+                    shard=entry.get("shard"),
+                    error=str(exc),
+                )
+        return loaded
+
+    # ------------------------------------------------------------------
+    def record(self, record: _ShardRecord) -> None:
+        """Atomically persist one completed shard and log it."""
+        anchors = np.asarray(
+            record.anchors if record.anchors else np.zeros((0, 2)), dtype=np.int64
+        ).reshape(-1, 2)
+        meta = {
+            "shard": record.shard_id,
+            "anchor_count": record.anchor_count,
+            "rejected_density": record.rejected_density,
+            "rejected_count": record.rejected_count,
+            "rejected_boundary": record.rejected_boundary,
+            "quarantine": record.quarantine,
+        }
+        arrays = {
+            "anchors": anchors,
+            "margins": np.asarray(record.margins, dtype=float),
+            "meta": np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ).copy(),
+        }
+        path = self._shard_path(record.shard_id)
+        tmp = path.with_suffix(".npz.tmp")
+        try:
+            buffer = BytesIO()
+            np.savez_compressed(buffer, **arrays)
+            tmp.write_bytes(buffer.getvalue())
+            os.replace(tmp, path)
+            with self._journal_path().open("a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "shard": record.shard_id,
+                            "file": path.name,
+                            "anchors": record.anchor_count,
+                            "candidates": len(record.anchors),
+                        }
+                    )
+                    + "\n"
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(f"cannot journal shard {path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def completed_ids(self) -> list[int]:
+        """Shard ids with a journal entry and an archive on disk."""
+        _, entries = self._read_lines()
+        out = []
+        for entry in entries:
+            try:
+                shard_id = int(entry["shard"])
+            except (KeyError, ValueError):
+                continue
+            if self._shard_path(shard_id).exists():
+                out.append(shard_id)
+        return sorted(set(out))
+
+    def clear(self) -> None:
+        """Remove every journal artifact (after a successful scan)."""
+        if not self.directory.exists():
+            return
+        self._clear_shards()
+        self._journal_path().unlink(missing_ok=True)
+        try:
+            self.directory.rmdir()
+        except OSError:
+            pass  # directory holds unrelated files; leave it
+
+    def _clear_shards(self) -> None:
+        for pattern in ("shard_*.npz", "shard_*.npz.tmp"):
+            for path in self.directory.glob(pattern):
+                path.unlink(missing_ok=True)
+
+
+# ----------------------------------------------------------------------
+# worker side (module-level: payloads must pickle under spawn)
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerState:
+    """Per-worker state built once by the pool's ``init_fn``."""
+
+    config: object
+    model: object
+    layout: object
+    layer: int
+
+
+def _scan_worker_init(config, model, layout, layer) -> _WorkerState:
+    return _WorkerState(config=config, model=model, layout=layout, layer=layer)
+
+
+def _scan_shard_task(state: _WorkerState, payload) -> dict:
+    """Extract + evaluate the clips of one shard's anchor list."""
+    _, anchor_list = payload
+    anchors = [(int(x), int(y)) for x, y in anchor_list]
+    quarantine = QuarantineReport()
+    report = extract_from_anchors(
+        state.layout,
+        state.config.spec,
+        state.config.extraction,
+        state.layer,
+        anchors,
+        quarantine,
+    )
+    margins = (
+        np.asarray(state.model.margins(report.clips), dtype=float)
+        if report.clips
+        else np.zeros(0)
+    )
+    return {
+        "anchors": [(clip.core.x0, clip.core.y0) for clip in report.clips],
+        "clips": report.clips,
+        "margins": margins,
+        "anchor_count": report.anchor_count,
+        "rejected_density": report.rejected_density,
+        "rejected_count": report.rejected_count,
+        "rejected_boundary": report.rejected_boundary,
+        "quarantine": quarantine,
+    }
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+def shard_anchors(
+    layout, spec, layer: int, shard_side: int
+) -> list[list[tuple[int, int]]]:
+    """Bucket the layer's candidate anchors into grid shards.
+
+    The grid is anchored at the layer bounding box's lower-left; each
+    anchor falls in exactly one half-open cell, so the buckets partition
+    the global anchor set.  Empty cells are dropped; bucket order is the
+    cell's (column, row) order, which is deterministic for a given
+    layout + ``shard_side``.
+    """
+    anchors = candidate_anchors(layout, spec, layer)
+    if not anchors:
+        return []
+    box = layout.bbox(layer)
+    buckets: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for x, y in anchors:
+        key = ((x - box.x0) // shard_side, (y - box.y0) // shard_side)
+        buckets.setdefault(key, []).append((x, y))
+    return [buckets[key] for key in sorted(buckets)]
+
+
+def run_sharded_scan(
+    detector,
+    layout,
+    layer: int = 1,
+    quarantine: Optional[QuarantineReport] = None,
+    options: Optional[ScanOptions] = None,
+) -> ScanResult:
+    """Scan a layout in supervised worker processes; see module docs.
+
+    Returns the merged candidates + margins in the thread backend's
+    global anchor order.  Raises
+    :class:`~repro.errors.ScanDrainedError` when ``options.stop_event``
+    drains the pool before every shard completed (finished shards stay
+    journaled for ``resume``).
+    """
+    options = options or ScanOptions()
+    model = detector.model_
+    if model is None:
+        raise NotFittedError("sharded scan used before fit()")
+    config = detector.config
+    shard_side = options.shard_side or config.spec.clip_side * DEFAULT_SHARD_CLIPS
+
+    with trace("work.scan", layer=layer, workers=options.workers) as span:
+        shards = shard_anchors(layout, config.spec, layer, shard_side)
+        span.set(shards=len(shards))
+
+        journal: Optional[ScanJournal] = None
+        resumed: dict[int, _ShardRecord] = {}
+        if options.journal_dir is not None:
+            journal = ScanJournal(options.journal_dir)
+            fingerprint = scan_fingerprint(layout, layer, config, model, shard_side)
+            resumed = journal.begin(
+                fingerprint, len(shards), shard_side, resume=options.resume
+            )
+            if resumed:
+                _log.info(
+                    "scan_resumed",
+                    shards=len(resumed),
+                    of=len(shards),
+                    directory=str(journal.directory),
+                )
+
+        completed: dict[int, _ShardRecord] = dict(resumed)
+        parts: dict[int, list[dict]] = {}
+        pending: dict[int, int] = {}
+        shard_wall: dict[int, float] = {}
+        poison_entries: dict[int, QuarantineReport] = {}
+        tasks: list[PoolTask] = []
+        for shard_id, anchors in enumerate(shards):
+            if shard_id in completed:
+                continue
+            pending[shard_id] = 1
+            parts[shard_id] = []
+            shard_wall[shard_id] = 0.0
+            tasks.append(
+                PoolTask(
+                    task_id=f"shard-{shard_id:04d}",
+                    fn=_scan_shard_task,
+                    payload=(shard_id, anchors),
+                    group=shard_id,
+                )
+            )
+
+        def finalize(shard_id: int) -> None:
+            # Parent-side chaos point: an ``error`` plan aborts the run
+            # between shard completions (journal keeps finished shards);
+            # a ``kill`` plan SIGKILLs the whole parent, which is how
+            # the CI chaos job produces a journal to resume.
+            faults.inject("work.shard", shard=shard_id)
+            shard_parts = parts.pop(shard_id)
+            merged = sorted(
+                (
+                    (anchor, clip, margin)
+                    for part in shard_parts
+                    for anchor, clip, margin in zip(
+                        part["anchors"], part["clips"], part["margins"]
+                    )
+                ),
+                key=lambda item: item[0],
+            )
+            shard_quarantine = QuarantineReport()
+            record = _ShardRecord(
+                shard_id=shard_id,
+                anchors=[item[0] for item in merged],
+                margins=np.asarray([item[2] for item in merged], dtype=float),
+                anchor_count=0,
+                clips=[item[1] for item in merged],
+            )
+            for part in shard_parts:
+                record.anchor_count += part["anchor_count"]
+                record.rejected_density += part["rejected_density"]
+                record.rejected_count += part["rejected_count"]
+                record.rejected_boundary += part["rejected_boundary"]
+                shard_quarantine.merge(part["quarantine"])
+            poison = poison_entries.pop(shard_id, None)
+            if poison is not None:
+                shard_quarantine.merge(poison)
+            record.quarantine = shard_quarantine.to_dict()
+            completed[shard_id] = record
+            if journal is not None:
+                journal.record(record)
+            tally("work.shard", shard_wall.pop(shard_id, 0.0))
+
+        def on_result(task: PoolTask, result: dict, info: dict) -> None:
+            shard_id = task.group
+            parts[shard_id].append(result)
+            shard_wall[shard_id] += info.get("wall_s", 0.0)
+            pending[shard_id] -= 1
+            if pending[shard_id] == 0:
+                finalize(shard_id)
+
+        def on_poison(task: PoolTask, error: BaseException) -> None:
+            shard_id = task.group
+            _, anchors = task.payload
+            report = poison_entries.setdefault(shard_id, QuarantineReport())
+            report.add(
+                "PoisonTaskError",
+                f"task {task.task_id} isolated by bisection: "
+                f"{type(error).__name__}: {error}",
+                source="work.poison",
+                anchors=[list(a) for a in anchors],
+                shard=shard_id,
+            )
+            pending[shard_id] -= 1
+            if pending[shard_id] == 0:
+                finalize(shard_id)
+
+        def split(task: PoolTask) -> Optional[list[PoolTask]]:
+            shard_id, anchors = task.payload
+            if len(anchors) <= 1:
+                return None  # atomic: the offending anchor is isolated
+            half = len(anchors) // 2
+            pending[shard_id] += 1  # one task becomes two
+            return [
+                PoolTask(
+                    task_id=f"{task.task_id}/{side}",
+                    fn=_scan_shard_task,
+                    payload=(shard_id, chunk),
+                    depth=task.depth + 1,
+                    group=shard_id,
+                )
+                for side, chunk in enumerate((anchors[:half], anchors[half:]))
+            ]
+
+        pool_config = options.pool or PoolConfig()
+        if pool_config.workers != options.workers:
+            from dataclasses import replace
+
+            pool_config = replace(pool_config, workers=options.workers)
+        pool = SupervisedPool(
+            pool_config,
+            init_fn=_scan_worker_init,
+            init_args=(config, model, layout, layer),
+        )
+        stats = pool.run(
+            tasks,
+            split=split,
+            on_result=on_result,
+            on_poison=on_poison,
+            stop_event=options.stop_event,
+        )
+        span.set(
+            restarts=stats.worker_restarts,
+            poison=stats.poison_tasks,
+            resumed=len(resumed),
+        )
+
+        if len(completed) < len(shards):
+            raise ScanDrainedError(
+                f"scan drained with {len(completed)}/{len(shards)} shards "
+                "complete; rerun with --resume to finish"
+            )
+
+        result = _merge_shards(
+            detector, layout, layer, shards, completed, resumed, quarantine, stats
+        )
+        if journal is not None and not options.keep_journal:
+            journal.clear()
+        return result
+
+
+def _merge_shards(
+    detector,
+    layout,
+    layer: int,
+    shards: list,
+    completed: dict[int, _ShardRecord],
+    resumed: dict[int, _ShardRecord],
+    quarantine: Optional[QuarantineReport],
+    stats: PoolStats,
+) -> ScanResult:
+    """Merge shard records into the global (anchor-sorted) candidate list."""
+    spec = detector.config.spec
+    triples: list[tuple[tuple[int, int], Clip, float]] = []
+    anchor_count = 0
+    rejected = [0, 0, 0]
+    quarantined = 0
+    for shard_id in range(len(shards)):
+        record = completed[shard_id]
+        anchor_count += record.anchor_count
+        rejected[0] += record.rejected_density
+        rejected[1] += record.rejected_count
+        rejected[2] += record.rejected_boundary
+        if record.quarantine:
+            shard_quarantine = QuarantineReport.from_dict(record.quarantine)
+            quarantined += shard_quarantine.total
+            if quarantine is not None:
+                quarantine.merge(shard_quarantine)
+        clips = record.clips
+        if clips is None:
+            # Journal-resumed shard: re-cut the candidates from the full
+            # layout — deterministic, so identical to the original clips.
+            clips = [
+                layout.cut_clip_at_core(
+                    spec, Rect(x, y, x + spec.core_side, y + spec.core_side), layer
+                )
+                for x, y in record.anchors
+            ]
+        triples.extend(zip(record.anchors, clips, record.margins))
+    triples.sort(key=lambda item: item[0])
+    return ScanResult(
+        clips=[clip for _, clip, _ in triples],
+        margins=np.asarray([margin for _, _, margin in triples], dtype=float),
+        anchor_count=anchor_count,
+        rejected_density=rejected[0],
+        rejected_count=rejected[1],
+        rejected_boundary=rejected[2],
+        quarantined=quarantined,
+        stats=stats,
+        shards_total=len(shards),
+        shards_resumed=len(resumed),
+    )
