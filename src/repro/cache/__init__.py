@@ -1,0 +1,37 @@
+"""repro.cache — content-addressed feature/margin caching.
+
+Scans over near-identical layouts (ECO iterations) recompute MTCG
+features and SVM margins for clips whose geometry did not change.  This
+package keys both by geometry content so they are computed once:
+
+- :mod:`repro.cache.keys` — translation/D8-invariant clip keys plus
+  config and model fingerprints.
+- :mod:`repro.cache.store` — :class:`HotspotCache`, the in-process LRU
+  with an optional sha256-integrity-checked on-disk tier.
+
+Wiring lives with the consumers: ``FeatureExtractor.cache``,
+``MultiKernelModel`` margin rows, ``HotspotDetector.attach_cache`` and
+the ``--cache-dir/--no-cache/--incremental`` scan flags.  See
+``docs/CACHING.md``.
+"""
+
+from .keys import (
+    CACHE_KEY_VERSION,
+    cache_canonical,
+    clip_content_key,
+    feature_fingerprint,
+    model_fingerprint,
+)
+from .store import BLOB_MAGIC, DEFAULT_MAX_ENTRIES, CacheStats, HotspotCache
+
+__all__ = [
+    "BLOB_MAGIC",
+    "CACHE_KEY_VERSION",
+    "DEFAULT_MAX_ENTRIES",
+    "CacheStats",
+    "HotspotCache",
+    "cache_canonical",
+    "clip_content_key",
+    "feature_fingerprint",
+    "model_fingerprint",
+]

@@ -1,0 +1,117 @@
+"""Content-addressed cache keys for clips, configs and models.
+
+Every cached artifact is addressed by *what it was computed from*, never
+by where it came from:
+
+- :func:`clip_content_key` hashes a clip's geometry after translating it
+  to the origin, so the same pattern cut from two layout locations — or
+  from two runs over the same layout — shares one key.  When
+  ``canonical`` is set the geometry is first reduced to its D8 canonical
+  form, so the eight orientations of a pattern share one key too.  That
+  flag must mirror the computation being cached: feature extraction under
+  ``canonical_orientation`` (the paper's Theorem 1 setting) is
+  orientation-blind and may share, while a density-grid extraction sees
+  orientation and must not.
+- :func:`feature_fingerprint` hashes a :class:`~repro.features.vector.
+  FeatureConfig`, versioning every cached feature blob by the extraction
+  configuration that produced it.
+- :func:`model_fingerprint` hashes a trained
+  :class:`~repro.core.training.MultiKernelModel`'s kernels (weights,
+  support vectors, schemas, gates) — the only state per-kernel margins
+  depend on.
+
+Labels, layer numbers and file paths are deliberately excluded: none of
+them influence features or margins, and including them would split the
+cache for no gain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from hashlib import sha256
+
+import numpy as np
+
+#: Bump to invalidate every existing cache entry on a format change.
+CACHE_KEY_VERSION = 1
+
+
+def cache_canonical(config) -> bool:
+    """Whether D8-canonical cache keys are *sound* for this config.
+
+    True exactly when the feature pipeline is orientation-blind: rule
+    rectangles are extracted from the canonical form (Theorem 1), but a
+    pixel density grid is sampled from the raw orientation, so enabling
+    it pins each orientation to its own key.
+
+    This is a soundness predicate, not a routing decision: the hot paths
+    always use raw (translation-only) keys, which are sound for every
+    config and ~50x cheaper to compute — canonicalizing a full clip
+    costs more than the margin row it would deduplicate.  Callers that
+    want cross-orientation sharing may opt into ``canonical=True`` keys
+    when this predicate holds.
+    """
+    return bool(
+        getattr(config, "canonical_orientation", False)
+        and not getattr(config, "include_density_grid", False)
+    )
+
+
+def clip_content_key(clip, canonical: bool = True) -> str:
+    """Translation-invariant (optionally D8-invariant) geometry hash."""
+    normal = clip.normalized()
+    rects = list(normal.rects)
+    if canonical and rects:
+        from repro.geometry.transform import canonical_form
+
+        _, rects = canonical_form(rects, normal.window)
+    digest = sha256()
+    digest.update(
+        f"v{CACHE_KEY_VERSION};{normal.window.width}x{normal.window.height};"
+        f"core={clip.spec.core_side};ambit={clip.spec.ambit_margin};"
+        f"{'d8' if canonical else 'raw'};".encode()
+    )
+    for rect in rects:
+        digest.update(f"{rect.x0},{rect.y0},{rect.x1},{rect.y1};".encode())
+    return digest.hexdigest()
+
+
+def feature_fingerprint(config) -> str:
+    """Hash of a feature-extraction configuration (cache version tag)."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        summary = dataclasses.asdict(config)
+    else:
+        summary = {"repr": repr(config)}
+    blob = json.dumps(
+        {"version": CACHE_KEY_VERSION, "features": summary},
+        sort_keys=True,
+        default=str,
+    )
+    return sha256(blob.encode("utf-8")).hexdigest()
+
+
+def model_fingerprint(model) -> str:
+    """Hash of the state per-kernel margins depend on.
+
+    Covers the trained kernels (weights, support vectors, schemas,
+    gates) and the extractor configuration — the same clip extracted
+    under a different :class:`FeatureConfig` yields different vectors,
+    so the config is part of the margin identity.
+    """
+    from repro.core.persist import encode_trained_kernel
+
+    arrays: dict = {}
+    metas = [
+        encode_trained_kernel(kernel, arrays, f"k{index}")
+        for index, kernel in enumerate(model.kernels)
+    ]
+    payload = {"kernels": metas, "features": feature_fingerprint(model.extractor.config)}
+    digest = sha256(json.dumps(payload, sort_keys=True, default=str).encode("utf-8"))
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()

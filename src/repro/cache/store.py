@@ -1,0 +1,366 @@
+"""The hotspot cache: in-process LRU + optional content-addressed disk store.
+
+Two artifact kinds are cached, both keyed by content (see
+:mod:`repro.cache.keys`):
+
+- **features** — one :class:`~repro.features.vector.ExtractedFeatures`
+  per (feature-config fingerprint, clip geometry key).  Saves the MTCG
+  maximal-tiling sweep, the dominant per-clip cost in the paper's
+  Table 5 runtime breakdown.
+- **margins** — one per-kernel margin row (``float64``, ``GATED_OUT``
+  included) per (model fingerprint, clip geometry key).  Saves both the
+  extraction *and* the SVM decision function on a warm rescan.
+
+The memory tier holds decoded objects in one shared LRU, so a memory hit
+returns the very object the uncached path would have produced.  The disk
+tier stores each entry as an npz payload wrapped in a small envelope
+carrying the sha256 of the payload; a blob whose digest does not match —
+truncated, bit-flipped, torn write — is counted in ``disk_corrupt`` and
+treated as a miss, never decoded.  All number-bearing values round-trip
+through npz as fixed-width ints/float64, so a disk hit is bit-identical
+to a recomputation.
+
+Writes are atomic (temp file + ``os.replace``) and best-effort: an
+unwritable cache directory degrades to memory-only operation rather than
+failing the scan.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from io import BytesIO
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro import obs
+
+#: Envelope header of every on-disk blob; bump with the blob layout.
+BLOB_MAGIC = b"RPCB1\n"
+
+#: Default in-process LRU capacity (entries across both namespaces).
+DEFAULT_MAX_ENTRIES = 65536
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot surfaced to manifests, ``/metrics`` and reports."""
+
+    feature_hits: int = 0
+    feature_misses: int = 0
+    margin_hits: int = 0
+    margin_misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    disk_corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "feature_hits": self.feature_hits,
+            "feature_misses": self.feature_misses,
+            "margin_hits": self.margin_hits,
+            "margin_misses": self.margin_misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "disk_corrupt": self.disk_corrupt,
+        }
+
+
+# ----------------------------------------------------------------------
+# codecs: cached objects <-> npz array dicts
+# ----------------------------------------------------------------------
+# Feature-type indices are pinned here (not enum iteration order) so the
+# on-disk encoding cannot drift if the enum grows.
+_TYPE_CODES = ("internal", "external", "diagonal", "segment")
+
+
+def _encode_features(features) -> dict:
+    arrays: dict = {
+        "rule_types": np.array(
+            [_TYPE_CODES.index(rule.feature_type.value) for rule in features.rules],
+            dtype=np.int64,
+        ),
+        "rule_vals": np.array(
+            [rule.as_tuple() for rule in features.rules], dtype=np.int64
+        ).reshape(len(features.rules), 5),
+        "nontopo_i": np.array(
+            [
+                features.nontopo.corner_count,
+                features.nontopo.touch_count,
+                features.nontopo.min_internal,
+                features.nontopo.min_external,
+            ],
+            dtype=np.int64,
+        ),
+        "nontopo_d": np.array([features.nontopo.density], dtype=np.float64),
+    }
+    if features.grid is not None:
+        arrays["grid"] = np.asarray(features.grid, dtype=np.float64)
+    return arrays
+
+
+def _decode_features(arrays: dict):
+    from repro.features.nontopo import NonTopoFeatures
+    from repro.features.vector import ExtractedFeatures
+    from repro.mtcg.rules import FeatureType, RuleRect
+
+    types = arrays["rule_types"]
+    vals = arrays["rule_vals"]
+    rules = tuple(
+        RuleRect(
+            feature_type=FeatureType(_TYPE_CODES[int(types[i])]),
+            dx=int(vals[i, 0]),
+            dy=int(vals[i, 1]),
+            width=int(vals[i, 2]),
+            height=int(vals[i, 3]),
+            boundary_mark=bool(vals[i, 4]),
+        )
+        for i in range(len(types))
+    )
+    ints = arrays["nontopo_i"]
+    nontopo = NonTopoFeatures(
+        corner_count=int(ints[0]),
+        touch_count=int(ints[1]),
+        min_internal=int(ints[2]),
+        min_external=int(ints[3]),
+        density=float(arrays["nontopo_d"][0]),
+    )
+    grid = arrays.get("grid")
+    return ExtractedFeatures(rules, nontopo, grid)
+
+
+def _encode_margins(row: np.ndarray) -> dict:
+    return {"row": np.asarray(row, dtype=np.float64)}
+
+
+def _decode_margins(arrays: dict) -> np.ndarray:
+    return np.asarray(arrays["row"], dtype=np.float64)
+
+
+_CODECS = {
+    "features": (_encode_features, _decode_features),
+    "margins": (_encode_margins, _decode_margins),
+}
+
+
+class HotspotCache:
+    """Shared, thread-safe feature/margin cache with an optional disk tier.
+
+    One instance may back several extractors, models and detectors at
+    once (the serving registry shares one across loaded models); entries
+    never collide because every lookup is namespaced by the fingerprint
+    of the config or model that produced it.
+
+    The cache deliberately holds a :class:`threading.Lock`, so it must
+    not travel into spawned scan workers — holders drop it in their
+    ``__getstate__`` (workers run cold; the parent re-checks the cache
+    when merging journal shards).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        directory: Optional[Union[str, Path]] = None,
+        metrics_sink: Any = None,
+    ):
+        self.max_entries = max(1, int(max_entries))
+        self.directory = Path(directory) if directory is not None else None
+        self.metrics_sink = metrics_sink
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._disk_ok = True
+
+    # ------------------------------------------------------------------
+    def _increment(self, name: str, amount: int = 1) -> None:
+        sink = self.metrics_sink
+        if sink is not None and hasattr(sink, "increment"):
+            try:
+                sink.increment(name, float(amount))
+            except Exception:  # noqa: BLE001 — metrics must never break a scan
+                pass
+
+    def _count(self, kind: str, hit: bool) -> None:
+        with self._lock:
+            if kind == "features":
+                if hit:
+                    self.stats.feature_hits += 1
+                else:
+                    self.stats.feature_misses += 1
+            else:
+                if hit:
+                    self.stats.margin_hits += 1
+                else:
+                    self.stats.margin_misses += 1
+        suffix = "hits" if hit else "misses"
+        name = "feature" if kind == "features" else "margin"
+        self._increment(f"cache_{name}_{suffix}_total")
+
+    # ------------------------------------------------------------------
+    # memory tier
+    # ------------------------------------------------------------------
+    def _memory_get(self, full_key: tuple) -> Any:
+        with self._lock:
+            value = self._entries.get(full_key)
+            if value is not None:
+                self._entries.move_to_end(full_key)
+            return value
+
+    def _memory_put(self, full_key: tuple, value: Any) -> None:
+        with self._lock:
+            self._entries[full_key] = value
+            self._entries.move_to_end(full_key)
+            evicted = 0
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.stats.evictions += evicted
+        if evicted:
+            self._increment("cache_evictions_total", evicted)
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _blob_path(self, kind: str, fingerprint: str, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / kind / fingerprint / key[:2] / f"{key}.blob"
+
+    def _disk_get(self, kind: str, fingerprint: str, key: str) -> Any:
+        if self.directory is None or not self._disk_ok:
+            return None
+        path = self._blob_path(kind, fingerprint, key)
+        started = time.perf_counter()
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        value = self._decode_blob(kind, raw)
+        if value is None:
+            with self._lock:
+                self.stats.disk_corrupt += 1
+            self._increment("cache_disk_corrupt_total")
+            return None
+        with self._lock:
+            self.stats.disk_hits += 1
+        self._increment("cache_disk_hits_total")
+        if obs.enabled():
+            obs.tally("cache.disk.read", time.perf_counter() - started)
+        return value
+
+    def _disk_put(self, kind: str, fingerprint: str, key: str, value: Any) -> None:
+        if self.directory is None or not self._disk_ok:
+            return
+        path = self._blob_path(kind, fingerprint, key)
+        started = time.perf_counter()
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            blob = self._encode_blob(kind, value)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # Read-only / full / vanished cache dir: keep running on the
+            # memory tier instead of failing the scan.
+            self._disk_ok = False
+            return
+        with self._lock:
+            self.stats.disk_writes += 1
+        self._increment("cache_disk_writes_total")
+        if obs.enabled():
+            obs.tally("cache.disk.write", time.perf_counter() - started)
+
+    def _encode_blob(self, kind: str, value: Any) -> bytes:
+        from hashlib import sha256
+
+        encode, _ = _CODECS[kind]
+        buffer = BytesIO()
+        np.savez(buffer, **encode(value))
+        payload = buffer.getvalue()
+        digest = sha256(payload).hexdigest().encode("ascii")
+        return BLOB_MAGIC + digest + b"\n" + payload
+
+    def _decode_blob(self, kind: str, raw: bytes):
+        """Decode a disk blob; any integrity failure returns ``None``."""
+        from hashlib import sha256
+
+        header = len(BLOB_MAGIC) + 64 + 1
+        if len(raw) < header or not raw.startswith(BLOB_MAGIC):
+            return None
+        digest = raw[len(BLOB_MAGIC) : len(BLOB_MAGIC) + 64]
+        payload = raw[header:]
+        if sha256(payload).hexdigest().encode("ascii") != digest:
+            return None
+        _, decode = _CODECS[kind]
+        try:
+            with np.load(BytesIO(payload)) as archive:
+                return decode({name: archive[name] for name in archive.files})
+        except Exception:  # noqa: BLE001 — any malformed payload is a miss
+            return None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def get_features(self, fingerprint: str, key: str):
+        """Cached :class:`ExtractedFeatures`, or ``None`` on miss."""
+        full_key = ("features", fingerprint, key)
+        value = self._memory_get(full_key)
+        if value is None:
+            value = self._disk_get("features", fingerprint, key)
+            if value is not None:
+                self._memory_put(full_key, value)
+        self._count("features", hit=value is not None)
+        return value
+
+    def put_features(self, fingerprint: str, key: str, features) -> None:
+        self._memory_put(("features", fingerprint, key), features)
+        self._disk_put("features", fingerprint, key, features)
+
+    def get_margins(self, fingerprint: str, key: str) -> Optional[np.ndarray]:
+        """Cached per-kernel margin row, or ``None`` on miss.
+
+        Returns a copy: callers scatter rows into result matrices and
+        must not alias the cached array.
+        """
+        full_key = ("margins", fingerprint, key)
+        value = self._memory_get(full_key)
+        if value is None:
+            value = self._disk_get("margins", fingerprint, key)
+            if value is not None:
+                self._memory_put(full_key, value)
+        self._count("margins", hit=value is not None)
+        return None if value is None else np.array(value, dtype=np.float64)
+
+    def put_margins(self, fingerprint: str, key: str, row: np.ndarray) -> None:
+        value = np.array(row, dtype=np.float64)
+        self._memory_put(("margins", fingerprint, key), value)
+        self._disk_put("margins", fingerprint, key, value)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (the disk tier survives)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            return self.stats.as_dict()

@@ -280,6 +280,27 @@ def _add_scan(subparsers) -> None:
         action="store_true",
         help="process backend: scan without writing a shard journal",
     )
+    cache = parser.add_argument_group("caching")
+    cache.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="on-disk content-addressed feature/margin cache; a warm "
+        "rescan skips extraction and SVM work for unchanged geometry",
+    )
+    cache.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the in-process feature/margin cache",
+    )
+    cache.add_argument(
+        "--incremental",
+        action="store_true",
+        help="process backend: reuse journaled shards whose influence-"
+        "region geometry is unchanged since the previous run; the "
+        "journal is kept for the next incremental scan",
+    )
     _add_obs_arguments(parser, manifest_by_default=True)
 
 
@@ -363,6 +384,19 @@ def _add_serve(subparsers) -> None:
         "--request-timeout", type=float, default=30.0, help="seconds; per request"
     )
     parser.add_argument("--verbose", action="store_true", help="log every request")
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist the feature/margin cache on disk (shared across "
+        "restarts and with repro scan --cache-dir)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cross-request feature/margin cache",
+    )
     parser.add_argument(
         "--trace",
         action="store_true",
@@ -496,7 +530,24 @@ def cmd_scan(args) -> int:
     with _ObsSession(args, "scan") as session:
         detector = load_detector(args.model)
         layout = load_layout_auto(args.layout)
+        if not args.no_cache:
+            from repro.cache import HotspotCache
+
+            detector.attach_cache(HotspotCache(directory=args.cache_dir))
         backend = args.backend or detector.config.backend
+        if args.incremental:
+            if args.no_journal:
+                print(
+                    "--incremental needs the shard journal; "
+                    "drop --no-journal",
+                    file=sys.stderr,
+                )
+                return 2
+            if backend != "process":
+                print(
+                    "--incremental implies --backend process", file=sys.stderr
+                )
+                backend = "process"
         if backend == "thread" and args.workers:
             detector.config = replace(
                 detector.config, parallel=True, worker_count=args.workers
@@ -524,6 +575,8 @@ def cmd_scan(args) -> int:
                 journal_dir=journal_dir,
                 resume=args.resume,
                 stop_event=stop_event,
+                incremental=args.incremental,
+                cache_dir=args.cache_dir,
             )
 
             def _drain(signum, frame):
@@ -571,8 +624,13 @@ def cmd_scan(args) -> int:
                 workers=work.workers,
                 shards_total=result.shards_total,
                 shards_resumed=result.shards_resumed,
+                shards_reused=result.shards_reused,
                 worker_restarts=result.worker_restarts,
                 poison_tasks=result.poison_tasks,
+            )
+        if result.cache_stats is not None:
+            session.record(
+                **{f"cache_{key}": value for key, value in result.cache_stats.items()}
             )
         quarantine_note = (
             f", {result.quarantined} quarantined" if result.quarantined else ""
@@ -585,7 +643,8 @@ def cmd_scan(args) -> int:
         if result.backend == "process":
             print(
                 f"process backend: {result.shards_total} shards "
-                f"({result.shards_resumed} resumed), "
+                f"({result.shards_resumed} resumed, "
+                f"{result.shards_reused} reused), "
                 f"{result.worker_restarts} worker restarts, "
                 f"{result.poison_tasks} poison tasks",
                 file=sys.stderr,
@@ -728,6 +787,11 @@ def cmd_serve(args) -> int:
         ServerConfig,
     )
 
+    cache = None
+    if not args.no_cache:
+        from repro.cache import HotspotCache
+
+        cache = HotspotCache(directory=args.cache_dir)
     service = ServeService(
         batching=BatchingConfig(
             max_batch_clips=args.batch_clips,
@@ -735,7 +799,8 @@ def cmd_serve(args) -> int:
             max_queue_clips=args.queue_limit,
             workers=args.workers,
             default_timeout_s=args.request_timeout,
-        )
+        ),
+        cache=cache,
     )
     if args.trace:
         # Spans bridge into the service registry, so /metrics exposes

@@ -79,6 +79,10 @@ class DetectionReport:
     poison_tasks: int = 0
     shards_total: int = 0
     shards_resumed: int = 0
+    #: Shards reused from a previous run's journal (incremental scans).
+    shards_reused: int = 0
+    #: Cache counter deltas for this call (``None`` when no cache attached).
+    cache_stats: Optional[dict] = None
 
     @property
     def report_count(self) -> int:
@@ -97,6 +101,40 @@ class HotspotDetector:
     #: a :class:`repro.serve.metrics.MetricsRegistry`.  The detector feeds
     #: it ``fit``/``detect`` timings; ``None`` costs nothing.
     metrics_sink_: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Optional :class:`repro.cache.HotspotCache` memoizing per-clip
+    #: features and per-kernel margin rows by geometry content.  Attach
+    #: via :meth:`attach_cache`; ``None`` costs nothing.
+    cache_: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def attach_cache(self, cache) -> None:
+        """Attach (or detach with ``None``) a shared hotspot cache.
+
+        The cache is threaded into the model's extractor, the margin
+        stage and the feedback kernel's extractor, so every repeated
+        geometry — across ``detect`` calls, serve requests or scans —
+        is extracted and scored once.
+        """
+        self.cache_ = cache
+        self._wire_cache()
+
+    def _wire_cache(self) -> None:
+        """Point every fitted component at the current cache (idempotent)."""
+        if self.model_ is not None:
+            self.model_.cache = self.cache_
+            self.model_.extractor.cache = self.cache_
+        if self.feedback_ is not None:
+            self.feedback_.extractor.cache = self.cache_
+
+    def _cache_snapshot(self) -> Optional[dict]:
+        if self.cache_ is None:
+            return None
+        return self.cache_.stats_dict()
+
+    def _cache_delta(self, before: Optional[dict]) -> Optional[dict]:
+        if self.cache_ is None or before is None:
+            return None
+        after = self.cache_.stats_dict()
+        return {name: after[name] - before.get(name, 0) for name in after}
 
     def _observe(self, name: str, seconds: float) -> None:
         sink = self.metrics_sink_
@@ -146,6 +184,8 @@ class HotspotDetector:
                 kernels=len(self.model_.kernels),
                 feedback=self.feedback_ is not None,
             )
+        if self.cache_ is not None:
+            self._wire_cache()
         self.training_report_ = TrainingReport(
             hotspot_clusters=len(self.model_.hotspot_clusters),
             nonhotspot_centroids=len(self.model_.nonhotspot_centroids),
@@ -160,6 +200,13 @@ class HotspotDetector:
     def _require_model(self) -> MultiKernelModel:
         if self.model_ is None:
             raise NotFittedError("HotspotDetector used before fit()")
+        # Re-point components at the current cache on every entry: models
+        # and feedback kernels can be swapped underneath the detector
+        # (registry hot-reload, ``load_detector``), and wiring is three
+        # attribute writes.  A cache attached directly to a component is
+        # left alone when the detector has none.
+        if self.cache_ is not None:
+            self._wire_cache()
         return self.model_
 
     # ------------------------------------------------------------------
@@ -239,6 +286,7 @@ class HotspotDetector:
         )
         scan = None
         started = time.perf_counter()
+        cache_before = self._cache_snapshot()
         with trace("detector.detect", layer=layer, threshold=threshold) as span:
             if backend == "process":
                 from repro.work.shard import ScanOptions, run_sharded_scan
@@ -319,6 +367,8 @@ class HotspotDetector:
             self._increment("worker_restarts_total", scan.stats.worker_restarts)
             self._increment("poison_tasks_total", scan.stats.poison_tasks)
             self._increment("shards_resumed", scan.shards_resumed)
+            if scan.shards_reused:
+                self._increment("shards_reused_total", scan.shards_reused)
         self._observe("detector_detect_seconds", time.perf_counter() - started)
         return DetectionReport(
             reports=reports,
@@ -333,6 +383,8 @@ class HotspotDetector:
             poison_tasks=scan.stats.poison_tasks if scan else 0,
             shards_total=scan.shards_total if scan else 0,
             shards_resumed=scan.shards_resumed if scan else 0,
+            shards_reused=scan.shards_reused if scan else 0,
+            cache_stats=self._cache_delta(cache_before),
         )
 
     def score(

@@ -32,7 +32,14 @@ from repro.resilience import faults
 
 @dataclass
 class ExtractionReport:
-    """Candidate clips plus funnel statistics for diagnostics."""
+    """Candidate clips plus funnel statistics for diagnostics.
+
+    The funnel counts are part of the determinism contract: the sharded
+    scan journals them per shard and sums them on incremental reuse, and
+    the differential harness (``tests/test_differential.py``) asserts
+    they match the uncached single-pass scan exactly — so they must not
+    depend on thread scheduling or work partitioning.
+    """
 
     clips: list[Clip]
     anchor_count: int

@@ -82,6 +82,25 @@ class MultiKernelModel:
     nonhotspot_centroids: list[Clip]
     extractor: FeatureExtractor
     classifier: TopologicalClassifier
+    #: Optional :class:`repro.cache.HotspotCache` memoizing margin rows by
+    #: clip geometry.  Shared mutable state; dropped on pickling.
+    cache: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["cache"] = None
+        state.pop("_margin_fingerprint", None)
+        return state
+
+    def _cache_fingerprint(self) -> str:
+        """Margin-cache namespace: kernels + feature config, hashed once."""
+        fingerprint = getattr(self, "_margin_fingerprint", None)
+        if fingerprint is None:
+            from repro.cache.keys import model_fingerprint
+
+            fingerprint = model_fingerprint(self)
+            self._margin_fingerprint = fingerprint
+        return fingerprint
 
     def kernel_margins(self, clips: Sequence[Clip]) -> np.ndarray:
         """Margin matrix ``(len(clips), len(kernels))``.
@@ -90,9 +109,45 @@ class MultiKernelModel:
         gated-out entries get :data:`GATED_OUT`.  Features are extracted
         once per clip that passes at least one gate (vectorization is
         per-kernel because schemas differ).
+
+        With a :attr:`cache` attached, rows are memoized per clip
+        geometry: a geometry seen before (this run or, with a disk tier,
+        any run of this model) skips extraction and the SVM entirely.
+        Rows are computed per clip and the decision function is
+        row-independent, so cached and recomputed rows are bit-identical.
         """
         if not clips:
             return np.zeros((0, len(self.kernels)))
+        if self.cache is None:
+            return self._kernel_margins_uncached(clips)
+
+        from repro.cache.keys import clip_content_key
+
+        # Raw (translation-only) keys: sound for every config, and far
+        # cheaper than the D8 canonicalization (see keys.cache_canonical).
+        fingerprint = self._cache_fingerprint()
+        keys = [clip_content_key(clip, canonical=False) for clip in clips]
+        margins = np.full((len(clips), len(self.kernels)), GATED_OUT)
+        # Group cache misses by key: same geometry -> same row, so each
+        # distinct geometry is evaluated once per call.
+        missing: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            row = self.cache.get_margins(fingerprint, key)
+            if row is not None and row.shape == (len(self.kernels),):
+                margins[i] = row
+            else:
+                missing.setdefault(key, []).append(i)
+        if missing:
+            groups = list(missing.values())
+            computed = self._kernel_margins_uncached(
+                [clips[indices[0]] for indices in groups]
+            )
+            for row, indices in zip(computed, groups):
+                margins[indices] = row
+                self.cache.put_margins(fingerprint, keys[indices[0]], row)
+        return margins
+
+    def _kernel_margins_uncached(self, clips: Sequence[Clip]) -> np.ndarray:
         margins = np.full((len(clips), len(self.kernels)), GATED_OUT)
 
         gated = any(kernel.key_set is not None for kernel in self.kernels)

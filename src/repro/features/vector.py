@@ -119,10 +119,40 @@ class FeatureSchema:
 
 
 class FeatureExtractor:
-    """Extracts and vectorizes clip features under one configuration."""
+    """Extracts and vectorizes clip features under one configuration.
+
+    ``cache`` (a :class:`repro.cache.HotspotCache`, attached via
+    :class:`~repro.core.detector.HotspotDetector.attach_cache` or set
+    directly) memoizes :meth:`extract` by clip geometry content — the
+    MTCG tiling sweep is the per-clip hot spot, and identical geometry
+    yields identical features.  The cache is shared mutable state and is
+    dropped on pickling (scan workers run cold).
+    """
 
     def __init__(self, config: FeatureConfig = FeatureConfig()):
         self.config = config
+        self.cache = None
+        self._cache_ids: Optional[tuple[str, bool]] = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["cache"] = None
+        state["_cache_ids"] = None
+        return state
+
+    def _cache_identity(self) -> tuple[str, bool]:
+        """(config fingerprint, use-D8-keys) — computed once per extractor.
+
+        Hot paths always use translation-invariant raw keys: they are
+        sound for every config (D8-canonical keys are only sound under
+        Theorem 1 configs, see :func:`repro.cache.keys.cache_canonical`)
+        and cost ~50x less to compute than the extraction they memoize.
+        """
+        if self._cache_ids is None:
+            from repro.cache.keys import feature_fingerprint
+
+            self._cache_ids = (feature_fingerprint(self.config), False)
+        return self._cache_ids
 
     # ------------------------------------------------------------------
     def _region_of(self, clip: Clip) -> tuple[list[Rect], Rect]:
@@ -139,6 +169,20 @@ class FeatureExtractor:
 
     def extract(self, clip: Clip) -> ExtractedFeatures:
         """Raw features of one clip (canonically oriented when configured)."""
+        if self.cache is not None:
+            from repro.cache.keys import clip_content_key
+
+            fingerprint, canonical = self._cache_identity()
+            key = clip_content_key(clip, canonical=canonical)
+            cached = self.cache.get_features(fingerprint, key)
+            if cached is not None:
+                return cached
+            features = self._extract_uncached(clip)
+            self.cache.put_features(fingerprint, key, features)
+            return features
+        return self._extract_uncached(clip)
+
+    def _extract_uncached(self, clip: Clip) -> ExtractedFeatures:
         rects, window = self._region_of(clip)
         if self.config.canonical_orientation and rects:
             _, rects = canonical_form(rects, window)

@@ -134,7 +134,10 @@ def extract_topological_features(
     """
     # This is the hottest path in the pipeline (once per clip per schema
     # build); a full span per call would dominate the trace, so timings
-    # aggregate into one tally — and only when tracing is on.
+    # aggregate into one tally — and only when tracing is on.  The tally
+    # *count* is a contract: the cache regression tests assert exactly one
+    # sweep per unique clip per scan through it, so it must stay on the
+    # uncached path and fire once per extraction.
     if obs.enabled():
         started = time.perf_counter()
         result = _extract_topological_features(rects, window, diagonal_max_gap)

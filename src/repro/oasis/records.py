@@ -92,7 +92,10 @@ def decode_string(data: bytes, offset: int) -> Tuple[str, int]:
     end = offset + length
     if end > len(data):
         raise OasisError("truncated string")
-    return data[offset:end].decode("ascii"), end
+    try:
+        return data[offset:end].decode("ascii"), end
+    except UnicodeDecodeError as exc:
+        raise OasisError(f"non-ascii string at offset {offset}: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -77,11 +77,17 @@ class ModelRegistry:
         Optional :class:`~repro.serve.metrics.MetricsRegistry`; model
         load timestamps, load durations and reload counts are emitted
         when present.
+    cache:
+        Optional shared :class:`repro.cache.HotspotCache`, attached to
+        every loaded detector (including hot reloads) so repeated clip
+        geometries are extracted and scored once across requests and
+        model versions.
     """
 
-    def __init__(self, poll_interval: float = 1.0, metrics=None) -> None:
+    def __init__(self, poll_interval: float = 1.0, metrics=None, cache=None) -> None:
         self.poll_interval = poll_interval
         self.metrics = metrics
+        self.cache = cache
         self._entries: dict[str, ModelEntry] = {}
         self._lock = threading.Lock()
         self._last_poll: dict[str, float] = {}
@@ -107,6 +113,8 @@ class ModelRegistry:
             )
             if self.metrics is not None:
                 detector.metrics_sink_ = self.metrics
+            if self.cache is not None:
+                detector.attach_cache(self.cache)
         except (OSError, ValueError) as exc:
             raise ServeError(f"cannot load model {name!r} from {path}: {exc}") from exc
         entry = ModelEntry(

@@ -54,11 +54,24 @@ class ServeService:
         batching: Optional[BatchingConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         breaker: Optional[BreakerConfig] = None,
+        cache: Optional[object] = None,
+        cache_dir=None,
     ) -> None:
         self.metrics = metrics or MetricsRegistry()
-        self.registry = registry or ModelRegistry(metrics=self.metrics)
+        if cache is None and cache_dir is not None:
+            from repro.cache import HotspotCache
+
+            cache = HotspotCache(directory=cache_dir, metrics_sink=self.metrics)
+        elif cache is not None and getattr(cache, "metrics_sink", None) is None:
+            cache.metrics_sink = self.metrics
+        #: Shared across every loaded model version: a clip geometry seen
+        #: by any request warms features/margins for all later requests.
+        self.cache = cache
+        self.registry = registry or ModelRegistry(metrics=self.metrics, cache=cache)
         if self.registry.metrics is None:
             self.registry.metrics = self.metrics
+        if self.registry.cache is None and cache is not None:
+            self.registry.cache = cache
         self.batcher = MicroBatcher(
             self._evaluate_batch, batching or BatchingConfig(), metrics=self.metrics
         )

@@ -100,22 +100,44 @@ class SupportVectorClassifier:
         return self
 
     # ------------------------------------------------------------------
-    def decision_function(self, matrix: np.ndarray) -> np.ndarray:
-        """Signed margin ``f(x)`` for each row of ``matrix``."""
-        if self.support_vectors_ is None or self.dual_coef_ is None:
-            raise NotFittedError("classifier used before fit()")
+    def _gram_rows(self, matrix: np.ndarray):
+        """Scaled per-row kernel rows against the support vectors.
+
+        Evaluated one row at a time: BLAS matrix products round
+        differently depending on operand shapes, so a batched gram would
+        give each sample bits that depend on which other samples share
+        its batch.  Margins must be a pure function of the sample (the
+        cache and the sharded scan both re-batch arbitrarily), and that
+        holds only if every row is computed in an identically-shaped
+        operation.
+        """
         matrix = np.asarray(matrix, dtype=np.float64)
-        single = matrix.ndim == 1
-        if single:
+        if matrix.ndim == 1:
             matrix = matrix[None, :]
         if self.scaler_ is not None:
             matrix = self.scaler_.transform(matrix)
-        gram = self._kernel()(matrix, self.support_vectors_)
-        values = gram @ self.dual_coef_ + self.bias_
-        if self.far_field_floor > 0 and self.kernel == "rbf":
-            similarity = gram.max(axis=1)
-            weight = np.minimum(1.0, similarity / self.far_field_floor)
-            values = weight * values + (1.0 - weight) * -1.0
+        kernel = self._kernel()
+        for i in range(matrix.shape[0]):
+            yield kernel(matrix[i : i + 1], self.support_vectors_)[0]
+
+    def decision_function(self, matrix: np.ndarray) -> np.ndarray:
+        """Signed margin ``f(x)`` for each row of ``matrix``.
+
+        Bit-reproducible per row: the value of a sample does not depend
+        on the rest of the batch (see :meth:`_gram_rows`).
+        """
+        if self.support_vectors_ is None or self.dual_coef_ is None:
+            raise NotFittedError("classifier used before fit()")
+        single = np.asarray(matrix).ndim == 1
+        far_field = self.far_field_floor > 0 and self.kernel == "rbf"
+        values = []
+        for gram in self._gram_rows(matrix):
+            value = float(gram @ self.dual_coef_) + self.bias_
+            if far_field:
+                weight = min(1.0, float(gram.max()) / self.far_field_floor)
+                value = weight * value + (1.0 - weight) * -1.0
+            values.append(value)
+        values = np.array(values, dtype=np.float64)
         return values[0] if single else values
 
     def support_similarity(self, matrix: np.ndarray) -> np.ndarray:
@@ -128,13 +150,10 @@ class SupportVectorClassifier:
         """
         if self.support_vectors_ is None:
             raise NotFittedError("classifier used before fit()")
-        matrix = np.asarray(matrix, dtype=np.float64)
-        if matrix.ndim == 1:
-            matrix = matrix[None, :]
-        if self.scaler_ is not None:
-            matrix = self.scaler_.transform(matrix)
-        gram = self._kernel()(matrix, self.support_vectors_)
-        return gram.max(axis=1)
+        return np.array(
+            [float(gram.max()) for gram in self._gram_rows(matrix)],
+            dtype=np.float64,
+        )
 
     def predict(self, matrix: np.ndarray, threshold: float = 0.0) -> np.ndarray:
         """Class labels (+1/-1); ``threshold`` shifts the decision boundary.

@@ -54,13 +54,16 @@ from repro.core.extraction import candidate_anchors, extract_from_anchors
 from repro.errors import CheckpointError, NotFittedError, ScanDrainedError
 from repro.geometry.rect import Rect
 from repro.layout.clip import Clip
-from repro.obs import fingerprint_layout, get_logger, tally, trace
+from repro.obs import fingerprint_layout, fingerprint_rects, get_logger, tally, trace
 from repro.resilience import faults
 from repro.resilience.quarantine import QuarantineReport
 from repro.work.pool import PoolConfig, PoolStats, PoolTask, SupervisedPool
 
-#: Bump on breaking journal-layout changes.
-SCAN_JOURNAL_VERSION = 1
+#: Bump on breaking journal-layout changes.  Version 2 adds the
+#: layout-independent ``base`` fingerprint to the header and the absolute
+#: grid-cell origin + influence-region geometry hash to every shard
+#: record — the matching state incremental scans need.
+SCAN_JOURNAL_VERSION = 2
 
 #: Default shard edge, in multiples of the clip side: big enough that
 #: per-shard overhead amortises, small enough that losing one shard to a
@@ -92,6 +95,15 @@ class ScanOptions:
     #: Keep the journal after a successful scan (default: cleared, like
     #: training checkpoints).
     keep_journal: bool = False
+    #: Reuse shards from the previous run's journal whose influence-region
+    #: geometry hash is unchanged, re-evaluating only edited regions.
+    #: Requires ``journal_dir``; implies ``keep_journal`` (the journal is
+    #: the state the next incremental run diffs against).
+    incremental: bool = False
+    #: Directory of an on-disk :class:`repro.cache.HotspotCache` tier.
+    #: Workers open it read/write, so a warm cache accelerates even
+    #: freshly-scanned shards; defaults to the detector cache's directory.
+    cache_dir: Optional[Union[str, Path]] = None
 
 
 @dataclass
@@ -108,6 +120,9 @@ class ScanResult:
     stats: PoolStats
     shards_total: int
     shards_resumed: int
+    #: Shards reused by geometry-hash match from a previous run's journal
+    #: (incremental mode); disjoint from ``shards_resumed``.
+    shards_reused: int = 0
 
 
 @dataclass
@@ -125,37 +140,35 @@ class _ShardRecord:
     #: Candidate clips, parallel to ``anchors``; ``None`` for shards
     #: loaded from the journal (re-cut from the layout at merge time).
     clips: Optional[list[Clip]] = None
+    #: Absolute DBU origin of the shard's grid cell (stable across runs
+    #: as long as the layer bounding box is stable; shard *ids* are not).
+    cell: Optional[tuple[int, int]] = None
+    #: sha256 of the source rects overlapping the cell expanded by the
+    #: clip side — everything that can influence this shard's anchors,
+    #: clip contents and funnel counts.
+    geometry_sha: str = ""
 
 
 # ----------------------------------------------------------------------
 # fingerprint
 # ----------------------------------------------------------------------
 def _model_hash(model) -> str:
-    """Hash of the trained kernels (margins depend on nothing else)."""
-    from repro.core.persist import encode_trained_kernel
+    """Hash of the trained model state margins depend on."""
+    from repro.cache.keys import model_fingerprint
 
-    arrays: dict = {}
-    metas = [
-        encode_trained_kernel(kernel, arrays, f"k{index}")
-        for index, kernel in enumerate(model.kernels)
-    ]
-    digest = sha256(json.dumps(metas, sort_keys=True, default=str).encode("utf-8"))
-    for name in sorted(arrays):
-        array = np.ascontiguousarray(arrays[name])
-        digest.update(name.encode("utf-8"))
-        digest.update(str(array.dtype).encode("utf-8"))
-        digest.update(str(array.shape).encode("utf-8"))
-        digest.update(array.tobytes())
-    return digest.hexdigest()
+    return model_fingerprint(model)
 
 
-def scan_fingerprint(layout, layer: int, config, model, shard_side: int) -> str:
-    """Hash of everything that must match for a journal to be reusable.
+def scan_base_fingerprint(layer: int, config, model, shard_side: int) -> str:
+    """The layout-independent part of the scan fingerprint.
 
-    Mirrors :func:`repro.resilience.checkpoint.training_fingerprint`:
-    execution knobs (``parallel``/``worker_count``/``backend``) and the
-    decision threshold are excluded — margins are computed before
-    thresholding, so a resume may change them freely.
+    Incremental scans compare this across runs: the *layout* is expected
+    to differ (that is the point), but the config, model, layer and shard
+    grid must match for any per-shard reuse to be sound.  Mirrors
+    :func:`repro.resilience.checkpoint.training_fingerprint`: execution
+    knobs (``parallel``/``worker_count``/``backend``) and the decision
+    threshold are excluded — margins are computed before thresholding, so
+    a resume may change them freely.
     """
     from repro.obs import config_summary
 
@@ -165,7 +178,6 @@ def scan_fingerprint(layout, layer: int, config, model, shard_side: int) -> str:
     blob = json.dumps(
         {
             "version": SCAN_JOURNAL_VERSION,
-            "layout": fingerprint_layout(layout.layer(layer)),
             "config": summary,
             "model": _model_hash(model),
             "layer": layer,
@@ -175,6 +187,38 @@ def scan_fingerprint(layout, layer: int, config, model, shard_side: int) -> str:
         default=str,
     )
     return sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scan_fingerprint(layout, layer: int, config, model, shard_side: int) -> str:
+    """Hash of everything that must match for a journal to be resumable."""
+    blob = json.dumps(
+        {
+            "base": scan_base_fingerprint(layer, config, model, shard_side),
+            "layout": fingerprint_layout(layout.layer(layer)),
+        },
+        sort_keys=True,
+    )
+    return sha256(blob.encode("utf-8")).hexdigest()
+
+
+def shard_geometry_hash(
+    layout, layer: int, cell: tuple[int, int], shard_side: int, clip_side: int
+) -> str:
+    """Content hash of everything that can influence one shard's output.
+
+    The influence region is the grid cell expanded by ``clip_side``:
+    rectangle cutting is per-rectangle deterministic, so any source rect
+    contributing an anchor inside the half-open cell must overlap the
+    cell itself, and a clip anchored in the cell reaches at most
+    ``core_side + ambit_margin < clip_side`` beyond it.  Rects outside
+    the expanded window therefore cannot change the shard's anchor set,
+    clip contents, margins or funnel counts.
+    """
+    window = Rect(
+        cell[0], cell[1], cell[0] + shard_side, cell[1] + shard_side
+    ).expanded(clip_side)
+    rects = sorted(layout.rects_in_window(layer, window))
+    return fingerprint_rects(rects)
 
 
 # ----------------------------------------------------------------------
@@ -196,7 +240,12 @@ class ScanJournal:
 
     # ------------------------------------------------------------------
     def begin(
-        self, fingerprint: str, shards: int, shard_side: int, resume: bool = True
+        self,
+        fingerprint: str,
+        shards: int,
+        shard_side: int,
+        resume: bool = True,
+        base: Optional[str] = None,
     ) -> dict[int, _ShardRecord]:
         """Prepare the journal; return resumable shards by id.
 
@@ -204,12 +253,7 @@ class ScanJournal:
         shards are loaded; otherwise stale artifacts are cleared and a
         fresh header is written.
         """
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-        except OSError as exc:
-            raise CheckpointError(
-                f"cannot create journal directory {self.directory}: {exc}"
-            ) from exc
+        self._ensure_directory()
         header, entries = self._read_lines()
         compatible = (
             header is not None
@@ -229,10 +273,75 @@ class ScanJournal:
                 expected=fingerprint[:16],
                 found=str(header.get("fingerprint"))[:16],
             )
+        self._restart(fingerprint, shards, shard_side, base)
+        return loaded
+
+    def begin_incremental(
+        self,
+        fingerprint: str,
+        base: str,
+        shard_meta: list[tuple[tuple[int, int], str]],
+        shard_side: int,
+    ) -> dict[int, _ShardRecord]:
+        """Prepare the journal for an incremental scan.
+
+        ``shard_meta`` is the new run's ``(cell origin, geometry hash)``
+        per shard id.  A previous journal with the same layout-independent
+        ``base`` fingerprint contributes every shard whose cell and
+        geometry hash both match — matching is by *content*, not shard id,
+        because ids shift whenever an edit adds or empties a grid cell.
+        Matched records are re-journaled under their new ids so the run
+        (and any crash/resume of it) continues from a consistent journal.
+        """
+        self._ensure_directory()
+        header, entries = self._read_lines()
+        matched: dict[int, _ShardRecord] = {}
+        if (
+            header is not None
+            and header.get("version") == SCAN_JOURNAL_VERSION
+            and header.get("base") == base
+            and header.get("shard_side") == shard_side
+        ):
+            previous = self._load_shards(entries, int(header.get("shards", 0)))
+            by_content = {
+                (record.cell, record.geometry_sha): record
+                for record in previous.values()
+                if record.cell is not None and record.geometry_sha
+            }
+            for new_id, (cell, geometry_sha) in enumerate(shard_meta):
+                record = by_content.get((cell, geometry_sha))
+                if record is not None:
+                    record.shard_id = new_id
+                    matched[new_id] = record
+        elif header is not None:
+            _log.warning(
+                "journal_base_mismatch",
+                directory=str(self.directory),
+                expected=base[:16],
+                found=str(header.get("base"))[:16],
+            )
+        self._restart(fingerprint, len(shard_meta), shard_side, base)
+        for record in matched.values():
+            self.record(record)
+        return matched
+
+    def _ensure_directory(self) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create journal directory {self.directory}: {exc}"
+            ) from exc
+
+    def _restart(
+        self, fingerprint: str, shards: int, shard_side: int, base: Optional[str]
+    ) -> None:
+        """Clear stale shard artifacts and write a fresh header."""
         self._clear_shards()
         payload = {
             "version": SCAN_JOURNAL_VERSION,
             "fingerprint": fingerprint,
+            "base": base,
             "shards": shards,
             "shard_side": shard_side,
             "created_unix": time.time(),
@@ -243,7 +352,6 @@ class ScanJournal:
             )
         except OSError as exc:
             raise CheckpointError(f"cannot write scan journal: {exc}") from exc
-        return loaded
 
     def _read_lines(self) -> tuple[Optional[dict], list[dict]]:
         try:
@@ -289,6 +397,7 @@ class ScanJournal:
                     meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
                 if len(anchors) != len(margins):
                     raise ValueError("anchors/margins length mismatch")
+                cell = meta.get("cell")
                 loaded[shard_id] = _ShardRecord(
                     shard_id=shard_id,
                     anchors=[(int(x), int(y)) for x, y in anchors],
@@ -299,6 +408,8 @@ class ScanJournal:
                     rejected_boundary=int(meta.get("rejected_boundary", 0)),
                     quarantine=dict(meta.get("quarantine", {})),
                     clips=None,
+                    cell=(int(cell[0]), int(cell[1])) if cell else None,
+                    geometry_sha=str(meta.get("geometry_sha", "")),
                 )
             except (OSError, KeyError, ValueError) as exc:
                 # One corrupt shard costs one shard's rescan, never the
@@ -323,6 +434,8 @@ class ScanJournal:
             "rejected_count": record.rejected_count,
             "rejected_boundary": record.rejected_boundary,
             "quarantine": record.quarantine,
+            "cell": list(record.cell) if record.cell is not None else None,
+            "geometry_sha": record.geometry_sha,
         }
         arrays = {
             "anchors": anchors,
@@ -400,7 +513,17 @@ class _WorkerState:
     layer: int
 
 
-def _scan_worker_init(config, model, layout, layer) -> _WorkerState:
+def _scan_worker_init(config, model, layout, layer, cache_dir=None) -> _WorkerState:
+    if cache_dir is not None:
+        # Each worker opens its own handle on the shared disk tier; the
+        # in-memory LRU (with its lock) never crosses the process
+        # boundary.  Concurrent writers are safe: blobs are
+        # content-addressed and written via atomic rename.
+        from repro.cache import HotspotCache
+
+        cache = HotspotCache(directory=cache_dir)
+        model.cache = cache
+        model.extractor.cache = cache
     return _WorkerState(config=config, model=model, layout=layout, layer=layer)
 
 
@@ -437,16 +560,17 @@ def _scan_shard_task(state: _WorkerState, payload) -> dict:
 # ----------------------------------------------------------------------
 # the driver
 # ----------------------------------------------------------------------
-def shard_anchors(
+def shard_cells(
     layout, spec, layer: int, shard_side: int
-) -> list[list[tuple[int, int]]]:
-    """Bucket the layer's candidate anchors into grid shards.
+) -> list[tuple[tuple[int, int], list[tuple[int, int]]]]:
+    """Bucket the layer's candidate anchors into grid cells.
 
-    The grid is anchored at the layer bounding box's lower-left; each
-    anchor falls in exactly one half-open cell, so the buckets partition
-    the global anchor set.  Empty cells are dropped; bucket order is the
-    cell's (column, row) order, which is deterministic for a given
-    layout + ``shard_side``.
+    Returns ``(cell origin, anchors)`` pairs, where the origin is the
+    cell's absolute lower-left in DBU.  The grid is anchored at the layer
+    bounding box's lower-left; each anchor falls in exactly one half-open
+    cell, so the buckets partition the global anchor set.  Empty cells
+    are dropped; bucket order is the cell's (column, row) order, which is
+    deterministic for a given layout + ``shard_side``.
     """
     anchors = candidate_anchors(layout, spec, layer)
     if not anchors:
@@ -456,7 +580,20 @@ def shard_anchors(
     for x, y in anchors:
         key = ((x - box.x0) // shard_side, (y - box.y0) // shard_side)
         buckets.setdefault(key, []).append((x, y))
-    return [buckets[key] for key in sorted(buckets)]
+    return [
+        (
+            (box.x0 + cx * shard_side, box.y0 + cy * shard_side),
+            buckets[(cx, cy)],
+        )
+        for cx, cy in sorted(buckets)
+    ]
+
+
+def shard_anchors(
+    layout, spec, layer: int, shard_side: int
+) -> list[list[tuple[int, int]]]:
+    """The anchor buckets of :func:`shard_cells`, without cell origins."""
+    return [anchors for _, anchors in shard_cells(layout, spec, layer, shard_side)]
 
 
 def run_sharded_scan(
@@ -480,26 +617,62 @@ def run_sharded_scan(
         raise NotFittedError("sharded scan used before fit()")
     config = detector.config
     shard_side = options.shard_side or config.spec.clip_side * DEFAULT_SHARD_CLIPS
+    if options.incremental and options.journal_dir is None:
+        raise CheckpointError("incremental scans require a journal directory")
+    cache_dir = options.cache_dir
+    if cache_dir is None:
+        detector_cache = getattr(detector, "cache_", None)
+        if detector_cache is not None:
+            cache_dir = getattr(detector_cache, "directory", None)
 
     with trace("work.scan", layer=layer, workers=options.workers) as span:
-        shards = shard_anchors(layout, config.spec, layer, shard_side)
+        cells = shard_cells(layout, config.spec, layer, shard_side)
+        shards = [anchors for _, anchors in cells]
         span.set(shards=len(shards))
 
         journal: Optional[ScanJournal] = None
         resumed: dict[int, _ShardRecord] = {}
+        reused = 0
+        geometry_hashes: list[str] = []
         if options.journal_dir is not None:
             journal = ScanJournal(options.journal_dir)
             fingerprint = scan_fingerprint(layout, layer, config, model, shard_side)
-            resumed = journal.begin(
-                fingerprint, len(shards), shard_side, resume=options.resume
-            )
-            if resumed:
+            base = scan_base_fingerprint(layer, config, model, shard_side)
+            geometry_hashes = [
+                shard_geometry_hash(
+                    layout, layer, cell, shard_side, config.spec.clip_side
+                )
+                for cell, _ in cells
+            ]
+            if options.incremental:
+                resumed = journal.begin_incremental(
+                    fingerprint,
+                    base,
+                    list(zip((cell for cell, _ in cells), geometry_hashes)),
+                    shard_side,
+                )
+                reused = len(resumed)
                 _log.info(
-                    "scan_resumed",
-                    shards=len(resumed),
+                    "scan_incremental",
+                    reused=reused,
                     of=len(shards),
                     directory=str(journal.directory),
                 )
+            else:
+                resumed = journal.begin(
+                    fingerprint,
+                    len(shards),
+                    shard_side,
+                    resume=options.resume,
+                    base=base,
+                )
+                if resumed:
+                    _log.info(
+                        "scan_resumed",
+                        shards=len(resumed),
+                        of=len(shards),
+                        directory=str(journal.directory),
+                    )
 
         completed: dict[int, _ShardRecord] = dict(resumed)
         parts: dict[int, list[dict]] = {}
@@ -546,6 +719,10 @@ def run_sharded_scan(
                 margins=np.asarray([item[2] for item in merged], dtype=float),
                 anchor_count=0,
                 clips=[item[1] for item in merged],
+                cell=cells[shard_id][0],
+                geometry_sha=(
+                    geometry_hashes[shard_id] if geometry_hashes else ""
+                ),
             )
             for part in shard_parts:
                 record.anchor_count += part["anchor_count"]
@@ -603,27 +780,33 @@ def run_sharded_scan(
                 for side, chunk in enumerate((anchors[:half], anchors[half:]))
             ]
 
-        pool_config = options.pool or PoolConfig()
-        if pool_config.workers != options.workers:
-            from dataclasses import replace
+        if tasks:
+            pool_config = options.pool or PoolConfig()
+            if pool_config.workers != options.workers:
+                from dataclasses import replace
 
-            pool_config = replace(pool_config, workers=options.workers)
-        pool = SupervisedPool(
-            pool_config,
-            init_fn=_scan_worker_init,
-            init_args=(config, model, layout, layer),
-        )
-        stats = pool.run(
-            tasks,
-            split=split,
-            on_result=on_result,
-            on_poison=on_poison,
-            stop_event=options.stop_event,
-        )
+                pool_config = replace(pool_config, workers=options.workers)
+            pool = SupervisedPool(
+                pool_config,
+                init_fn=_scan_worker_init,
+                init_args=(config, model, layout, layer, cache_dir),
+            )
+            stats = pool.run(
+                tasks,
+                split=split,
+                on_result=on_result,
+                on_poison=on_poison,
+                stop_event=options.stop_event,
+            )
+        else:
+            # Every shard came from the journal (a fully-unchanged
+            # incremental rescan): nothing to spawn workers for.
+            stats = PoolStats()
         span.set(
             restarts=stats.worker_restarts,
             poison=stats.poison_tasks,
-            resumed=len(resumed),
+            resumed=len(resumed) - reused,
+            reused=reused,
         )
 
         if len(completed) < len(shards):
@@ -635,7 +818,11 @@ def run_sharded_scan(
         result = _merge_shards(
             detector, layout, layer, shards, completed, resumed, quarantine, stats
         )
-        if journal is not None and not options.keep_journal:
+        result.shards_reused = reused
+        result.shards_resumed = len(resumed) - reused
+        # An incremental scan's journal IS the state the next incremental
+        # run diffs against; clearing it would defeat the mode.
+        if journal is not None and not (options.keep_journal or options.incremental):
             journal.clear()
         return result
 

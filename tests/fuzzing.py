@@ -1,0 +1,40 @@
+"""Shared byte-stream mutation for the parser fuzz tests.
+
+The committed corpus under ``tests/fixtures/fuzz/`` was produced by
+running exactly these operators (seed 20260806) against the pristine
+``seed.gds``/``seed.oas`` streams and keeping mutants the parsers
+rejected; the live tests re-run the same operators with fresh seeds so
+coverage keeps growing without the corpus going stale.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+FIXTURES = Path(__file__).parent / "fixtures" / "fuzz"
+
+
+def mutate_stream(rng: random.Random, data: bytes) -> bytes:
+    """One random structural corruption of a binary stream."""
+    data = bytearray(data)
+    op = rng.randrange(6)
+    if op == 0:  # flip bytes
+        for _ in range(rng.randint(1, 8)):
+            data[rng.randrange(len(data))] ^= rng.randint(1, 255)
+    elif op == 1:  # truncate
+        del data[rng.randrange(1, len(data)):]
+    elif op == 2:  # insert random bytes
+        pos = rng.randrange(len(data))
+        data[pos:pos] = bytes(rng.randint(0, 255) for _ in range(rng.randint(1, 16)))
+    elif op == 3:  # delete a span
+        pos = rng.randrange(len(data) - 1)
+        del data[pos : pos + rng.randint(1, 32)]
+    elif op == 4:  # duplicate a span
+        pos = rng.randrange(len(data) - 1)
+        data[pos:pos] = data[pos : pos + rng.randint(1, 32)]
+    else:  # zero-fill a span
+        pos = rng.randrange(len(data) - 1)
+        for i in range(pos, min(len(data), pos + rng.randint(1, 32))):
+            data[i] = 0
+    return bytes(data)

@@ -1,0 +1,308 @@
+"""Property tests for the cache: keys, Theorem-1 coupling, integrity.
+
+Three families of invariants:
+
+- **Key algebra** — :func:`clip_content_key` must be invariant under
+  translation (always) and under the D8 group exactly when asked for
+  canonical keys; raw keys must distinguish orientations of asymmetric
+  geometry, because a raw-keyed cache may serve any configuration.
+- **Theorem 1 coupling** — D8 key sharing is sound precisely when the
+  pipeline is orientation-blind: canonically-keyed clips that collide
+  share a topological classification (``canonical_string_key``) and
+  extract identical features under ``canonical_orientation``; with a
+  density grid the extraction sees orientation and
+  :func:`cache_canonical` correctly refuses.
+- **Disk integrity** — a corrupted, truncated or forged blob is
+  detected, counted, and treated as a miss; it is *never* decoded into
+  a served value.  Round-tripped values are bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import HotspotCache, cache_canonical, clip_content_key
+from repro.cache.keys import feature_fingerprint
+from repro.features.vector import FeatureConfig, FeatureExtractor
+from repro.geometry.rect import Rect
+from repro.geometry.transform import ALL_ORIENTATIONS
+from repro.layout.clip import Clip, ClipSpec
+from repro.topology.strings import canonical_string_key
+
+SPEC = ClipSpec(core_side=400, clip_side=1200)
+
+offsets = st.integers(-500_000, 500_000)
+
+
+@st.composite
+def clips(draw):
+    """A clip at a random position with random disjoint-ish geometry."""
+    count = draw(st.integers(1, 6))
+    rects = []
+    for _ in range(count):
+        x0 = draw(st.integers(0, SPEC.clip_side - 20))
+        y0 = draw(st.integers(0, SPEC.clip_side - 20))
+        w = draw(st.integers(10, 400))
+        h = draw(st.integers(10, 400))
+        rects.append(Rect(x0, y0, min(x0 + w, SPEC.clip_side), min(y0 + h, SPEC.clip_side)))
+    ox, oy = draw(offsets), draw(offsets)
+    window = Rect(ox, oy, ox + SPEC.clip_side, oy + SPEC.clip_side)
+    return Clip.build(window, SPEC, [r.translated(ox, oy) for r in rects])
+
+
+class TestKeyAlgebra:
+    @given(clips(), offsets, offsets, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_translation_invariance(self, clip, dx, dy, canonical):
+        moved = Clip.build(
+            clip.window.translated(dx, dy),
+            clip.spec,
+            [r.translated(dx, dy) for r in clip.rects],
+        )
+        assert clip_content_key(clip, canonical=canonical) == clip_content_key(
+            moved, canonical=canonical
+        )
+
+    @given(clips())
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_keys_identify_all_eight_orientations(self, clip):
+        keys = {
+            clip_content_key(clip.oriented(o), canonical=True)
+            for o in ALL_ORIENTATIONS
+        }
+        assert len(keys) == 1
+
+    def test_raw_keys_distinguish_orientations(self):
+        # An L-shape: no nontrivial D8 symmetry, so each orientation has
+        # its own raw key (a raw-keyed cache must never cross-serve them).
+        rects = [Rect(0, 0, 100, 500), Rect(100, 0, 400, 100)]
+        window = Rect(0, 0, SPEC.clip_side, SPEC.clip_side)
+        clip = Clip.build(window, SPEC, rects)
+        keys = {
+            clip_content_key(clip.oriented(o), canonical=False)
+            for o in ALL_ORIENTATIONS
+        }
+        assert len(keys) == 8
+
+    @given(clips())
+    @settings(max_examples=40, deadline=None)
+    def test_keys_change_when_geometry_changes(self, clip):
+        grown = Clip.build(
+            clip.window,
+            clip.spec,
+            list(clip.rects)
+            + [Rect(clip.window.x0 + 1, clip.window.y0 + 1, clip.window.x0 + 9, clip.window.y0 + 7)],
+        )
+        if grown.rects == clip.rects:  # the new rect merged into cover
+            return
+        assert clip_content_key(clip, canonical=False) != clip_content_key(
+            grown, canonical=False
+        )
+
+    def test_key_depends_on_spec(self):
+        # Same geometry under a different core/ambit split must not
+        # collide: "core"/"context" extraction reads the spec.
+        other_spec = ClipSpec(core_side=600, clip_side=1200)
+        window = Rect(0, 0, 1200, 1200)
+        rects = [Rect(100, 100, 300, 900)]
+        a = Clip.build(window, SPEC, rects)
+        b = Clip.build(window, other_spec, rects)
+        assert clip_content_key(a) != clip_content_key(b)
+
+
+class TestTheoremOneCoupling:
+    """D8 sharing is sound exactly when classification is D8-blind."""
+
+    @given(clips())
+    @settings(max_examples=25, deadline=None)
+    def test_canonical_collision_implies_same_topology_class(self, clip):
+        # Orientations collide under canonical keys, and the topological
+        # classifier (canonical string key, Theorem 1) agrees they are
+        # one pattern — so serving one's features for the other is sound.
+        base_key = clip_content_key(clip, canonical=True)
+        base_topo = canonical_string_key(list(clip.rects), clip.window)
+        for orientation in ALL_ORIENTATIONS:
+            oriented = clip.oriented(orientation)
+            assert clip_content_key(oriented, canonical=True) == base_key
+            assert (
+                canonical_string_key(list(oriented.rects), oriented.window)
+                == base_topo
+            )
+
+    @given(clips())
+    @settings(max_examples=15, deadline=None)
+    def test_orientation_blind_extraction_matches_key_sharing(self, clip):
+        config = FeatureConfig(region="clip", canonical_orientation=True)
+        assert cache_canonical(config)
+        extractor = FeatureExtractor(config)
+        reference = extractor.extract(clip)
+        for orientation in ALL_ORIENTATIONS:
+            features = extractor.extract(clip.oriented(orientation))
+            assert features.rules == reference.rules
+            assert features.nontopo == reference.nontopo
+
+    def test_density_grid_breaks_soundness_and_predicate_refuses(self):
+        config = FeatureConfig(region="clip", include_density_grid=True)
+        assert not cache_canonical(config)
+        # And rightly so: the grid genuinely differs between orientations
+        # that share a canonical key.
+        rects = [Rect(0, 0, 100, 500), Rect(100, 0, 400, 100)]
+        window = Rect(0, 0, SPEC.clip_side, SPEC.clip_side)
+        clip = Clip.build(window, SPEC, rects)
+        extractor = FeatureExtractor(config)
+        grids = {
+            extractor.extract(clip.oriented(o)).grid.tobytes()
+            for o in ALL_ORIENTATIONS
+        }
+        assert len(grids) > 1
+
+    def test_raw_keys_sound_for_every_config(self):
+        # The predicate refusing D8 never refuses raw keys: identical raw
+        # geometry extracts identically even with the grid enabled.
+        config = FeatureConfig(region="clip", include_density_grid=True)
+        extractor = FeatureExtractor(config)
+        rects = [Rect(50, 50, 250, 450), Rect(300, 700, 900, 760)]
+        window = Rect(0, 0, SPEC.clip_side, SPEC.clip_side)
+        a = Clip.build(window, SPEC, rects)
+        b = Clip.build(
+            window.translated(2400, -1200),
+            SPEC,
+            [r.translated(2400, -1200) for r in rects],
+        )
+        assert clip_content_key(a, canonical=False) == clip_content_key(
+            b, canonical=False
+        )
+        fa, fb = extractor.extract(a), extractor.extract(b)
+        assert fa.rules == fb.rules and fa.nontopo == fb.nontopo
+        assert np.array_equal(fa.grid, fb.grid)
+
+
+# ----------------------------------------------------------------------
+# disk blob integrity
+# ----------------------------------------------------------------------
+def _some_features(grid: bool = False):
+    config = FeatureConfig(region="clip", include_density_grid=grid)
+    window = Rect(0, 0, SPEC.clip_side, SPEC.clip_side)
+    clip = Clip.build(window, SPEC, [Rect(10, 10, 200, 600), Rect(400, 300, 950, 420)])
+    return FeatureExtractor(config).extract(clip), feature_fingerprint(config)
+
+
+class TestDiskIntegrity:
+    def _written_blob(self, tmp_path, grid: bool = False):
+        cache = HotspotCache(directory=tmp_path)
+        features, fingerprint = _some_features(grid)
+        cache.put_features(fingerprint, "k" * 64, features)
+        blobs = list(tmp_path.rglob("*.blob"))
+        assert len(blobs) == 1
+        return cache, features, fingerprint, blobs[0]
+
+    def test_roundtrip_is_bit_identical(self, tmp_path):
+        cache, features, fingerprint, _ = self._written_blob(tmp_path, grid=True)
+        cache.clear_memory()
+        loaded = cache.get_features(fingerprint, "k" * 64)
+        assert loaded.rules == features.rules
+        assert loaded.nontopo == features.nontopo
+        assert loaded.grid.tobytes() == features.grid.tobytes()
+        assert cache.stats.disk_hits == 1
+
+    @given(offset=st.integers(0, 10_000), flip=st.integers(1, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_flipped_byte_never_served(self, tmp_path_factory, offset, flip):
+        tmp_path = tmp_path_factory.mktemp("flip")
+        cache, _, fingerprint, blob = self._written_blob(tmp_path)
+        raw = bytearray(blob.read_bytes())
+        offset %= len(raw)
+        raw[offset] ^= flip
+        blob.write_bytes(bytes(raw))
+        cache.clear_memory()
+        assert cache.get_features(fingerprint, "k" * 64) is None
+        assert cache.stats.disk_corrupt == 1
+        assert cache.stats.feature_misses == 1
+
+    @given(keep=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_blob_never_served(self, tmp_path_factory, keep):
+        tmp_path = tmp_path_factory.mktemp("trunc")
+        cache, _, fingerprint, blob = self._written_blob(tmp_path)
+        raw = blob.read_bytes()
+        blob.write_bytes(raw[: keep % len(raw)])
+        cache.clear_memory()
+        assert cache.get_features(fingerprint, "k" * 64) is None
+        assert cache.stats.disk_corrupt == 1
+
+    def test_forged_digest_never_served(self, tmp_path):
+        # Even a well-formed npz with a matching *wrong-content* digest
+        # for the truncated payload must not decode into served data if
+        # the payload is not a valid archive.
+        cache, _, fingerprint, blob = self._written_blob(tmp_path)
+        from hashlib import sha256
+
+        from repro.cache import BLOB_MAGIC
+
+        payload = b"not an npz archive at all"
+        digest = sha256(payload).hexdigest().encode("ascii")
+        blob.write_bytes(BLOB_MAGIC + digest + b"\n" + payload)
+        cache.clear_memory()
+        assert cache.get_features(fingerprint, "k" * 64) is None
+
+    def test_corrupt_margin_blob_recovers_by_rewrite(self, tmp_path):
+        cache = HotspotCache(directory=tmp_path)
+        row = np.array([0.25, -1e9, 3.5], dtype=np.float64)
+        cache.put_margins("f" * 64, "a" * 64, row)
+        blob = next(tmp_path.rglob("*.blob"))
+        blob.write_bytes(b"garbage")
+        cache.clear_memory()
+        assert cache.get_margins("f" * 64, "a" * 64) is None
+        # The caller recomputes and overwrites; the entry is healthy again.
+        cache.put_margins("f" * 64, "a" * 64, row)
+        cache.clear_memory()
+        assert np.array_equal(cache.get_margins("f" * 64, "a" * 64), row)
+
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=False, allow_infinity=True, width=64),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_margin_rows_roundtrip_exactly(self, tmp_path_factory, values):
+        tmp_path = tmp_path_factory.mktemp("rows")
+        cache = HotspotCache(directory=tmp_path)
+        row = np.array(values, dtype=np.float64)
+        cache.put_margins("f" * 64, "b" * 64, row)
+        cache.clear_memory()
+        loaded = cache.get_margins("f" * 64, "b" * 64)
+        assert loaded.dtype == np.float64
+        assert loaded.tobytes() == row.tobytes()
+
+
+class TestMemoryTier:
+    def test_lru_eviction_is_counted_and_bounded(self):
+        cache = HotspotCache(max_entries=4)
+        for i in range(10):
+            cache.put_margins("f" * 64, f"key{i}", np.array([float(i)]))
+        assert len(cache) == 4
+        assert cache.stats.evictions == 6
+        # The newest entries survived, the oldest were evicted.
+        assert cache.get_margins("f" * 64, "key9") is not None
+        assert cache.get_margins("f" * 64, "key0") is None
+
+    def test_get_returns_a_copy_of_margins(self):
+        cache = HotspotCache()
+        cache.put_margins("f" * 64, "c" * 64, np.array([1.0, 2.0]))
+        first = cache.get_margins("f" * 64, "c" * 64)
+        first[0] = 99.0
+        again = cache.get_margins("f" * 64, "c" * 64)
+        assert again[0] == 1.0
+
+    def test_unwritable_directory_degrades_to_memory(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file where the cache dir should go")
+        cache = HotspotCache(directory=target)
+        cache.put_margins("f" * 64, "d" * 64, np.array([4.0]))
+        # Write failed silently; memory tier still serves.
+        assert not cache._disk_ok
+        assert cache.get_margins("f" * 64, "d" * 64) is not None

@@ -115,3 +115,45 @@ class TestRoundTripProperties:
         data = encode_record(RecordType.LAYER, DataType.INT2, [value])
         record, _ = decode_record(data, 0)
         assert record.ints() == [value]
+
+
+# ----------------------------------------------------------------------
+# fuzz regression: corrupted streams must fail typed, never leak
+# ----------------------------------------------------------------------
+class TestFuzzedStreams:
+    """Every parser failure must be a typed :class:`InputError`.
+
+    The committed corpus pins historical crashers (e.g. a raw
+    ``UnicodeDecodeError`` out of a string record); the seeded live
+    mutations keep probing fresh corruptions deterministically.
+    """
+
+    def test_committed_corpus_fails_typed(self):
+        from repro.errors import InputError
+        from tests.fuzzing import FIXTURES
+
+        corpus = sorted((FIXTURES / "gdsii").glob("*.gds"))
+        assert len(corpus) >= 32
+        rejected = 0
+        for path in corpus:
+            try:
+                read_library(path.read_bytes())
+            except InputError:
+                rejected += 1
+        assert rejected == len(corpus)  # corpus holds known-bad streams
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_seeded_mutations_fail_typed(self, seed):
+        import random
+
+        from repro.errors import InputError
+        from tests.fuzzing import FIXTURES, mutate_stream
+
+        pristine = (FIXTURES / "seed.gds").read_bytes()
+        rng = random.Random(seed)
+        mutant = mutate_stream(rng, pristine)
+        try:
+            read_library(mutant)
+        except InputError:
+            pass  # typed rejection is the contract

@@ -191,3 +191,47 @@ class TestAutoFormat:
         oas = tmp_path / "layout.oas"
         save_layout_auto(bench.testing.layout, oas)
         assert cli_main(["scan", "--model", str(model), "--layout", str(oas)]) == 0
+
+
+# ----------------------------------------------------------------------
+# fuzz regression: corrupted streams must fail typed, never leak
+# ----------------------------------------------------------------------
+class TestFuzzedStreams:
+    """Every parser failure must be a typed :class:`InputError`."""
+
+    def test_committed_corpus_fails_typed(self):
+        from repro.errors import InputError
+        from tests.fuzzing import FIXTURES
+
+        corpus = sorted((FIXTURES / "oasis").glob("*.oas"))
+        assert len(corpus) >= 32
+        rejected = 0
+        for path in corpus:
+            try:
+                read_oasis(path.read_bytes())
+            except InputError:
+                rejected += 1
+        assert rejected == len(corpus)  # corpus holds known-bad streams
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_seeded_mutations_fail_typed(self, seed):
+        import random
+
+        from repro.errors import InputError
+        from tests.fuzzing import FIXTURES, mutate_stream
+
+        pristine = (FIXTURES / "seed.oas").read_bytes()
+        rng = random.Random(seed)
+        mutant = mutate_stream(rng, pristine)
+        try:
+            read_oasis(mutant)
+        except InputError:
+            pass  # typed rejection is the contract
+
+    def test_nonascii_string_is_typed(self):
+        # Regression: decode_string used to leak UnicodeDecodeError.
+        data = encode_string("CELL")
+        corrupted = data[:1] + b"\xcf" + data[2:]
+        with pytest.raises(OasisError):
+            decode_string(corrupted, 0)
