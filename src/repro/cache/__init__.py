@@ -7,7 +7,9 @@ package keys both by geometry content so they are computed once:
 - :mod:`repro.cache.keys` — translation/D8-invariant clip keys plus
   config and model fingerprints.
 - :mod:`repro.cache.store` — :class:`HotspotCache`, the in-process LRU
-  with an optional sha256-integrity-checked on-disk tier.
+  layered over pluggable :class:`CacheStore` blob backends (disk,
+  memory, or the fleet's HTTP remote tier), all sha256-integrity
+  checked via the RPCB1 envelope.
 
 Wiring lives with the consumers: ``FeatureExtractor.cache``,
 ``MultiKernelModel`` margin rows, ``HotspotDetector.attach_cache`` and
@@ -22,14 +24,29 @@ from .keys import (
     feature_fingerprint,
     model_fingerprint,
 )
-from .store import BLOB_MAGIC, DEFAULT_MAX_ENTRIES, CacheStats, HotspotCache
+from .store import (
+    BLOB_MAGIC,
+    DEFAULT_MAX_ENTRIES,
+    CacheStats,
+    CacheStore,
+    DiskCacheStore,
+    HotspotCache,
+    MemoryCacheStore,
+    open_blob,
+    wrap_blob,
+)
 
 __all__ = [
     "BLOB_MAGIC",
     "CACHE_KEY_VERSION",
     "DEFAULT_MAX_ENTRIES",
     "CacheStats",
+    "CacheStore",
+    "DiskCacheStore",
     "HotspotCache",
+    "MemoryCacheStore",
+    "open_blob",
+    "wrap_blob",
     "cache_canonical",
     "clip_content_key",
     "feature_fingerprint",

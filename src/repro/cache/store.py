@@ -1,4 +1,4 @@
-"""The hotspot cache: in-process LRU + optional content-addressed disk store.
+"""The hotspot cache: in-process LRU + pluggable content-addressed blob tiers.
 
 Two artifact kinds are cached, both keyed by content (see
 :mod:`repro.cache.keys`):
@@ -12,17 +12,21 @@ Two artifact kinds are cached, both keyed by content (see
   extraction *and* the SVM decision function on a warm rescan.
 
 The memory tier holds decoded objects in one shared LRU, so a memory hit
-returns the very object the uncached path would have produced.  The disk
-tier stores each entry as an npz payload wrapped in a small envelope
-carrying the sha256 of the payload; a blob whose digest does not match —
-truncated, bit-flipped, torn write — is counted in ``disk_corrupt`` and
+returns the very object the uncached path would have produced.  Behind
+it sits an ordered list of :class:`CacheStore` blob tiers — normally a
+:class:`DiskCacheStore`, optionally followed by a remote tier
+(:class:`repro.fleet.remote_cache.RemoteCacheStore`) shared by a whole
+fleet.  Every tier stores the same RPCB1 envelope: an npz payload
+prefixed with the sha256 of the payload.  A blob whose digest does not
+match — truncated, bit-flipped, torn write — is counted per tier and
 treated as a miss, never decoded.  All number-bearing values round-trip
-through npz as fixed-width ints/float64, so a disk hit is bit-identical
-to a recomputation.
+through npz as fixed-width ints/float64, so a blob hit is bit-identical
+to a recomputation.  A hit in a later tier back-fills the earlier tiers,
+so a remote hit warms the local disk.
 
 Writes are atomic (temp file + ``os.replace``) and best-effort: an
-unwritable cache directory degrades to memory-only operation rather than
-failing the scan.
+unwritable cache directory (or an unreachable remote tier) degrades to
+the remaining tiers rather than failing the scan.
 """
 
 from __future__ import annotations
@@ -33,19 +37,158 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from hashlib import sha256
 from io import BytesIO
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import obs
 
-#: Envelope header of every on-disk blob; bump with the blob layout.
+#: Envelope header of every blob (all tiers); bump with the blob layout.
 BLOB_MAGIC = b"RPCB1\n"
 
 #: Default in-process LRU capacity (entries across both namespaces).
 DEFAULT_MAX_ENTRIES = 65536
+
+
+# ----------------------------------------------------------------------
+# the sha256 blob envelope (shared by every tier and the fleet wire)
+# ----------------------------------------------------------------------
+def wrap_blob(payload: bytes) -> bytes:
+    """Wrap a payload in the RPCB1 envelope: magic + hex digest + payload."""
+    digest = sha256(payload).hexdigest().encode("ascii")
+    return BLOB_MAGIC + digest + b"\n" + payload
+
+
+def open_blob(raw: bytes) -> Optional[bytes]:
+    """Verify an RPCB1 envelope; return the payload, or ``None`` if corrupt.
+
+    Every byte of the envelope is covered: the magic, the separator and
+    the digest itself (any flip there breaks the digest comparison).
+    """
+    header = len(BLOB_MAGIC) + 64 + 1
+    if len(raw) < header or not raw.startswith(BLOB_MAGIC):
+        return None
+    if raw[header - 1 : header] != b"\n":
+        return None
+    digest = raw[len(BLOB_MAGIC) : len(BLOB_MAGIC) + 64]
+    payload = raw[header:]
+    if sha256(payload).hexdigest().encode("ascii") != digest:
+        return None
+    return payload
+
+
+# ----------------------------------------------------------------------
+# blob-tier backends
+# ----------------------------------------------------------------------
+class CacheStore:
+    """Abstract blob tier: enveloped bytes keyed by (kind, fingerprint, key).
+
+    Implementations deal only in raw RPCB1-enveloped bytes — encoding,
+    digest verification and decoding belong to :class:`HotspotCache`
+    (the remote tier additionally verifies digests on its own wire, so
+    a corrupt blob never crosses the network undetected).  A tier must
+    *degrade*, not raise: ``get`` returns ``None`` and ``put`` becomes a
+    no-op on any backend failure, flipping :meth:`healthy` so callers
+    can skip a dead tier cheaply.
+    """
+
+    #: Stats bucket this tier's hits/corruptions are counted under.
+    name = "store"
+
+    def get(self, kind: str, fingerprint: str, key: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def put(self, kind: str, fingerprint: str, key: str, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def healthy(self) -> bool:
+        return True
+
+
+class MemoryCacheStore(CacheStore):
+    """In-process blob tier: a bounded LRU of enveloped bytes.
+
+    Mostly useful as the backing store of a fleet cache server in tests
+    (the server speaks blobs, whatever holds them), or to bound-check
+    tier plumbing without touching disk.
+    """
+
+    name = "memory"
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self._lock = threading.Lock()
+        self._blobs: OrderedDict[tuple, bytes] = OrderedDict()
+
+    def get(self, kind: str, fingerprint: str, key: str) -> Optional[bytes]:
+        with self._lock:
+            blob = self._blobs.get((kind, fingerprint, key))
+            if blob is not None:
+                self._blobs.move_to_end((kind, fingerprint, key))
+            return blob
+
+    def put(self, kind: str, fingerprint: str, key: str, blob: bytes) -> None:
+        with self._lock:
+            self._blobs[(kind, fingerprint, key)] = blob
+            self._blobs.move_to_end((kind, fingerprint, key))
+            while len(self._blobs) > self.max_entries:
+                self._blobs.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blobs)
+
+
+class DiskCacheStore(CacheStore):
+    """On-disk blob tier under ``<dir>/<kind>/<fingerprint>/<key[:2]>/``.
+
+    Writes are atomic (temp file + ``os.replace``); a read-only, full or
+    vanished directory flips the tier unhealthy instead of failing the
+    scan.
+    """
+
+    name = "disk"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self._ok = True
+
+    def healthy(self) -> bool:
+        return self._ok
+
+    def _blob_path(self, kind: str, fingerprint: str, key: str) -> Path:
+        return self.directory / kind / fingerprint / key[:2] / f"{key}.blob"
+
+    def get(self, kind: str, fingerprint: str, key: str) -> Optional[bytes]:
+        if not self._ok:
+            return None
+        try:
+            return self._blob_path(kind, fingerprint, key).read_bytes()
+        except OSError:
+            return None
+
+    def put(self, kind: str, fingerprint: str, key: str, blob: bytes) -> None:
+        if not self._ok:
+            return
+        path = self._blob_path(kind, fingerprint, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self._ok = False
 
 
 @dataclass
@@ -60,6 +203,9 @@ class CacheStats:
     disk_hits: int = 0
     disk_writes: int = 0
     disk_corrupt: int = 0
+    remote_hits: int = 0
+    remote_writes: int = 0
+    remote_corrupt: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -71,6 +217,9 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_writes": self.disk_writes,
             "disk_corrupt": self.disk_corrupt,
+            "remote_hits": self.remote_hits,
+            "remote_writes": self.remote_writes,
+            "remote_corrupt": self.remote_corrupt,
         }
 
 
@@ -152,12 +301,18 @@ _CODECS = {
 
 
 class HotspotCache:
-    """Shared, thread-safe feature/margin cache with an optional disk tier.
+    """Shared, thread-safe feature/margin cache over pluggable blob tiers.
 
     One instance may back several extractors, models and detectors at
     once (the serving registry shares one across loaded models); entries
     never collide because every lookup is namespaced by the fingerprint
     of the config or model that produced it.
+
+    ``directory`` keeps the classic one-liner working: it prepends a
+    :class:`DiskCacheStore` to whatever extra ``stores`` (e.g. a fleet's
+    :class:`~repro.fleet.remote_cache.RemoteCacheStore`) are passed.
+    Lookup order is memory, then each store in order; a hit back-fills
+    every earlier tier.
 
     The cache deliberately holds a :class:`threading.Lock`, so it must
     not travel into spawned scan workers — holders drop it in their
@@ -170,6 +325,7 @@ class HotspotCache:
         max_entries: int = DEFAULT_MAX_ENTRIES,
         directory: Optional[Union[str, Path]] = None,
         metrics_sink: Any = None,
+        stores: Optional[Sequence[CacheStore]] = None,
     ):
         self.max_entries = max(1, int(max_entries))
         self.directory = Path(directory) if directory is not None else None
@@ -177,7 +333,9 @@ class HotspotCache:
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, Any] = OrderedDict()
-        self._disk_ok = True
+        self.stores: list[CacheStore] = list(stores or [])
+        if self.directory is not None:
+            self.stores.insert(0, DiskCacheStore(self.directory))
 
     # ------------------------------------------------------------------
     def _increment(self, name: str, amount: int = 1) -> None:
@@ -227,84 +385,82 @@ class HotspotCache:
             self._increment("cache_evictions_total", evicted)
 
     # ------------------------------------------------------------------
-    # disk tier
+    # blob tiers
     # ------------------------------------------------------------------
-    def _blob_path(self, kind: str, fingerprint: str, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / kind / fingerprint / key[:2] / f"{key}.blob"
+    def _tier(self, store: CacheStore) -> str:
+        """Stats bucket for one store ("remote" or the classic "disk")."""
+        return "remote" if store.name == "remote" else "disk"
+
+    @property
+    def _disk_ok(self) -> bool:
+        """Back-compat health flag: every local blob tier still writable."""
+        return all(
+            store.healthy() for store in self.stores if self._tier(store) == "disk"
+        )
+
+    def _count_tier(self, store: CacheStore, event: str) -> None:
+        tier = self._tier(store)
+        with self._lock:
+            attr = f"{tier}_{event}"
+            setattr(self.stats, attr, getattr(self.stats, attr) + 1)
+        self._increment(f"cache_{tier}_{event}_total")
 
     def _disk_get(self, kind: str, fingerprint: str, key: str) -> Any:
-        if self.directory is None or not self._disk_ok:
-            return None
-        path = self._blob_path(kind, fingerprint, key)
-        started = time.perf_counter()
-        try:
-            raw = path.read_bytes()
-        except OSError:
-            return None
-        value = self._decode_blob(kind, raw)
-        if value is None:
-            with self._lock:
-                self.stats.disk_corrupt += 1
-            self._increment("cache_disk_corrupt_total")
-            return None
-        with self._lock:
-            self.stats.disk_hits += 1
-        self._increment("cache_disk_hits_total")
-        if obs.enabled():
-            obs.tally("cache.disk.read", time.perf_counter() - started)
-        return value
+        for index, store in enumerate(self.stores):
+            if not store.healthy():
+                continue
+            started = time.perf_counter()
+            raw = store.get(kind, fingerprint, key)
+            if raw is None:
+                continue
+            value = self._decode_blob(kind, raw)
+            if value is None:
+                self._count_tier(store, "corrupt")
+                continue
+            self._count_tier(store, "hits")
+            if obs.enabled():
+                obs.tally(
+                    f"cache.{store.name}.read", time.perf_counter() - started
+                )
+            # A deep hit warms every earlier tier (e.g. remote -> disk),
+            # so the next lookup on this node stays local.
+            for earlier in self.stores[:index]:
+                if earlier.healthy():
+                    earlier.put(kind, fingerprint, key, raw)
+            return value
+        return None
 
     def _disk_put(self, kind: str, fingerprint: str, key: str, value: Any) -> None:
-        if self.directory is None or not self._disk_ok:
+        if not self.stores:
             return
-        path = self._blob_path(kind, fingerprint, key)
-        started = time.perf_counter()
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            blob = self._encode_blob(kind, value)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            # Read-only / full / vanished cache dir: keep running on the
-            # memory tier instead of failing the scan.
-            self._disk_ok = False
-            return
-        with self._lock:
-            self.stats.disk_writes += 1
-        self._increment("cache_disk_writes_total")
-        if obs.enabled():
-            obs.tally("cache.disk.write", time.perf_counter() - started)
+        blob: Optional[bytes] = None
+        for store in self.stores:
+            if not store.healthy():
+                continue
+            if blob is None:
+                blob = self._encode_blob(kind, value)
+            started = time.perf_counter()
+            store.put(kind, fingerprint, key, blob)
+            if not store.healthy():
+                # Read-only / full / vanished tier: keep running on the
+                # remaining tiers instead of failing the scan.
+                continue
+            self._count_tier(store, "writes")
+            if obs.enabled():
+                obs.tally(
+                    f"cache.{store.name}.write", time.perf_counter() - started
+                )
 
     def _encode_blob(self, kind: str, value: Any) -> bytes:
-        from hashlib import sha256
-
         encode, _ = _CODECS[kind]
         buffer = BytesIO()
         np.savez(buffer, **encode(value))
-        payload = buffer.getvalue()
-        digest = sha256(payload).hexdigest().encode("ascii")
-        return BLOB_MAGIC + digest + b"\n" + payload
+        return wrap_blob(buffer.getvalue())
 
     def _decode_blob(self, kind: str, raw: bytes):
-        """Decode a disk blob; any integrity failure returns ``None``."""
-        from hashlib import sha256
-
-        header = len(BLOB_MAGIC) + 64 + 1
-        if len(raw) < header or not raw.startswith(BLOB_MAGIC):
-            return None
-        digest = raw[len(BLOB_MAGIC) : len(BLOB_MAGIC) + 64]
-        payload = raw[header:]
-        if sha256(payload).hexdigest().encode("ascii") != digest:
+        """Decode an enveloped blob; any integrity failure returns ``None``."""
+        payload = open_blob(raw)
+        if payload is None:
             return None
         _, decode = _CODECS[kind]
         try:

@@ -20,6 +20,13 @@ saved model; ``explain`` walks through the model's decision for one
 layout site (gates, margins, features, feedback verdict); ``serve``
 runs the long-lived batched HTTP inference service
 (:mod:`repro.serve`); ``client`` queries a running server.
+
+The fleet family (:mod:`repro.fleet`, see ``docs/FLEET.md``) spans
+multiple nodes: ``fleet-scan`` runs a distributed scan (coordinator
+in-process, worker subprocesses it supervises and respawns),
+``fleet-worker`` joins a remote coordinator, ``fleet-cache`` serves the
+shared remote blob-cache tier, and ``fleet-frontend`` round-robins
+``/v1/predict`` across registered serve replicas.
 """
 
 from __future__ import annotations
@@ -428,6 +435,160 @@ def _add_client(subparsers) -> None:
         "--limit", type=int, default=None, help="send at most this many clips"
     )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _add_fleet_scan(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet-scan",
+        help="distributed scan: in-process coordinator + supervised "
+        "worker subprocesses (bit-identical to a local scan)",
+    )
+    parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument("--layout", type=Path, required=True)
+    parser.add_argument("--layer", type=int, default=1)
+    parser.add_argument("--threshold", type=float, default=None)
+    parser.add_argument(
+        "--report", type=Path, default=None, help="write reports as a GDSII overlay"
+    )
+    parser.add_argument(
+        "--quarantine",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSON report of inputs quarantined during the scan",
+    )
+    fleet = parser.add_argument_group("fleet")
+    fleet.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=3,
+        metavar="N",
+        help="worker subprocesses to spawn and supervise",
+    )
+    fleet.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds a shard lease survives without a heartbeat",
+    )
+    fleet.add_argument(
+        "--worker-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total worker respawn budget (default: 3x worker count)",
+    )
+    fleet.add_argument("--host", default="127.0.0.1")
+    fleet.add_argument(
+        "--port", type=int, default=0, help="coordinator port (0 = ephemeral)"
+    )
+    fleet.add_argument(
+        "--cache-url",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="remote cache node (repeatable); workers share it as a "
+        "warm feature/margin tier",
+    )
+    group = parser.add_argument_group("journal")
+    group.add_argument(
+        "--shard-side",
+        type=int,
+        default=None,
+        metavar="DBU",
+        help="shard cell edge (default 4x clip side; must match any "
+        "journal being resumed)",
+    )
+    group.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="shard journal directory (default: <layout>.scanjournal)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards journaled by an interrupted fleet (or local "
+        "process-backend) scan",
+    )
+    group.add_argument(
+        "--no-journal", action="store_true", help="scan without a shard journal"
+    )
+    group.add_argument(
+        "--keep-journal",
+        action="store_true",
+        help="keep the journal after a successful scan",
+    )
+    _add_obs_arguments(parser, manifest_by_default=False)
+
+
+def _add_fleet_worker(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet-worker", help="join a fleet coordinator as a scan worker"
+    )
+    parser.add_argument("--url", required=True, help="coordinator URL")
+    parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument("--layout", type=Path, required=True)
+    parser.add_argument(
+        "--worker-id", default=None, help="stable worker name (default: host-pid)"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="local disk cache tier in front of any fleet remote tier",
+    )
+    parser.add_argument(
+        "--json-logs", action="store_true", help="structured JSON logs on stderr"
+    )
+
+
+def _add_fleet_cache(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet-cache", help="serve a shared remote blob-cache node"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="back the node with an on-disk store (default: in-memory LRU)",
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=65536,
+        help="in-memory store capacity (ignored with --dir)",
+    )
+
+
+def _add_fleet_frontend(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet-frontend",
+        help="round-robin /v1/predict across registered serve replicas",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument(
+        "--replica",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="pre-register a serve replica (repeatable); replicas can "
+        "also self-register via POST /fleet/v1/register",
+    )
+    parser.add_argument(
+        "--member-ttl",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds a member stays routable without a heartbeat",
+    )
 
 
 def _config_for(variant: str, parallel: bool = False) -> DetectorConfig:
@@ -844,6 +1005,281 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_fleet_scan(args) -> int:
+    import subprocess
+
+    from repro.errors import ScanDrainedError
+    from repro.fleet import FleetCoordinator, FleetOptions
+
+    with _ObsSession(args, "fleet-scan") as session:
+        detector = load_detector(args.model)
+        layout = load_layout_auto(args.layout)
+        journal_dir = (
+            None
+            if args.no_journal
+            else args.journal_dir or args.layout.with_suffix(".scanjournal")
+        )
+        options = FleetOptions(
+            host=args.host,
+            port=args.port,
+            lease_ttl_s=args.lease_ttl,
+            shard_side=args.shard_side,
+            journal_dir=journal_dir,
+            resume=args.resume,
+            keep_journal=args.keep_journal,
+            cache_urls=list(args.cache_url or []),
+        )
+        session.set_config(detector.config)
+        session.set_dataset("layout", obs.fingerprint_layout(layout.layer(args.layer)))
+        session.set_dataset("source", str(args.layout))
+
+        coordinator = FleetCoordinator(
+            detector, layout, layer=args.layer, options=options
+        )
+        coordinator.start()
+        print(
+            f"coordinator on {coordinator.url}: "
+            f"{len(coordinator.shards)} shards "
+            f"({len(coordinator._resumed)} resumed)",
+            file=sys.stderr,
+        )
+
+        def spawn(index: int) -> subprocess.Popen:
+            command = [
+                sys.executable,
+                "-m",
+                "repro",
+                "fleet-worker",
+                "--url",
+                coordinator.url,
+                "--model",
+                str(args.model),
+                "--layout",
+                str(args.layout),
+                "--worker-id",
+                f"worker-{index}",
+            ]
+            return subprocess.Popen(command)
+
+        budget = (
+            args.worker_restarts
+            if args.worker_restarts is not None
+            else 3 * args.fleet_workers
+        )
+        workers = {i: spawn(i) for i in range(args.fleet_workers)}
+        restarts = 0
+        started = time.perf_counter()
+        try:
+            while not coordinator.wait(timeout=0.2):
+                for index, proc in list(workers.items()):
+                    code = proc.poll()
+                    if code is None or code == 0:
+                        continue
+                    # A dead worker's lease expires on its own; respawn
+                    # within budget so throughput recovers.
+                    del workers[index]
+                    if restarts < budget:
+                        restarts += 1
+                        print(
+                            f"worker-{index} died (exit {code}); "
+                            f"respawning ({restarts}/{budget})",
+                            file=sys.stderr,
+                        )
+                        workers[index] = spawn(index)
+                if not workers and not coordinator.wait(timeout=0):
+                    status = coordinator.status()
+                    print(
+                        f"fleet drained: every worker is gone and the "
+                        f"respawn budget ({budget}) is spent; "
+                        f"{status['completed']}/{status['shards']} shards "
+                        "journaled — rerun with --resume to finish",
+                        file=sys.stderr,
+                    )
+                    session.record(drained=True, worker_restarts=restarts)
+                    session.finish()
+                    return 3
+            for proc in workers.values():
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+            quarantine = QuarantineReport()
+            try:
+                scan = coordinator.result(quarantine)
+            except ScanDrainedError as exc:  # pragma: no cover — raced stop
+                print(f"fleet scan drained: {exc}", file=sys.stderr)
+                return 3
+            result = detector.detect(
+                layout, layer=args.layer, threshold=args.threshold, scan=scan
+            )
+        finally:
+            status = coordinator.status()
+            coordinator.stop()
+            for proc in workers.values():
+                if proc.poll() is None:
+                    proc.terminate()
+        session.record(
+            candidates=result.extraction.candidate_count,
+            reports=result.report_count,
+            quarantined=result.quarantined,
+            eval_seconds=round(result.eval_seconds, 4),
+            backend=result.backend,
+            fleet_workers=args.fleet_workers,
+            worker_restarts=restarts,
+            shards_total=status["shards"],
+            shards_resumed=status["resumed"],
+            leases_expired=status["leases_expired"],
+            pushes_stale=status["pushes_stale"],
+        )
+        quarantine_note = (
+            f", {result.quarantined} quarantined" if result.quarantined else ""
+        )
+        print(
+            f"{result.extraction.candidate_count} candidates, "
+            f"{result.report_count} hotspot reports{quarantine_note} "
+            f"({time.perf_counter() - started:.1f}s across "
+            f"{args.fleet_workers} workers)"
+        )
+        print(
+            f"fleet: {status['shards']} shards ({status['resumed']} resumed), "
+            f"{status['leases_expired']} leases expired, "
+            f"{status['pushes_stale']} stale pushes, "
+            f"{restarts} worker restarts",
+            file=sys.stderr,
+        )
+        if args.quarantine is not None:
+            quarantine.write(args.quarantine)
+            session.artifact("quarantine", args.quarantine)
+            print(f"quarantine report -> {args.quarantine}", file=sys.stderr)
+        for clip in result.reports:
+            print(
+                f"  core ({clip.core.x0}, {clip.core.y0}) - "
+                f"({clip.core.x1}, {clip.core.y1})"
+            )
+        if args.report is not None:
+            library = GdsLibrary(name="HOTSPOTS")
+            top = library.new_structure("HOTSPOT_MARKERS")
+            for clip in result.reports:
+                top.add(GdsBoundary(63, 0, list(clip.core.corners())))
+            write_library_file(library, args.report)
+            session.artifact("report", args.report)
+            print(f"marker overlay -> {args.report}")
+        session.finish(
+            default_manifest=args.model.with_suffix(".fleet.manifest.json")
+        )
+    return 0
+
+
+def cmd_fleet_worker(args) -> int:
+    import os
+
+    from repro.errors import FleetError, TransientError
+    from repro.fleet import FleetWorker
+
+    if args.json_logs:
+        obs.configure_logging(True, command="fleet-worker", run_id=obs.new_run_id())
+    worker_id = args.worker_id or f"{os.uname().nodename}-{os.getpid()}"
+    detector = load_detector(args.model)
+    layout = load_layout_auto(args.layout)
+    worker = FleetWorker(
+        args.url, detector, layout, worker_id=worker_id, cache_dir=args.cache_dir
+    )
+    try:
+        summary = worker.run()
+    except (FleetError, TransientError) as exc:
+        print(f"fleet worker {worker_id} aborted: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        obs.configure_logging(False)
+    print(
+        f"worker {worker_id}: {summary['shards_done']} shards done, "
+        f"{summary['shards_stale']} stale"
+    )
+    return 0
+
+
+def _serve_forever(server, banner: str) -> int:
+    """Run one fleet HTTP server until SIGTERM/SIGINT."""
+    import signal
+    import threading
+
+    stopped = threading.Event()
+
+    def _shutdown(signum, frame):
+        print(f"signal {signum}: stopping")
+        stopped.set()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    print(banner)
+    stopped.wait()
+    server.stop()
+    return 0
+
+
+def cmd_fleet_cache(args) -> int:
+    from repro.cache import DiskCacheStore, MemoryCacheStore
+    from repro.fleet import CacheServer, FleetHTTPServer
+
+    store = (
+        DiskCacheStore(args.dir)
+        if args.dir is not None
+        else MemoryCacheStore(max_entries=args.max_entries)
+    )
+    server = FleetHTTPServer(
+        CacheServer(store), host=args.host, port=args.port
+    ).start()
+    return _serve_forever(
+        server,
+        f"cache node on {server.url} "
+        f"({'disk: ' + str(args.dir) if args.dir else 'memory'})",
+    )
+
+
+def cmd_fleet_frontend(args) -> int:
+    import threading
+
+    from repro.fleet import FleetClient, FleetFrontend, FleetHTTPServer
+    from repro.fleet.membership import MemberTable
+
+    frontend = FleetFrontend(MemberTable(ttl_s=args.member_ttl))
+    replicas = list(args.replica or [])
+    for url in replicas:
+        frontend.members.register(f"replica-{url}", url, kind="serve")
+
+    probing = threading.Event()
+
+    def _probe_loop() -> None:
+        # Pre-registered replicas don't self-heartbeat; probe their
+        # /healthz so liveness (and registry-version drift) stays fresh.
+        while not probing.wait(max(0.5, args.member_ttl / 3)):
+            for url in replicas:
+                try:
+                    status, document = FleetClient(url, timeout=5.0).get_json(
+                        "/healthz"
+                    )
+                except Exception:
+                    continue
+                if status == 200:
+                    frontend.members.heartbeat(
+                        f"replica-{url}",
+                        str(document.get("registry_version", "")),
+                    )
+
+    if replicas:
+        threading.Thread(
+            target=_probe_loop, name="repro-fleet-probe", daemon=True
+        ).start()
+    server = FleetHTTPServer(frontend, host=args.host, port=args.port).start()
+    try:
+        return _serve_forever(
+            server,
+            f"frontend on {server.url} ({len(replicas)} pre-registered replicas)",
+        )
+    finally:
+        probing.set()
+
+
 def cmd_client(args) -> int:
     from repro.serve import ServeClient
 
@@ -933,6 +1369,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_explain(subparsers)
     _add_serve(subparsers)
     _add_client(subparsers)
+    _add_fleet_scan(subparsers)
+    _add_fleet_worker(subparsers)
+    _add_fleet_cache(subparsers)
+    _add_fleet_frontend(subparsers)
     return parser
 
 
@@ -950,6 +1390,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explain": cmd_explain,
         "serve": cmd_serve,
         "client": cmd_client,
+        "fleet-scan": cmd_fleet_scan,
+        "fleet-worker": cmd_fleet_worker,
+        "fleet-cache": cmd_fleet_cache,
+        "fleet-frontend": cmd_fleet_frontend,
     }
     # REPRO_FAULTS drives the CI chaos job: any command can run under an
     # injected fault plan.  Uninstall afterwards — tests call main()

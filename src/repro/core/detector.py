@@ -261,6 +261,7 @@ class HotspotDetector:
         threshold: Optional[float] = None,
         quarantine=None,
         work=None,
+        scan=None,
     ) -> DetectionReport:
         """Evaluate a full layout and return hotspot reports.
 
@@ -274,32 +275,40 @@ class HotspotDetector:
         margin evaluation as a crash-isolated, journaled sharded scan on
         a :class:`repro.work.SupervisedPool` — same hotspot set, but a
         worker crash, hang or poison clip no longer kills the run.
+
+        ``scan`` is an optional precomputed
+        :class:`~repro.work.ScanResult` (e.g. from a
+        :class:`repro.fleet.FleetCoordinator`); thresholding, feedback
+        filtering and redundancy removal then run on its margins through
+        this exact code path, so a distributed scan's report is
+        bit-identical to a local one.
         """
         model = self._require_model()
         threshold = (
             self.config.decision_threshold if threshold is None else threshold
         )
-        backend = (
-            "process"
-            if work is not None or self.config.backend == "process"
-            else "thread"
-        )
-        scan = None
+        if scan is not None:
+            backend = "fleet"
+        elif work is not None or self.config.backend == "process":
+            backend = "process"
+        else:
+            backend = "thread"
         started = time.perf_counter()
         cache_before = self._cache_snapshot()
         with trace("detector.detect", layer=layer, threshold=threshold) as span:
-            if backend == "process":
-                from repro.work.shard import ScanOptions, run_sharded_scan
+            if backend in ("process", "fleet"):
+                if scan is None:
+                    from repro.work.shard import ScanOptions, run_sharded_scan
 
-                options = (
-                    work
-                    if work is not None
-                    else ScanOptions(workers=self.config.worker_count)
-                )
-                scan = run_sharded_scan(
-                    self, layout, layer=layer, quarantine=quarantine,
-                    options=options,
-                )
+                    options = (
+                        work
+                        if work is not None
+                        else ScanOptions(workers=self.config.worker_count)
+                    )
+                    scan = run_sharded_scan(
+                        self, layout, layer=layer, quarantine=quarantine,
+                        options=options,
+                    )
                 extraction = ExtractionReport(
                     clips=scan.clips,
                     anchor_count=scan.anchor_count,

@@ -157,3 +157,29 @@ class CircuitOpenError(ServeError, TransientError):
     def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
         super().__init__(message)
         self.retry_after_s = retry_after_s
+
+
+class FleetError(ReproError):
+    """Base class for distributed-fleet (coordinator/worker/cache) failures."""
+
+
+class FleetProtocolError(FleetError):
+    """A fleet RPC payload does not match the wire format (or its digest)."""
+
+
+class FleetHandshakeError(FleetError):
+    """A worker's scan fingerprint disagrees with the coordinator's.
+
+    Raised when a worker joins a fleet with a different model archive,
+    layout, layer or shard grid than the coordinator partitioned — the
+    worker must abort loudly rather than contribute margins computed
+    under different state.
+    """
+
+
+class LeaseLostError(FleetError, TransientError):
+    """The coordinator expired or reassigned a shard lease this worker held.
+
+    Transient by design: the worker abandons the shard (another worker
+    owns it now) and goes back to the lease queue.
+    """

@@ -1,0 +1,51 @@
+"""repro.fleet — distributed scans and horizontally-replicated serving.
+
+The fleet layer spans the single-node primitives across machines while
+preserving the repo's core invariant: **a 1-node and an N-node scan are
+bit-identical** (same hotspot set, margins and funnel counts).
+
+- :mod:`repro.fleet.protocol` — the JSON + RPCB1-blob wire format and
+  the shared HTTP server/client plumbing;
+- :mod:`repro.fleet.coordinator` — :class:`FleetCoordinator`: shard
+  leasing with heartbeat TTLs, first-push-wins merge, journal-backed
+  crash recovery (``--resume`` works across coordinator death);
+- :mod:`repro.fleet.worker` — :class:`FleetWorker`: pull a lease,
+  evaluate the shard with the exact single-node code path, push the
+  npz record back;
+- :mod:`repro.fleet.remote_cache` — an HTTP blob cache
+  (:class:`CacheServer`) and the :class:`RemoteCacheStore` tier that
+  plugs it into :class:`~repro.cache.HotspotCache`;
+- :mod:`repro.fleet.membership` / :mod:`repro.fleet.router` — TTL'd
+  peer registry, consistent-hash + round-robin routing, and the
+  :class:`~repro.fleet.router.FleetFrontend` predict proxy.
+
+CLI entry points: ``repro fleet-scan | fleet-worker | fleet-cache |
+fleet-frontend``.  See ``docs/FLEET.md``.
+"""
+
+from repro.fleet.coordinator import FleetCoordinator, FleetOptions
+from repro.fleet.membership import Member, MemberTable
+from repro.fleet.protocol import (
+    FLEET_PROTOCOL_VERSION,
+    FleetClient,
+    FleetHTTPServer,
+)
+from repro.fleet.remote_cache import CacheServer, RemoteCacheStore
+from repro.fleet.router import FleetFrontend, HashRing, RoundRobin
+from repro.fleet.worker import FleetWorker
+
+__all__ = [
+    "FLEET_PROTOCOL_VERSION",
+    "CacheServer",
+    "FleetClient",
+    "FleetCoordinator",
+    "FleetFrontend",
+    "FleetHTTPServer",
+    "FleetOptions",
+    "FleetWorker",
+    "HashRing",
+    "Member",
+    "MemberTable",
+    "RemoteCacheStore",
+    "RoundRobin",
+]

@@ -1,0 +1,472 @@
+"""The scan coordinator: leases shards to workers, merges their pushes.
+
+The coordinator partitions a layout scan exactly as the single-node
+process backend does (:func:`repro.work.shard.shard_cells` over the same
+grid), journals completed shards in the same
+:class:`~repro.work.shard.ScanJournal` format, and merges results with
+the same :func:`~repro.work.shard._merge_shards` — which is what makes a
+fleet scan bit-identical to a local one and lets ``--resume`` /
+``--incremental`` work unchanged across a coordinator crash.
+
+Lease protocol (all JSON over HTTP, see ``docs/FLEET.md``):
+
+- ``POST /fleet/v1/lease`` — a worker (identified by name + scan
+  fingerprint) asks for work.  Response: a shard (anchors, cell,
+  geometry hash, lease id + TTL), ``{"status": "wait"}`` when all
+  remaining shards are leased out, or ``{"status": "done"}``.
+- ``POST /fleet/v1/heartbeat`` — extends a lease; a worker whose lease
+  already expired learns it via ``{"status": "lost"}`` and abandons the
+  shard.
+- ``POST /fleet/v1/push`` — the shard's npz record in an RPCB1
+  envelope.  First push wins: a push for an already-completed shard is
+  acknowledged as ``stale`` and discarded, so reassignment can never
+  double-count a shard.  Accepted pushes are journaled immediately —
+  the journal, not coordinator memory, is the durable state.
+
+A background reaper expires leases whose worker stopped heartbeating
+and returns their shards to the *front* of the queue (they are the
+oldest work, and front-of-queue reassignment keeps tail latency down).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.cache import open_blob
+from repro.errors import FleetError, FleetProtocolError, ScanDrainedError
+from repro.fleet.membership import MemberTable
+from repro.fleet.protocol import FLEET_PROTOCOL_VERSION, JSON_TYPE, FleetHTTPServer
+from repro.obs import get_logger, trace
+from repro.resilience import faults
+from repro.resilience.quarantine import QuarantineReport
+from repro.work.pool import PoolStats
+from repro.work.shard import (
+    DEFAULT_SHARD_CLIPS,
+    ScanJournal,
+    ScanResult,
+    _merge_shards,
+    _ShardRecord,
+    decode_shard_record,
+    scan_base_fingerprint,
+    scan_fingerprint,
+    shard_cells,
+    shard_geometry_hash,
+)
+
+_log = get_logger("fleet.coordinator")
+
+
+@dataclass
+class FleetOptions:
+    """Coordinator-side knobs of one fleet scan."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Seconds a lease survives without a heartbeat before reassignment.
+    lease_ttl_s: float = 5.0
+    shard_side: Optional[int] = None
+    journal_dir: Optional[Union[str, Path]] = None
+    resume: bool = False
+    keep_journal: bool = False
+    #: Remote cache node URLs, handed to workers via ``/fleet/v1/config``.
+    cache_urls: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Lease:
+    """One outstanding shard lease."""
+
+    lease_id: int
+    shard_id: int
+    worker: str
+    expires: float  # time.monotonic()
+
+
+class FleetCoordinator:
+    """Owns the shard queue, the journal and the merge of one fleet scan."""
+
+    def __init__(
+        self,
+        detector,
+        layout,
+        layer: int = 1,
+        options: Optional[FleetOptions] = None,
+    ) -> None:
+        from repro.errors import NotFittedError
+
+        self.detector = detector
+        self.layout = layout
+        self.layer = layer
+        self.options = options or FleetOptions()
+        model = detector.model_
+        if model is None:
+            raise NotFittedError("fleet scan used before fit()")
+        config = detector.config
+        self.shard_side = (
+            self.options.shard_side
+            or config.spec.clip_side * DEFAULT_SHARD_CLIPS
+        )
+        self.fingerprint = scan_fingerprint(
+            layout, layer, config, model, self.shard_side
+        )
+        self._base = scan_base_fingerprint(layer, config, model, self.shard_side)
+        self.cells = shard_cells(layout, config.spec, layer, self.shard_side)
+        self.shards = [anchors for _, anchors in self.cells]
+        self._geometry = [
+            shard_geometry_hash(
+                layout, layer, cell, self.shard_side, config.spec.clip_side
+            )
+            for cell, _ in self.cells
+        ]
+
+        self.journal: Optional[ScanJournal] = None
+        self._resumed: dict[int, _ShardRecord] = {}
+        if self.options.journal_dir is not None:
+            self.journal = ScanJournal(self.options.journal_dir)
+            self._resumed = self.journal.begin(
+                self.fingerprint,
+                len(self.shards),
+                self.shard_side,
+                resume=self.options.resume,
+                base=self._base,
+            )
+            if self._resumed:
+                _log.info(
+                    "fleet_scan_resumed",
+                    shards=len(self._resumed),
+                    of=len(self.shards),
+                )
+
+        self._lock = threading.Lock()
+        self._completed: dict[int, _ShardRecord] = dict(self._resumed)
+        self._pending: deque[int] = deque(
+            shard_id
+            for shard_id in range(len(self.shards))
+            if shard_id not in self._completed
+        )
+        self._leases: dict[int, _Lease] = {}  # keyed by shard_id
+        self._next_lease = 0
+        self._done = threading.Event()
+        if not self._pending:
+            self._done.set()
+
+        self.members = MemberTable(ttl_s=max(10.0, 3 * self.options.lease_ttl_s))
+        self.leases_granted = 0
+        self.leases_expired = 0
+        self.pushes_accepted = 0
+        self.pushes_stale = 0
+        self.pushes_rejected = 0
+        self.reassignments: dict[int, int] = {}
+
+        self._server: Optional[FleetHTTPServer] = None
+        self._reaper: Optional[threading.Thread] = None
+        self._closing = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        if self._server is None:
+            raise FleetError("coordinator not started")
+        return self._server.url
+
+    def start(self) -> "FleetCoordinator":
+        if self._server is not None:
+            return self
+        self._server = FleetHTTPServer(
+            self, host=self.options.host, port=self.options.port
+        ).start()
+        self._closing.clear()
+        self._reaper = threading.Thread(
+            target=self._reap_loop, name="repro-fleet-reaper", daemon=True
+        )
+        self._reaper.start()
+        _log.info(
+            "coordinator_started",
+            url=self._server.url,
+            shards=len(self.shards),
+            resumed=len(self._resumed),
+            fingerprint=self.fingerprint[:16],
+        )
+        return self
+
+    def stop(self) -> None:
+        self._closing.set()
+        if self._reaper is not None:
+            self._reaper.join(timeout=5.0)
+            self._reaper = None
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # lease state machine
+    # ------------------------------------------------------------------
+    def _reap_loop(self) -> None:
+        interval = max(0.05, self.options.lease_ttl_s / 4)
+        while not self._closing.wait(interval):
+            self._expire_leases()
+
+    def _expire_leases(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                lease for lease in self._leases.values() if lease.expires <= now
+            ]
+            for lease in expired:
+                del self._leases[lease.shard_id]
+                # Front of the queue: an expired shard is the oldest
+                # outstanding work, so it is reassigned first.
+                self._pending.appendleft(lease.shard_id)
+                self.leases_expired += 1
+                self.reassignments[lease.shard_id] = (
+                    self.reassignments.get(lease.shard_id, 0) + 1
+                )
+        for lease in expired:
+            _log.warning(
+                "lease_expired",
+                shard=lease.shard_id,
+                worker=lease.worker,
+                lease=lease.lease_id,
+            )
+
+    def _grant(self, worker: str) -> dict:
+        with self._lock:
+            if len(self._completed) == len(self.shards):
+                return {"status": "done"}
+            if not self._pending:
+                return {
+                    "status": "wait",
+                    "retry_after_s": max(0.05, self.options.lease_ttl_s / 4),
+                }
+            shard_id = self._pending.popleft()
+            self._next_lease += 1
+            lease = _Lease(
+                lease_id=self._next_lease,
+                shard_id=shard_id,
+                worker=worker,
+                expires=time.monotonic() + self.options.lease_ttl_s,
+            )
+            self._leases[shard_id] = lease
+            self.leases_granted += 1
+        cell, anchors = self.cells[shard_id]
+        _log.info(
+            "lease_granted",
+            shard=shard_id,
+            worker=worker,
+            lease=lease.lease_id,
+            anchors=len(anchors),
+        )
+        return {
+            "status": "lease",
+            "shard": shard_id,
+            "lease": lease.lease_id,
+            "ttl_s": self.options.lease_ttl_s,
+            "cell": list(cell),
+            "geometry_sha": self._geometry[shard_id],
+            "anchors": [[int(x), int(y)] for x, y in anchors],
+        }
+
+    def _heartbeat(self, shard_id: int, lease_id: int) -> dict:
+        with self._lock:
+            lease = self._leases.get(shard_id)
+            if lease is None or lease.lease_id != lease_id:
+                return {"status": "lost"}
+            lease.expires = time.monotonic() + self.options.lease_ttl_s
+            return {"status": "ok"}
+
+    def _accept_push(self, shard_id: int, lease_id: int, body: bytes) -> dict:
+        if not 0 <= shard_id < len(self.shards):
+            raise FleetProtocolError(f"push for unknown shard {shard_id}")
+        payload = open_blob(body)
+        if payload is None:
+            # Digest-verified on receipt: a corrupt push is re-leased,
+            # never merged.
+            self.pushes_rejected += 1
+            raise FleetProtocolError(f"corrupt push envelope for shard {shard_id}")
+        try:
+            record = decode_shard_record(payload, shard_id)
+        except (KeyError, ValueError, OSError) as exc:
+            self.pushes_rejected += 1
+            raise FleetProtocolError(
+                f"undecodable push for shard {shard_id}: {exc}"
+            ) from exc
+        record.cell = self.cells[shard_id][0]
+        record.geometry_sha = self._geometry[shard_id]
+        with self._lock:
+            if shard_id in self._completed:
+                # First push won already (the lease expired and another
+                # worker finished the reassigned shard first).
+                self.pushes_stale += 1
+                return {"status": "stale"}
+            # Chaos point: an ``error`` plan aborts between pushes (the
+            # journal keeps accepted shards for --resume); a ``kill``
+            # plan SIGKILLs the coordinator, which is how the resume
+            # tests produce a half-finished journal.
+            faults.inject("fleet.push", shard=shard_id)
+            self._completed[shard_id] = record
+            self._leases.pop(shard_id, None)
+            if self.journal is not None:
+                self.journal.record(record)
+            self.pushes_accepted += 1
+            done = len(self._completed) == len(self.shards)
+        _log.info(
+            "push_accepted",
+            shard=shard_id,
+            lease=lease_id,
+            candidates=len(record.anchors),
+        )
+        if done:
+            self._done.set()
+        return {"status": "ok"}
+
+    # ------------------------------------------------------------------
+    # HTTP app (FleetHTTPServer)
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str, body: bytes, headers) -> tuple:
+        path, _, query = path.partition("?")
+        if method == "GET" and path == "/fleet/v1/config":
+            return 200, self.config_document(), JSON_TYPE
+        if method == "GET" and path == "/fleet/v1/status":
+            return 200, self.status(), JSON_TYPE
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok", "done": self._done.is_set()}, JSON_TYPE
+        if method == "POST" and path == "/fleet/v1/lease":
+            document = _json_body(body)
+            worker = str(document.get("worker", "?"))
+            theirs = str(document.get("fingerprint", ""))
+            if theirs != self.fingerprint:
+                # Handshake failure: the worker loaded a different
+                # model/layout/config — its margins would be wrong.
+                return (
+                    409,
+                    {
+                        "status": "fingerprint_mismatch",
+                        "expected": self.fingerprint,
+                        "got": theirs,
+                    },
+                    JSON_TYPE,
+                )
+            self.members.register(worker, "", kind="worker", version=theirs)
+            return 200, self._grant(worker), JSON_TYPE
+        if method == "POST" and path == "/fleet/v1/heartbeat":
+            document = _json_body(body)
+            self.members.heartbeat(str(document.get("worker", "?")))
+            return (
+                200,
+                self._heartbeat(
+                    int(document.get("shard", -1)), int(document.get("lease", -1))
+                ),
+                JSON_TYPE,
+            )
+        if method == "POST" and path == "/fleet/v1/push":
+            params = dict(
+                pair.split("=", 1) for pair in query.split("&") if "=" in pair
+            )
+            try:
+                shard_id = int(params.get("shard", ""))
+                lease_id = int(params.get("lease", "-1"))
+            except ValueError as exc:
+                raise FleetProtocolError(f"bad push query {query!r}") from exc
+            return 200, self._accept_push(shard_id, lease_id, body), JSON_TYPE
+        return 404, {"error": f"no route {path!r}"}, JSON_TYPE
+
+    def config_document(self) -> dict:
+        return {
+            "protocol": FLEET_PROTOCOL_VERSION,
+            "fingerprint": self.fingerprint,
+            "shard_side": self.shard_side,
+            "layer": self.layer,
+            "shards": len(self.shards),
+            "lease_ttl_s": self.options.lease_ttl_s,
+            "cache_urls": list(self.options.cache_urls),
+        }
+
+    def status(self) -> dict:
+        with self._lock:
+            completed = len(self._completed)
+            leased = len(self._leases)
+            pending = len(self._pending)
+        return {
+            "shards": len(self.shards),
+            "completed": completed,
+            "leased": leased,
+            "pending": pending,
+            "resumed": len(self._resumed),
+            "leases_granted": self.leases_granted,
+            "leases_expired": self.leases_expired,
+            "pushes_accepted": self.pushes_accepted,
+            "pushes_stale": self.pushes_stale,
+            "pushes_rejected": self.pushes_rejected,
+            "reassigned_shards": {
+                str(k): v for k, v in sorted(self.reassignments.items())
+            },
+            "workers": [m.name for m in self.members.members(kind="worker")],
+            "done": self._done.is_set(),
+        }
+
+    # ------------------------------------------------------------------
+    # completion + merge
+    # ------------------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every shard is pushed (or the timeout elapses)."""
+        return self._done.wait(timeout)
+
+    def result(
+        self, quarantine: Optional[QuarantineReport] = None
+    ) -> ScanResult:
+        """Merge completed shards into the global candidate order.
+
+        Exactly :func:`~repro.work.shard._merge_shards` — the same code
+        path the single-node process backend uses, so a fleet scan's
+        hotspot set, margins and funnel counts are bit-identical to a
+        local scan of the same layout.  Raises
+        :class:`~repro.errors.ScanDrainedError` while shards are still
+        outstanding (the journal keeps what finished).
+        """
+        with self._lock:
+            completed = dict(self._completed)
+        if len(completed) < len(self.shards):
+            raise ScanDrainedError(
+                f"fleet scan incomplete: {len(completed)}/{len(self.shards)} "
+                "shards pushed; rerun with --resume to finish"
+            )
+        with trace(
+            "fleet.merge", shards=len(self.shards), resumed=len(self._resumed)
+        ):
+            result = _merge_shards(
+                self.detector,
+                self.layout,
+                self.layer,
+                self.shards,
+                completed,
+                self._resumed,
+                quarantine,
+                PoolStats(),
+            )
+        if self.journal is not None and not self.options.keep_journal:
+            self.journal.clear()
+        return result
+
+
+def _json_body(body: bytes) -> dict:
+    try:
+        document = json.loads(body or b"{}")
+    except ValueError as exc:
+        raise FleetProtocolError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise FleetProtocolError("request body must be a JSON object")
+    return document

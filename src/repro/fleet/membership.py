@@ -1,0 +1,120 @@
+"""Health-checked membership for serve replicas, workers and caches.
+
+:class:`MemberTable` is the coordinator-/front-end-side registry of
+fleet peers.  A peer registers once with its role and version (a serve
+replica publishes its :meth:`~repro.serve.registry.ModelRegistry.signature`,
+a scan worker its scan fingerprint), then heartbeats; a member whose
+heartbeat goes stale for ``ttl_s`` drops out of ``members()`` until it
+heartbeats again — so routing layers only ever see peers that answered
+recently.  Registration is idempotent: re-registering under the same
+name (a restarted replica) replaces the previous entry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Default member time-to-live between heartbeats, seconds.
+DEFAULT_MEMBER_TTL_S = 10.0
+
+
+@dataclass
+class Member:
+    """One registered fleet peer."""
+
+    name: str
+    url: str
+    kind: str  # "serve" | "worker" | "cache"
+    version: str = ""
+    registered_unix: float = field(default_factory=time.time)
+    #: ``time.monotonic()`` of the last heartbeat (or registration).
+    last_seen: float = field(default_factory=time.monotonic)
+    heartbeats: int = 0
+
+    def alive(self, ttl_s: float) -> bool:
+        return time.monotonic() - self.last_seen < ttl_s
+
+
+class MemberTable:
+    """Thread-safe peer registry with TTL-based liveness."""
+
+    def __init__(self, ttl_s: float = DEFAULT_MEMBER_TTL_S) -> None:
+        self.ttl_s = ttl_s
+        self._members: dict[str, Member] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self, name: str, url: str, kind: str, version: str = ""
+    ) -> Member:
+        member = Member(name=name, url=url, kind=kind, version=version)
+        with self._lock:
+            self._members[name] = member
+        return member
+
+    def heartbeat(self, name: str, version: Optional[str] = None) -> bool:
+        """Refresh a member's lease; False if it was never registered."""
+        with self._lock:
+            member = self._members.get(name)
+            if member is None:
+                return False
+            member.last_seen = time.monotonic()
+            member.heartbeats += 1
+            if version is not None:
+                member.version = version
+            return True
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            self._members.pop(name, None)
+
+    def members(
+        self, kind: Optional[str] = None, alive_only: bool = True
+    ) -> list[Member]:
+        """Registered members, alive-first filtered, in name order."""
+        with self._lock:
+            out = list(self._members.values())
+        if kind is not None:
+            out = [m for m in out if m.kind == kind]
+        if alive_only:
+            out = [m for m in out if m.alive(self.ttl_s)]
+        return sorted(out, key=lambda m: m.name)
+
+    def expire(self) -> list[str]:
+        """Drop dead members; returns the expired names."""
+        with self._lock:
+            dead = [
+                name
+                for name, member in self._members.items()
+                if not member.alive(self.ttl_s)
+            ]
+            for name in dead:
+                del self._members[name]
+        return dead
+
+    def versions(self, kind: Optional[str] = None) -> set[str]:
+        """Distinct versions among alive members (replica drift check)."""
+        return {m.version for m in self.members(kind=kind) if m.version}
+
+    def describe(self) -> list[dict]:
+        """JSON-friendly dump (alive and dead, for status endpoints)."""
+        out = []
+        for member in self.members(alive_only=False):
+            out.append(
+                {
+                    "name": member.name,
+                    "url": member.url,
+                    "kind": member.kind,
+                    "version": member.version,
+                    "alive": member.alive(self.ttl_s),
+                    "heartbeats": member.heartbeats,
+                    "registered_unix": member.registered_unix,
+                }
+            )
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._members)

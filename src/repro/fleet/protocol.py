@@ -1,0 +1,269 @@
+"""Wire format + transport helpers shared by every fleet role.
+
+The fleet speaks two payload kinds over plain HTTP/1.1:
+
+- **JSON documents** for control traffic (leases, heartbeats, membership,
+  status) — same stdlib ``http`` stack as :mod:`repro.serve`;
+- **RPCB1 blobs** for bulk data (pushed shard npz archives, remote cache
+  entries) — the cache tier's sha256-enveloped format
+  (:func:`repro.cache.wrap_blob` / :func:`repro.cache.open_blob`), so
+  every bulk payload is digest-verified on both ends of the wire and a
+  corrupt transfer degrades to a miss/retry, never to wrong margins.
+
+Servers subclass nothing: a role implements ``handle(method, path,
+body, headers) -> (status, payload, content_type)`` and wraps itself in
+:class:`FleetHTTPServer`, which reuses the serve front end's
+``SO_REUSEADDR`` + ephemeral-port bind semantics
+(:class:`repro.serve.httpd.ReuseAddrHTTPServer`).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler
+from typing import Callable, Optional
+
+from repro.errors import FleetError, FleetProtocolError, TransientError
+from repro.obs import get_logger
+from repro.serve.httpd import ReuseAddrHTTPServer
+
+#: Bump on breaking fleet wire-format changes; exchanged in every
+#: ``/fleet/v1/config`` handshake.
+FLEET_PROTOCOL_VERSION = 1
+
+#: Bulk payloads (shard pushes, cache blobs) above this are rejected.
+MAX_BLOB_BYTES = 256 * 1024 * 1024
+
+JSON_TYPE = "application/json"
+BLOB_TYPE = "application/x-repro-blob"
+
+_log = get_logger("fleet.protocol")
+
+
+# ----------------------------------------------------------------------
+# server side
+# ----------------------------------------------------------------------
+class _FleetHandler(BaseHTTPRequestHandler):
+    """Routes every request into the owning app's ``handle``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-fleet"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # fleet servers log through repro.obs, not stderr
+
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BLOB_BYTES:
+            self._respond(413, {"error": "payload too large"})
+            return
+        body = self.rfile.read(length) if length else b""
+        app = self.server.app  # type: ignore[attr-defined]
+        try:
+            status, payload, content_type = app.handle(
+                method, self.path, body, self.headers
+            )
+        except FleetProtocolError as exc:
+            status, payload, content_type = 400, {"error": str(exc)}, JSON_TYPE
+        except Exception as exc:  # one bad request never kills the server
+            _log.error(
+                "fleet_request_failed",
+                path=self.path,
+                error_type=type(exc).__name__,
+                error=str(exc),
+            )
+            status, payload, content_type = 500, {"error": str(exc)}, JSON_TYPE
+        self._respond(status, payload, content_type)
+
+    def _respond(
+        self, status: int, payload, content_type: str = JSON_TYPE
+    ) -> None:
+        if isinstance(payload, (dict, list)):
+            body = json.dumps(payload).encode("utf-8")
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = payload or b""
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # peer vanished mid-response; its retry will re-ask
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 — stdlib naming
+        self._dispatch("PUT")
+
+
+class FleetHTTPServer:
+    """A background-thread HTTP server around one fleet role object.
+
+    ``app.handle(method, path, body, headers)`` returns ``(status,
+    payload, content_type)`` where payload is a JSON-able document or
+    raw bytes.  Port ``0`` binds ephemerally; read ``.url`` after
+    ``start()``.
+    """
+
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.app = app
+        self.host = host
+        self._port = port
+        self._httpd: Optional[ReuseAddrHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise FleetError("fleet server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FleetHTTPServer":
+        if self._httpd is not None:
+            return self
+        self._httpd = ReuseAddrHTTPServer((self.host, self._port), _FleetHandler)
+        self._httpd.app = self.app  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"repro-fleet-{type(self.app).__name__}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "FleetHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# client side
+# ----------------------------------------------------------------------
+class FleetClient:
+    """Thread-safe JSON/blob HTTP client for one fleet peer.
+
+    Transport errors retry once on a fresh socket (stale keep-alive),
+    then surface as :class:`~repro.errors.TransientError` so callers'
+    retry policies treat a flapping peer like any other transient.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        netloc = parsed.netloc or parsed.path
+        if ":" not in netloc:
+            raise FleetError(f"fleet URL needs host:port, got {url!r}")
+        host, port = netloc.rsplit(":", 1)
+        self.url = url.rstrip("/")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._local = threading.local()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = JSON_TYPE,
+    ) -> tuple[int, bytes, str]:
+        """One HTTP round trip: (status, payload bytes, content type)."""
+        headers = {"Content-Type": content_type} if body is not None else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                return (
+                    response.status,
+                    payload,
+                    response.headers.get("Content-Type", ""),
+                )
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self.close()
+                if attempt:
+                    raise TransientError(
+                        f"fleet peer {self.url} unreachable: {exc}"
+                    ) from exc
+        raise AssertionError("unreachable")
+
+    def get_json(self, path: str) -> tuple[int, dict]:
+        status, payload, _ = self.request("GET", path)
+        return status, _decode_json(payload)
+
+    def post_json(self, path: str, document: dict) -> tuple[int, dict]:
+        status, payload, _ = self.request(
+            "POST", path, json.dumps(document).encode("utf-8")
+        )
+        return status, _decode_json(payload)
+
+    def post_blob(self, path: str, blob: bytes) -> tuple[int, dict]:
+        status, payload, _ = self.request("POST", path, blob, BLOB_TYPE)
+        return status, _decode_json(payload)
+
+
+def _decode_json(payload: bytes) -> dict:
+    if not payload:
+        return {}
+    try:
+        document = json.loads(payload)
+    except ValueError as exc:
+        raise FleetProtocolError(f"peer sent invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise FleetProtocolError("peer sent a non-object JSON document")
+    return document
+
+
+def wait_until(
+    predicate: Callable[[], bool], timeout_s: float, interval_s: float = 0.05
+) -> bool:
+    """Poll ``predicate`` until true or ``timeout_s`` elapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()

@@ -1,0 +1,224 @@
+"""The fleet's shared warm tier: an HTTP blob cache + its store client.
+
+:class:`CacheServer` serves RPCB1-enveloped blobs over HTTP, backed by
+any :class:`~repro.cache.CacheStore` (memory by default, disk with a
+directory).  :class:`RemoteCacheStore` is the matching client-side tier
+that plugs straight into :class:`~repro.cache.HotspotCache`'s store
+list, routing each content key to its home node via a consistent-hash
+ring (:class:`~repro.fleet.router.HashRing`).
+
+Digest verification happens on **both** ends of the wire:
+
+- the server re-verifies the envelope on every ``PUT`` and rejects a
+  corrupt upload with 400 — one worker with a bad NIC cannot poison the
+  fleet's shared tier;
+- the reading :class:`HotspotCache` verifies every blob coming back
+  from ``get`` — a corrupt download (or a corrupt server store) is
+  counted as ``remote_corrupt`` and treated as a miss, never decoded.
+
+Every client operation passes the ``fleet.cache`` fault point, and any
+failure — injected or real — degrades to a miss/no-op: the remote tier
+is an accelerator, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from typing import Optional, Sequence
+
+from repro.cache import CacheStore, MemoryCacheStore, open_blob
+from repro.errors import FleetError
+from repro.fleet.protocol import BLOB_TYPE, JSON_TYPE, FleetClient
+from repro.fleet.router import HashRing
+from repro.obs import get_logger
+from repro.resilience import faults
+
+_log = get_logger("fleet.cache")
+
+#: Consecutive failures after which a cache node is skipped.
+NODE_FAILURE_LIMIT = 3
+
+
+def _split_blob_path(path: str) -> Optional[tuple[str, str, str]]:
+    """``/cache/v1/<kind>/<fingerprint>/<key>`` -> its three components."""
+    parts = path.strip("/").split("/")
+    if len(parts) != 5 or parts[0] != "cache" or parts[1] != "v1":
+        return None
+    kind, fingerprint, key = (urllib.parse.unquote(p) for p in parts[2:])
+    if not (kind and fingerprint and key):
+        return None
+    return kind, fingerprint, key
+
+
+class CacheServer:
+    """HTTP blob-cache app for :class:`~repro.fleet.protocol.FleetHTTPServer`.
+
+    Routes::
+
+        GET  /cache/v1/<kind>/<fingerprint>/<key>   blob | 404
+        PUT  /cache/v1/<kind>/<fingerprint>/<key>   verify + store
+        GET  /cache/v1/stats                        hit/corruption counters
+        GET  /healthz                               liveness
+    """
+
+    def __init__(self, store: Optional[CacheStore] = None) -> None:
+        self.store = store or MemoryCacheStore()
+        self.gets = 0
+        self.hits = 0
+        self.puts = 0
+        self.rejected_corrupt = 0
+
+    def handle(self, method: str, path: str, body: bytes, headers) -> tuple:
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            healthy = self.store.healthy()
+            return (
+                200 if healthy else 503,
+                {"status": "ok" if healthy else "degraded"},
+                JSON_TYPE,
+            )
+        if method == "GET" and path == "/cache/v1/stats":
+            return 200, self.stats(), JSON_TYPE
+        blob_key = _split_blob_path(path)
+        if blob_key is None:
+            return 404, {"error": f"no route {path!r}"}, JSON_TYPE
+        kind, fingerprint, key = blob_key
+        if method == "GET":
+            self.gets += 1
+            blob = self.store.get(kind, fingerprint, key)
+            if blob is None:
+                return 404, {"error": "miss"}, JSON_TYPE
+            self.hits += 1
+            return 200, blob, BLOB_TYPE
+        if method == "PUT":
+            # Server-side digest check: a corrupt upload never lands.
+            if open_blob(body) is None:
+                self.rejected_corrupt += 1
+                return 400, {"error": "corrupt blob envelope"}, JSON_TYPE
+            self.store.put(kind, fingerprint, key, body)
+            self.puts += 1
+            return 200, {"status": "ok"}, JSON_TYPE
+        return 405, {"error": f"method {method} not allowed"}, JSON_TYPE
+
+    def stats(self) -> dict:
+        return {
+            "gets": self.gets,
+            "hits": self.hits,
+            "misses": self.gets - self.hits,
+            "puts": self.puts,
+            "rejected_corrupt": self.rejected_corrupt,
+            "entries": len(self.store) if hasattr(self.store, "__len__") else None,
+            "hit_rate": (self.hits / self.gets) if self.gets else 0.0,
+        }
+
+
+class RemoteCacheStore(CacheStore):
+    """Client-side remote tier: consistent-hash routed HTTP blob store.
+
+    Plugs into ``HotspotCache(stores=[...])``.  Each key's home node
+    comes from the hash ring; on a node failure the lookup falls through
+    the ring's deterministic fallback order.  A node failing
+    ``NODE_FAILURE_LIMIT`` times in a row is skipped until a later
+    success (any successful call through it resets the count).
+    """
+
+    name = "remote"
+
+    def __init__(self, urls: Sequence[str], timeout: float = 10.0) -> None:
+        urls = [url.rstrip("/") for url in urls]
+        if not urls:
+            raise FleetError("remote cache tier needs at least one URL")
+        self.ring = HashRing(urls)
+        self._clients = {url: FleetClient(url, timeout=timeout) for url in urls}
+        self._failures = {url: 0 for url in urls}
+        self.gets = 0
+        self.hits = 0
+        self.puts = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    def _blob_path(self, kind: str, fingerprint: str, key: str) -> str:
+        return "/cache/v1/{}/{}/{}".format(
+            *(urllib.parse.quote(p, safe="") for p in (kind, fingerprint, key))
+        )
+
+    def _node_up(self, url: str) -> bool:
+        return self._failures[url] < NODE_FAILURE_LIMIT
+
+    def _mark(self, url: str, ok: bool) -> None:
+        self._failures[url] = 0 if ok else self._failures[url] + 1
+
+    def healthy(self) -> bool:
+        return any(self._node_up(url) for url in self.ring.nodes)
+
+    # ------------------------------------------------------------------
+    def get(self, kind: str, fingerprint: str, key: str) -> Optional[bytes]:
+        self.gets += 1
+        path = self._blob_path(kind, fingerprint, key)
+        for url in self.ring.nodes_for(f"{kind}/{fingerprint}/{key}"):
+            if not self._node_up(url):
+                continue
+            try:
+                faults.inject("fleet.cache", op="get", node=url, key=key)
+                status, payload, _ = self._clients[url].request("GET", path)
+            except Exception as exc:
+                self.errors += 1
+                self._mark(url, ok=False)
+                _log.warning("remote_cache_get_failed", node=url, error=str(exc))
+                continue
+            self._mark(url, ok=True)
+            if status == 200:
+                # Raw enveloped bytes: HotspotCache verifies the digest
+                # before decoding (corrupt -> remote_corrupt + miss).
+                self.hits += 1
+                return payload
+            return None  # authoritative miss from the key's home node
+        return None
+
+    def put(self, kind: str, fingerprint: str, key: str, blob: bytes) -> None:
+        path = self._blob_path(kind, fingerprint, key)
+        for url in self.ring.nodes_for(f"{kind}/{fingerprint}/{key}"):
+            if not self._node_up(url):
+                continue
+            try:
+                faults.inject("fleet.cache", op="put", node=url, key=key)
+                status, payload, _ = self._clients[url].request(
+                    "PUT", path, blob, BLOB_TYPE
+                )
+            except Exception as exc:
+                self.errors += 1
+                self._mark(url, ok=False)
+                _log.warning("remote_cache_put_failed", node=url, error=str(exc))
+                continue
+            self._mark(url, ok=True)
+            if status == 200:
+                self.puts += 1
+            else:
+                _log.warning(
+                    "remote_cache_put_rejected",
+                    node=url,
+                    status=status,
+                    detail=str(payload[:100]),
+                )
+            return  # one home write (accepted or rejected) is enough
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "gets": self.gets,
+            "hits": self.hits,
+            "errors": self.errors,
+            "nodes": {url: self._failures[url] for url in self.ring.nodes},
+        }
+
+    def node_stats(self) -> dict:
+        """``/cache/v1/stats`` of every reachable node, keyed by URL."""
+        out: dict = {}
+        for url in self.ring.nodes:
+            try:
+                status, document = self._clients[url].get_json("/cache/v1/stats")
+            except Exception:
+                continue
+            if status == 200:
+                out[url] = document
+        return out

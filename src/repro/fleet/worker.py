@@ -1,0 +1,226 @@
+"""The fleet scan worker: lease, evaluate in-process, push, repeat.
+
+A worker owns a full copy of the scan state (layout, trained model,
+config) and proves it matches the coordinator's by sending its own
+:func:`~repro.work.shard.scan_fingerprint` with every lease request —
+a mismatched worker is rejected with 409 and aborts loudly
+(:class:`~repro.errors.FleetHandshakeError`) instead of contributing
+margins computed under different state.
+
+Per lease, a background heartbeat thread extends the lease at TTL/3
+while the main thread evaluates the shard with
+:func:`~repro.work.shard.evaluate_shard` — the exact single-node code
+path, minus the clips (the coordinator re-cuts them at merge, so the
+result is bit-identical).  A heartbeat answered with ``lost`` makes the
+evaluation's push come back ``stale``; both are normal outcomes of
+lease reassignment and the worker just asks for the next shard.
+
+When the coordinator hands out remote cache URLs, the worker attaches a
+:class:`~repro.cache.HotspotCache` over a
+:class:`~repro.fleet.remote_cache.RemoteCacheStore` (plus an optional
+local disk tier), so the whole fleet shares one warm tier.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Union
+
+from repro.cache import HotspotCache, wrap_blob
+from repro.errors import FleetHandshakeError, FleetProtocolError, TransientError
+from repro.fleet.protocol import FleetClient
+from repro.obs import get_logger, trace
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.work.shard import encode_shard_record, evaluate_shard, scan_fingerprint
+
+_log = get_logger("fleet.worker")
+
+#: Lease/push RPCs retry transient transport failures with this policy.
+RPC_RETRY = RetryPolicy(attempts=4, base_delay_s=0.1, max_delay_s=2.0)
+
+
+class FleetWorker:
+    """One scan worker node, identified by ``worker_id``."""
+
+    def __init__(
+        self,
+        coordinator_url: str,
+        detector,
+        layout,
+        worker_id: str,
+        cache_dir: Optional[Union[str, "object"]] = None,
+    ) -> None:
+        self.client = FleetClient(coordinator_url)
+        self.detector = detector
+        self.layout = layout
+        self.worker_id = worker_id
+        self.cache_dir = cache_dir
+        self.shards_done = 0
+        self.shards_stale = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def _fetch_config(self) -> dict:
+        status, document = call_with_retry(
+            lambda: self.client.get_json("/fleet/v1/config"),
+            RPC_RETRY,
+            label="fleet.config",
+        )
+        if status != 200:
+            raise FleetProtocolError(
+                f"coordinator config fetch failed with HTTP {status}"
+            )
+        return document
+
+    def _attach_cache(self, cache_urls: list[str]) -> None:
+        if not cache_urls and self.cache_dir is None:
+            return
+        stores = []
+        if cache_urls:
+            from repro.fleet.remote_cache import RemoteCacheStore
+
+            stores.append(RemoteCacheStore(cache_urls))
+        cache = HotspotCache(directory=self.cache_dir, stores=stores)
+        self.detector.attach_cache(cache)
+
+    # ------------------------------------------------------------------
+    def run(self, poll_interval_s: float = 0.05) -> dict:
+        """Work the lease queue until the coordinator reports ``done``.
+
+        Returns a summary dict (shards completed/stale) for logging.
+        """
+        config = self._fetch_config()
+        model = self.detector.model_
+        fingerprint = scan_fingerprint(
+            self.layout,
+            int(config["layer"]),
+            self.detector.config,
+            model,
+            int(config["shard_side"]),
+        )
+        if fingerprint != config["fingerprint"]:
+            raise FleetHandshakeError(
+                f"worker {self.worker_id} disagrees with coordinator: "
+                f"{fingerprint[:16]} != {str(config['fingerprint'])[:16]}"
+            )
+        self._attach_cache([str(u) for u in config.get("cache_urls", [])])
+        layer = int(config["layer"])
+        ttl_s = float(config.get("lease_ttl_s", 5.0))
+
+        while not self._stop.is_set():
+            status, document = call_with_retry(
+                lambda: self.client.post_json(
+                    "/fleet/v1/lease",
+                    {"worker": self.worker_id, "fingerprint": fingerprint},
+                ),
+                RPC_RETRY,
+                label="fleet.lease",
+            )
+            if status == 409:
+                raise FleetHandshakeError(
+                    f"coordinator rejected worker {self.worker_id}: "
+                    f"{document.get('status')}"
+                )
+            if status != 200:
+                raise FleetProtocolError(f"lease request failed with HTTP {status}")
+            state = document.get("status")
+            if state == "done":
+                break
+            if state == "wait":
+                time.sleep(float(document.get("retry_after_s", poll_interval_s)))
+                continue
+            if state != "lease":
+                raise FleetProtocolError(f"unexpected lease response {document!r}")
+            self._work_lease(document, layer, ttl_s)
+        summary = {
+            "worker": self.worker_id,
+            "shards_done": self.shards_done,
+            "shards_stale": self.shards_stale,
+        }
+        _log.info("worker_finished", **summary)
+        return summary
+
+    # ------------------------------------------------------------------
+    def _work_lease(self, lease_doc: dict, layer: int, ttl_s: float) -> None:
+        shard_id = int(lease_doc["shard"])
+        lease_id = int(lease_doc["lease"])
+        anchors = [(int(x), int(y)) for x, y in lease_doc["anchors"]]
+        # Chaos point: a ``kill`` plan SIGKILLs this worker the moment it
+        # accepts a lease — the scenario the lease TTL exists for.
+        faults.inject("fleet.lease", shard=shard_id, worker=self.worker_id)
+
+        lost = threading.Event()
+        beat_stop = threading.Event()
+
+        def _beat() -> None:
+            while not beat_stop.wait(max(0.05, ttl_s / 3)):
+                try:
+                    _, answer = self.client.post_json(
+                        "/fleet/v1/heartbeat",
+                        {
+                            "worker": self.worker_id,
+                            "shard": shard_id,
+                            "lease": lease_id,
+                        },
+                    )
+                except TransientError:
+                    continue  # coordinator blip; the lease may survive it
+                if answer.get("status") == "lost":
+                    lost.set()
+                    return
+
+        beater = threading.Thread(
+            target=_beat, name=f"repro-fleet-beat-{shard_id}", daemon=True
+        )
+        beater.start()
+        try:
+            with trace(
+                "fleet.shard",
+                shard=shard_id,
+                worker=self.worker_id,
+                anchors=len(anchors),
+            ):
+                record = evaluate_shard(
+                    self.detector.config, self.detector.model_, self.layout,
+                    layer, anchors,
+                )
+            record.shard_id = shard_id
+            cell = lease_doc.get("cell")
+            record.cell = (int(cell[0]), int(cell[1])) if cell else None
+            record.geometry_sha = str(lease_doc.get("geometry_sha", ""))
+            blob = wrap_blob(encode_shard_record(record))
+        finally:
+            beat_stop.set()
+        if lost.is_set():
+            # The coordinator reassigned this shard; pushing anyway is
+            # harmless (first push wins) but skipping saves the transfer.
+            self.shards_stale += 1
+            _log.warning("lease_lost", shard=shard_id, worker=self.worker_id)
+            return
+        status, answer = call_with_retry(
+            lambda: self.client.post_blob(
+                f"/fleet/v1/push?shard={shard_id}&lease={lease_id}", blob
+            ),
+            RPC_RETRY,
+            label="fleet.push",
+        )
+        if status != 200:
+            # A 4xx/5xx push (e.g. an injected coordinator fault) leaves
+            # the lease alive; the reaper will reassign the shard, so
+            # dropping it here is safe — and retrying the whole lease
+            # loop is the worker's only job anyway.
+            self.shards_stale += 1
+            _log.warning(
+                "push_rejected", shard=shard_id, status=status,
+                detail=str(answer)[:200],
+            )
+            return
+        if answer.get("status") == "stale":
+            self.shards_stale += 1
+        else:
+            self.shards_done += 1

@@ -46,6 +46,22 @@ from repro.serve.service import ServeService
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
+class ReuseAddrHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server that rebinds cleanly and reports its port.
+
+    ``SO_REUSEADDR`` lets tests (and the fleet's many localhost servers)
+    rebind an address still in ``TIME_WAIT`` without races; binding port
+    ``0`` picks an ephemeral port whose real value is reflected back into
+    ``server_address`` by the stdlib after ``server_bind``.  Handler
+    threads are daemonic so a hung connection never blocks interpreter
+    exit.  Fleet servers (:mod:`repro.fleet.protocol`) reuse this class
+    for the same bind semantics as the serve front end.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 @dataclass(frozen=True)
 class ServerConfig:
     """Network knobs of the HTTP front end."""
@@ -271,10 +287,9 @@ class HotspotServer:
         if self._httpd is not None:
             return self
         self.service.start()
-        self._httpd = ThreadingHTTPServer(
+        self._httpd = ReuseAddrHTTPServer(
             (self.config.host, self.config.port), _Handler
         )
-        self._httpd.daemon_threads = True
         self._httpd.service = self.service  # type: ignore[attr-defined]
         self._httpd.verbose = self.verbose  # type: ignore[attr-defined]
         self._thread = threading.Thread(

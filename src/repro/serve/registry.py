@@ -14,10 +14,12 @@ until the replacement is fully constructed (load is atomic-swap).
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
 from dataclasses import dataclass, field
+from hashlib import sha256
 from pathlib import Path
 from typing import Optional, Union
 
@@ -204,6 +206,22 @@ class ModelRegistry:
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._entries)
+
+    def signature(self) -> str:
+        """Deterministic version id of the loaded model set.
+
+        Hashes every (name, mtime, size) triple, so two replicas agree
+        iff they loaded the same archive bytes under the same names —
+        the membership layer publishes this so a fleet front end can
+        spot replicas that drifted apart mid-deploy.
+        """
+        with self._lock:
+            triples = sorted(
+                (entry.name, entry.mtime, entry.size)
+                for entry in self._entries.values()
+            )
+        blob = json.dumps(triples, sort_keys=True)
+        return sha256(blob.encode("utf-8")).hexdigest()[:16]
 
     def __len__(self) -> int:
         with self._lock:

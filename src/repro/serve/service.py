@@ -268,6 +268,7 @@ class ServeService:
         document = {
             "status": "ok" if healthy else "unavailable",
             "models": models,
+            "registry_version": self.registry.signature(),
             "queue_depth": self.batcher.queue_depth(),
             "uptime_seconds": time.time() - self.started_unix,
             "draining": self.batcher.closing,

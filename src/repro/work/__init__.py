@@ -20,9 +20,13 @@ from repro.work.shard import (
     ScanJournal,
     ScanOptions,
     ScanResult,
+    decode_shard_record,
+    encode_shard_record,
+    evaluate_shard,
     run_sharded_scan,
     scan_fingerprint,
     shard_anchors,
+    shard_cells,
 )
 
 __all__ = [
@@ -33,7 +37,11 @@ __all__ = [
     "ScanJournal",
     "ScanOptions",
     "ScanResult",
+    "decode_shard_record",
+    "encode_shard_record",
+    "evaluate_shard",
     "run_sharded_scan",
     "scan_fingerprint",
     "shard_anchors",
+    "shard_cells",
 ]

@@ -222,6 +222,107 @@ def shard_geometry_hash(
 
 
 # ----------------------------------------------------------------------
+# shard record codec (shared by the journal and the fleet wire format)
+# ----------------------------------------------------------------------
+def shard_record_arrays(record: _ShardRecord) -> dict[str, np.ndarray]:
+    """The npz array set persisting one shard record.
+
+    ``anchors`` (N,2) int64 + ``margins`` (N,) float64 + a JSON ``meta``
+    blob (funnel counts, quarantine dump, cell origin, geometry hash).
+    float64 round-trips exactly through npz, which is what makes both
+    journal resume and fleet push/merge bit-identical.
+    """
+    anchors = np.asarray(
+        record.anchors if record.anchors else np.zeros((0, 2)), dtype=np.int64
+    ).reshape(-1, 2)
+    meta = {
+        "shard": record.shard_id,
+        "anchor_count": record.anchor_count,
+        "rejected_density": record.rejected_density,
+        "rejected_count": record.rejected_count,
+        "rejected_boundary": record.rejected_boundary,
+        "quarantine": record.quarantine,
+        "cell": list(record.cell) if record.cell is not None else None,
+        "geometry_sha": record.geometry_sha,
+    }
+    return {
+        "anchors": anchors,
+        "margins": np.asarray(record.margins, dtype=float),
+        "meta": np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ).copy(),
+    }
+
+
+def encode_shard_record(record: _ShardRecord) -> bytes:
+    """Serialise one shard record to compressed npz bytes."""
+    buffer = BytesIO()
+    np.savez_compressed(buffer, **shard_record_arrays(record))
+    return buffer.getvalue()
+
+
+def _record_from_archive(archive, shard_id: int) -> _ShardRecord:
+    """Rebuild a shard record from a loaded npz archive (may raise)."""
+    anchors = archive["anchors"]
+    margins = archive["margins"]
+    meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+    if len(anchors) != len(margins):
+        raise ValueError("anchors/margins length mismatch")
+    cell = meta.get("cell")
+    return _ShardRecord(
+        shard_id=shard_id,
+        anchors=[(int(x), int(y)) for x, y in anchors],
+        margins=np.asarray(margins, dtype=float),
+        anchor_count=int(meta.get("anchor_count", len(anchors))),
+        rejected_density=int(meta.get("rejected_density", 0)),
+        rejected_count=int(meta.get("rejected_count", 0)),
+        rejected_boundary=int(meta.get("rejected_boundary", 0)),
+        quarantine=dict(meta.get("quarantine", {})),
+        clips=None,
+        cell=(int(cell[0]), int(cell[1])) if cell else None,
+        geometry_sha=str(meta.get("geometry_sha", "")),
+    )
+
+
+def decode_shard_record(raw: bytes, shard_id: int) -> _ShardRecord:
+    """Parse :func:`encode_shard_record` bytes back into a record.
+
+    Raises ``ValueError``/``KeyError``/``OSError`` on malformed input;
+    callers (journal load, fleet push) treat that as one lost shard, not
+    a fatal error.
+    """
+    with np.load(BytesIO(raw)) as archive:
+        return _record_from_archive(archive, shard_id)
+
+
+def evaluate_shard(config, model, layout, layer: int, anchors) -> _ShardRecord:
+    """Evaluate one shard's anchor list in-process; the fleet worker path.
+
+    Produces the record :func:`run_sharded_scan` would journal for the
+    same shard (anchors re-sorted into anchor order, funnel counts,
+    quarantine dump) minus the clips — the merge side re-cuts candidates
+    from the full layout, deterministically, exactly as it does for
+    journal-resumed shards, which keeps 1-node and N-node scans
+    bit-identical.  The caller stamps ``shard_id``/``cell``/
+    ``geometry_sha`` from the lease.
+    """
+    state = _WorkerState(config=config, model=model, layout=layout, layer=layer)
+    part = _scan_shard_task(state, (0, [(int(x), int(y)) for x, y in anchors]))
+    merged = sorted(zip(part["anchors"], part["margins"]), key=lambda item: item[0])
+    return _ShardRecord(
+        shard_id=-1,
+        anchors=[anchor for anchor, _ in merged],
+        margins=np.asarray([margin for _, margin in merged], dtype=float),
+        anchor_count=part["anchor_count"],
+        rejected_density=part["rejected_density"],
+        rejected_count=part["rejected_count"],
+        rejected_boundary=part["rejected_boundary"],
+        quarantine=part["quarantine"].to_dict(),
+        clips=None,
+    )
+
+
+# ----------------------------------------------------------------------
 # the journal
 # ----------------------------------------------------------------------
 class ScanJournal:
@@ -392,25 +493,7 @@ class ScanJournal:
                     raise ValueError(f"shard id {shard_id} out of range")
                 path = self._shard_path(shard_id)
                 with np.load(path) as archive:
-                    anchors = archive["anchors"]
-                    margins = archive["margins"]
-                    meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-                if len(anchors) != len(margins):
-                    raise ValueError("anchors/margins length mismatch")
-                cell = meta.get("cell")
-                loaded[shard_id] = _ShardRecord(
-                    shard_id=shard_id,
-                    anchors=[(int(x), int(y)) for x, y in anchors],
-                    margins=np.asarray(margins, dtype=float),
-                    anchor_count=int(meta.get("anchor_count", len(anchors))),
-                    rejected_density=int(meta.get("rejected_density", 0)),
-                    rejected_count=int(meta.get("rejected_count", 0)),
-                    rejected_boundary=int(meta.get("rejected_boundary", 0)),
-                    quarantine=dict(meta.get("quarantine", {})),
-                    clips=None,
-                    cell=(int(cell[0]), int(cell[1])) if cell else None,
-                    geometry_sha=str(meta.get("geometry_sha", "")),
-                )
+                    loaded[shard_id] = _record_from_archive(archive, shard_id)
             except (OSError, KeyError, ValueError) as exc:
                 # One corrupt shard costs one shard's rescan, never the
                 # whole resume.
@@ -424,32 +507,10 @@ class ScanJournal:
     # ------------------------------------------------------------------
     def record(self, record: _ShardRecord) -> None:
         """Atomically persist one completed shard and log it."""
-        anchors = np.asarray(
-            record.anchors if record.anchors else np.zeros((0, 2)), dtype=np.int64
-        ).reshape(-1, 2)
-        meta = {
-            "shard": record.shard_id,
-            "anchor_count": record.anchor_count,
-            "rejected_density": record.rejected_density,
-            "rejected_count": record.rejected_count,
-            "rejected_boundary": record.rejected_boundary,
-            "quarantine": record.quarantine,
-            "cell": list(record.cell) if record.cell is not None else None,
-            "geometry_sha": record.geometry_sha,
-        }
-        arrays = {
-            "anchors": anchors,
-            "margins": np.asarray(record.margins, dtype=float),
-            "meta": np.frombuffer(
-                json.dumps(meta).encode("utf-8"), dtype=np.uint8
-            ).copy(),
-        }
         path = self._shard_path(record.shard_id)
         tmp = path.with_suffix(".npz.tmp")
         try:
-            buffer = BytesIO()
-            np.savez_compressed(buffer, **arrays)
-            tmp.write_bytes(buffer.getvalue())
+            tmp.write_bytes(encode_shard_record(record))
             os.replace(tmp, path)
             with self._journal_path().open("a", encoding="utf-8") as handle:
                 handle.write(

@@ -1,0 +1,511 @@
+"""Fleet differential + chaos harness: N nodes must equal 1 node, bit for bit.
+
+The fleet's core invariant is that distributing a scan changes nothing
+observable: the hotspot report set, per-clip margins and extraction
+funnel counts of a 3-worker fleet scan are identical to a single-node
+thread-backend scan — including when a worker dies mid-lease, when the
+coordinator itself is SIGKILLed and resumed from its journal, and when
+the shared remote cache tier serves corrupt bytes (treated as a miss,
+never decoded).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cache import HotspotCache, MemoryCacheStore, open_blob, wrap_blob
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.core.persist import save_detector
+from repro.errors import FleetError
+from repro.fleet import (
+    CacheServer,
+    FleetClient,
+    FleetCoordinator,
+    FleetFrontend,
+    FleetHTTPServer,
+    FleetOptions,
+    FleetWorker,
+    HashRing,
+    MemberTable,
+    RemoteCacheStore,
+    RoundRobin,
+)
+from repro.fleet.protocol import BLOB_TYPE, JSON_TYPE, wait_until
+from repro.layout.io import save_layout_gds
+from repro.resilience import faults
+from repro.work.shard import encode_shard_record, evaluate_shard
+
+
+@pytest.fixture(scope="module")
+def fitted(small_benchmark):
+    detector = HotspotDetector(DetectorConfig.ours())
+    detector.fit(small_benchmark.training)
+    return detector
+
+
+@pytest.fixture()
+def detached(fitted):
+    fitted.attach_cache(None)
+    yield fitted
+    fitted.attach_cache(None)
+
+
+def signature(detector, report):
+    """Everything a scan observably produced, in comparable form."""
+    cores = tuple(
+        (clip.core.x0, clip.core.y0, clip.core.x1, clip.core.y1)
+        for clip in report.reports
+    )
+    extraction = report.extraction
+    funnel = (
+        extraction.anchor_count,
+        extraction.rejected_density,
+        extraction.rejected_count,
+        extraction.rejected_boundary,
+        len(extraction.clips),
+    )
+    margins = detector.margins(extraction.clips)
+    return cores, funnel, margins
+
+
+def assert_identical(left, right):
+    assert left[0] == right[0]  # hotspot report set
+    assert left[1] == right[1]  # extraction funnel counts
+    assert np.array_equal(left[2], right[2])  # margins, bit-identical
+
+
+def run_fleet(detector, layout, worker_count, options=None, layer=1):
+    """One in-process fleet scan: coordinator + N worker threads."""
+    coordinator = FleetCoordinator(
+        detector, layout, layer=layer, options=options or FleetOptions()
+    )
+    with coordinator:
+        workers = [
+            FleetWorker(coordinator.url, detector, layout, f"worker-{i}")
+            for i in range(worker_count)
+        ]
+        threads = [
+            threading.Thread(target=worker.run, daemon=True)
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        assert coordinator.wait(timeout=300), coordinator.status()
+        for thread in threads:
+            thread.join(timeout=30)
+        scan = coordinator.result()
+    return coordinator, workers, scan
+
+
+# ----------------------------------------------------------------------
+# the invariant: a 3-worker fleet equals a single node, bit for bit
+# ----------------------------------------------------------------------
+class TestFleetDifferential:
+    def test_three_worker_fleet_bit_identical(self, detached, small_benchmark):
+        layout = small_benchmark.testing.layout
+        baseline = signature(detached, detached.detect(layout))
+
+        coordinator, workers, scan = run_fleet(detached, layout, worker_count=3)
+        fleet = signature(detached, detached.detect(layout, scan=scan))
+
+        assert_identical(baseline, fleet)
+        status = coordinator.status()
+        assert status["completed"] == status["shards"]
+        assert status["pushes_accepted"] == status["shards"]
+        assert status["pushes_rejected"] == 0
+        # Every worker leased at least once against a non-trivial layout.
+        assert status["leases_granted"] >= status["shards"]
+        assert sum(w.shards_done for w in workers) == status["shards"]
+
+    def test_worker_death_mid_lease_reassigned_exactly_once(
+        self, detached, small_benchmark
+    ):
+        """A leased-then-silent worker's shard is re-leased exactly once.
+
+        The "dead" worker is a raw client that takes one lease and never
+        heartbeats — exactly what the coordinator sees when a worker is
+        SIGKILLed mid-shard.  The reaper must return that one shard to
+        the queue once, a live worker must finish it, and the merged
+        output must still be bit-identical.
+        """
+        layout = small_benchmark.testing.layout
+        baseline = signature(detached, detached.detect(layout))
+
+        options = FleetOptions(lease_ttl_s=0.75)
+        coordinator = FleetCoordinator(detached, layout, options=options)
+        with coordinator:
+            granted = FleetClient(coordinator.url).post_json(
+                "/fleet/v1/lease",
+                {"worker": "stuck", "fingerprint": coordinator.fingerprint},
+            )[1]
+            assert granted["status"] == "lease"
+            stuck_shard = int(granted["shard"])
+
+            worker = FleetWorker(coordinator.url, detached, layout, "alive")
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            assert coordinator.wait(timeout=300), coordinator.status()
+            thread.join(timeout=30)
+            scan = coordinator.result()
+
+        assert coordinator.reassignments == {stuck_shard: 1}
+        assert coordinator.leases_expired == 1
+        assert coordinator.pushes_accepted == len(coordinator.shards)
+        assert_identical(
+            baseline, signature(detached, detached.detect(layout, scan=scan))
+        )
+
+
+# ----------------------------------------------------------------------
+# lease protocol edges: handshake, corrupt push, first push wins
+# ----------------------------------------------------------------------
+class TestLeaseProtocol:
+    def test_fingerprint_mismatch_is_rejected_with_409(
+        self, detached, small_benchmark
+    ):
+        layout = small_benchmark.testing.layout
+        with FleetCoordinator(detached, layout) as coordinator:
+            status, document = FleetClient(coordinator.url).post_json(
+                "/fleet/v1/lease",
+                {"worker": "imposter", "fingerprint": "0" * 64},
+            )
+        assert status == 409
+        assert document["status"] == "fingerprint_mismatch"
+        assert document["expected"] == coordinator.fingerprint
+
+    def test_corrupt_push_rejected_then_first_valid_push_wins(
+        self, detached, small_benchmark
+    ):
+        layout = small_benchmark.testing.layout
+        # A long TTL keeps the reaper out of this test's way.
+        with FleetCoordinator(
+            detached, layout, options=FleetOptions(lease_ttl_s=60.0)
+        ) as coordinator:
+            client = FleetClient(coordinator.url)
+            granted = client.post_json(
+                "/fleet/v1/lease",
+                {"worker": "tester", "fingerprint": coordinator.fingerprint},
+            )[1]
+            shard_id, lease_id = int(granted["shard"]), int(granted["lease"])
+            push_path = f"/fleet/v1/push?shard={shard_id}&lease={lease_id}"
+
+            # Corrupt envelope: rejected with 400, shard stays incomplete.
+            status, _ = client.post_blob(push_path, b"not an RPCB1 envelope")
+            assert status == 400
+            assert coordinator.pushes_rejected == 1
+            assert coordinator.status()["completed"] == 0
+
+            # A tampered-payload envelope (valid magic, wrong digest) too.
+            record = evaluate_shard(
+                detached.config,
+                detached.model_,
+                layout,
+                1,
+                granted["anchors"],
+            )
+            blob = wrap_blob(encode_shard_record(record))
+            tampered = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+            status, _ = client.post_blob(push_path, tampered)
+            assert status == 400
+            assert coordinator.pushes_rejected == 2
+
+            # The intact push lands; a duplicate is acknowledged stale.
+            status, answer = client.post_blob(push_path, blob)
+            assert (status, answer["status"]) == (200, "ok")
+            status, answer = client.post_blob(push_path, blob)
+            assert (status, answer["status"]) == (200, "stale")
+            assert coordinator.pushes_accepted == 1
+            assert coordinator.pushes_stale == 1
+
+
+# ----------------------------------------------------------------------
+# remote cache tier: corruption is a miss, never a decode
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def cache_node():
+    app = CacheServer(store=MemoryCacheStore())
+    with FleetHTTPServer(app) as server:
+        yield app, server.url
+
+
+class TestRemoteCache:
+    def test_round_trip_through_remote_tier(self, cache_node):
+        app, url = cache_node
+        row = np.array([0.5, -1.25, 3.0])
+        writer = HotspotCache(stores=[RemoteCacheStore([url])])
+        writer.put_margins("fp", "key", row)
+        assert app.puts == 1
+
+        reader = HotspotCache(stores=[RemoteCacheStore([url])])
+        assert np.array_equal(reader.get_margins("fp", "key"), row)
+        assert reader.stats_dict()["remote_hits"] == 1
+
+    def test_corrupt_remote_blob_is_a_miss(self, cache_node):
+        app, url = cache_node
+        writer = HotspotCache(stores=[RemoteCacheStore([url])])
+        writer.put_margins("fp", "key", np.array([1.0, 2.0]))
+
+        # Rot the stored payload in place — the digest no longer matches.
+        ((blob_key, blob),) = app.store._blobs.items()
+        app.store._blobs[blob_key] = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        assert open_blob(app.store._blobs[blob_key]) is None
+
+        reader = HotspotCache(stores=[RemoteCacheStore([url])])
+        assert reader.get_margins("fp", "key") is None
+        stats = reader.stats_dict()
+        assert stats["remote_corrupt"] == 1
+        assert stats["margin_misses"] == 1
+
+    def test_server_rejects_corrupt_put(self, cache_node):
+        app, url = cache_node
+        status, payload, _ = FleetClient(url).request(
+            "PUT", "/cache/v1/margins/fp/key", b"garbage", BLOB_TYPE
+        )
+        assert status == 400
+        assert app.rejected_corrupt == 1
+        assert len(app.store) == 0
+
+    def test_unreachable_node_degrades_to_miss(self):
+        store = RemoteCacheStore(["http://127.0.0.1:9"], timeout=0.2)
+        cache = HotspotCache(stores=[store])
+        cache.put_margins("fp", "key", np.array([1.0]))
+        cache.clear_memory()  # force the read through the remote tier
+        assert cache.get_margins("fp", "key") is None
+        assert store.errors >= 2
+        # Enough consecutive failures mark the lone node (and tier) down.
+        assert cache.get_margins("fp", "key") is None
+        assert not store.healthy()
+
+
+# ----------------------------------------------------------------------
+# routing + membership primitives
+# ----------------------------------------------------------------------
+class TestHashRing:
+    NODES = ["http://a:1", "http://b:1", "http://c:1"]
+
+    def test_deterministic_across_instances(self):
+        left, right = HashRing(self.NODES), HashRing(list(reversed(self.NODES)))
+        for i in range(64):
+            assert left.node_for(f"key-{i}") == right.node_for(f"key-{i}")
+
+    def test_fallback_order_covers_every_node_primary_first(self):
+        ring = HashRing(self.NODES)
+        order = ring.nodes_for("some-key")
+        assert order[0] == ring.node_for("some-key")
+        assert sorted(order) == sorted(self.NODES)
+
+    def test_removing_a_node_only_remaps_its_own_keys(self):
+        full = HashRing(self.NODES)
+        shrunk = HashRing(self.NODES[:2])
+        for i in range(256):
+            key = f"key-{i}"
+            home = full.node_for(key)
+            if home in self.NODES[:2]:
+                assert shrunk.node_for(key) == home
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(FleetError):
+            HashRing([]).node_for("key")
+
+
+class TestMembership:
+    def test_heartbeat_keeps_a_member_alive(self):
+        table = MemberTable(ttl_s=0.2)
+        table.register("replica-1", "http://x:1", kind="serve", version="v1")
+        assert table.heartbeat("replica-1")
+        assert not table.heartbeat("never-registered")
+        assert [m.name for m in table.members(kind="serve")] == ["replica-1"]
+
+        time.sleep(0.3)
+        assert table.members(kind="serve") == []
+        assert table.expire() == ["replica-1"]
+        assert len(table) == 0
+
+    def test_versions_reports_replica_drift(self):
+        table = MemberTable()
+        table.register("r1", "http://x:1", kind="serve", version="aaaa")
+        table.register("r2", "http://y:1", kind="serve", version="bbbb")
+        assert table.versions(kind="serve") == {"aaaa", "bbbb"}
+        table.heartbeat("r2", version="aaaa")
+        assert table.versions(kind="serve") == {"aaaa"}
+
+
+class _EchoReplica:
+    """A fake serve replica that answers /v1/predict with its own name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def handle(self, method, path, body, headers):
+        if method == "POST" and path == "/v1/predict":
+            return 200, {"replica": self.name}, JSON_TYPE
+        return 404, {"error": "no route"}, JSON_TYPE
+
+
+class TestFrontend:
+    def test_round_robin_cursor(self):
+        rotation = RoundRobin(["a", "b"])
+        assert [rotation.next() for _ in range(4)] == ["a", "b", "a", "b"]
+        assert sorted(rotation.ordered()) == ["a", "b"]
+
+    def test_predict_round_robins_and_fails_over(self):
+        frontend = FleetFrontend(MemberTable(ttl_s=30.0))
+        with FleetHTTPServer(frontend) as front, FleetHTTPServer(
+            _EchoReplica("r1")
+        ) as one, FleetHTTPServer(_EchoReplica("r2")) as two:
+            client = FleetClient(front.url)
+            for name, url in (("r1", one.url), ("r2", two.url)):
+                status, _ = client.post_json(
+                    "/fleet/v1/register",
+                    {"name": name, "url": url, "kind": "serve", "version": "v"},
+                )
+                assert status == 200
+
+            answers = {
+                client.post_json("/v1/predict", {})[1]["replica"]
+                for _ in range(4)
+            }
+            assert answers == {"r1", "r2"}  # both replicas take traffic
+
+            # A third replica registers and immediately drops dead (its
+            # URL never answers): every predict still lands on a live
+            # one, falling through the corpse.
+            client.post_json(
+                "/fleet/v1/register",
+                {
+                    "name": "corpse",
+                    "url": "http://127.0.0.1:9",
+                    "kind": "serve",
+                    "version": "v",
+                },
+            )
+            for _ in range(6):
+                status, document = client.post_json("/v1/predict", {})
+                assert status == 200
+                assert document["replica"] in {"r1", "r2"}
+
+            status, health = client.get_json("/healthz")
+            assert status == 200
+            assert health["replicas"] == 3  # corpse still within its TTL
+            assert health["forwarded"] >= 10
+
+    def test_no_replicas_is_503(self):
+        frontend = FleetFrontend(MemberTable())
+        with FleetHTTPServer(frontend) as front:
+            status, document = FleetClient(front.url).post_json(
+                "/v1/predict", {}
+            )
+        assert status == 503
+        assert "replica" in document["error"]
+
+    def test_heartbeat_for_unknown_member_is_404(self):
+        frontend = FleetFrontend(MemberTable())
+        with FleetHTTPServer(frontend) as front:
+            status, _ = FleetClient(front.url).post_json(
+                "/fleet/v1/heartbeat", {"name": "ghost"}
+            )
+        assert status == 404
+
+
+# ----------------------------------------------------------------------
+# CLI chaos: coordinator SIGKILL + --resume, worker SIGKILL + respawn
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fleet_workdir(fitted, small_benchmark, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fleet-cli")
+    save_detector(fitted, path / "model.npz", name="fleet-cli")
+    save_layout_gds(small_benchmark.testing.layout, path / "layout.gds")
+    return path
+
+
+def _run_cli(arguments, cwd, extra_env=None):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(faults.ENV_VAR, None)
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def _core_lines(stdout: str) -> list[str]:
+    return sorted(line for line in stdout.splitlines() if line.startswith("  core"))
+
+
+@pytest.fixture(scope="module")
+def reference_scan(fleet_workdir):
+    """Single-node thread-backend scan of the same saved model + layout."""
+    result = _run_cli(
+        ["scan", "--model", "model.npz", "--layout", "layout.gds", "--no-manifest"],
+        fleet_workdir,
+    )
+    assert result.returncode == 0, result.stderr
+    cores = _core_lines(result.stdout)
+    assert cores  # the scan actually found hotspots
+    return cores
+
+
+class TestCliFleetScan:
+    FLEET = [
+        "fleet-scan",
+        "--model", "model.npz",
+        "--layout", "layout.gds",
+        "--fleet-workers", "2",
+        "--journal-dir", "journal",
+    ]
+
+    def test_sigkilled_coordinator_resumes_identically(
+        self, fleet_workdir, reference_scan
+    ):
+        # The fault plan SIGKILLs the whole driver — coordinator, journal
+        # lock and all — at the second accepted push.  Nothing cleans up;
+        # the journal on disk is the only survivor.
+        killed = _run_cli(
+            self.FLEET,
+            fleet_workdir,
+            extra_env={faults.ENV_VAR: "fleet.push=kill:1@1!1"},
+        )
+        assert killed.returncode != 0
+        journal_lines = (
+            (fleet_workdir / "journal" / "journal.jsonl").read_text().splitlines()
+        )
+        assert len(journal_lines) >= 2  # header + >=1 accepted shard
+
+        resumed = _run_cli([*self.FLEET, "--resume"], fleet_workdir)
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed" in resumed.stderr
+        assert _core_lines(resumed.stdout) == reference_scan
+        # Success cleared the journal.
+        assert not (fleet_workdir / "journal" / "journal.jsonl").exists()
+
+    def test_sigkilled_workers_are_respawned_and_output_is_identical(
+        self, fleet_workdir, reference_scan
+    ):
+        # Each worker SIGKILLs itself on its second lease; the reaper
+        # expires the abandoned leases and the supervisor respawns the
+        # workers, so the scan still completes — bit-identically.
+        survived = _run_cli(
+            [*self.FLEET, "--journal-dir", "chaos-journal", "--lease-ttl", "1.5"],
+            fleet_workdir,
+            extra_env={faults.ENV_VAR: "fleet.lease=kill:1@1!1"},
+        )
+        assert survived.returncode == 0, survived.stderr
+        assert "respawning" in survived.stderr
+        assert "leases expired" in survived.stderr
+        assert _core_lines(survived.stdout) == reference_scan
