@@ -11,7 +11,10 @@ Recorded in ``BENCH_fleet_scan.json``:
 - ``fleet_wall_s_{1,2,4}w`` and ``fleet_speedup_4w_x`` — wall-clock
   scaling of the worker fleet;
 - ``remote_cache_{cold,warm}_hit_rate`` and ``remote_warm_speedup_x``
-  — how much of the second scan's work the shared tier absorbed.
+  — how much of the second scan's work the shared tier absorbed;
+- ``fleet_wall_s_2w_traced`` and ``tracing_overhead_pct`` — the same
+  2-worker scan with cross-process span shipping on, gated at <=5%
+  over the untraced run.
 
 The wall-clock acceptance bar scales with the machine: >=1.7x at 4
 workers on >=4 cores, >=1.2x on 2-3 cores, and on a single core the
@@ -49,6 +52,12 @@ CORES = os.cpu_count() or 1
 FLEET_SPEEDUP_BAR = 1.7 if CORES >= 4 else (1.2 if CORES >= 2 else None)
 #: Warm remote-cache rescans save compute on any core count.
 WARM_SPEEDUP_BAR = 1.3
+#: A traced fleet scan must stay within this factor of the untraced
+#: wall clock (the ``trace_headers`` / no-op-tracer fast paths are what
+#: hold it), plus a small absolute slack so sub-second scheduler noise
+#: cannot fail the gate on its own.
+TRACING_OVERHEAD_FACTOR = 1.05
+TRACING_SLACK_S = 0.5
 
 
 def _report_key(report):
@@ -68,9 +77,11 @@ def _spawn_worker(url: str, model: Path, layout: Path, index: int) -> subprocess
     )
 
 
-def _run_fleet(detector, layout, model_path, layout_path, workers, cache_urls=()):
+def _run_fleet(
+    detector, layout, model_path, layout_path, workers, cache_urls=(), trace=False
+):
     """One fleet scan; returns (wall_s, detection report, status)."""
-    options = FleetOptions(cache_urls=list(cache_urls))
+    options = FleetOptions(cache_urls=list(cache_urls), trace=trace)
     coordinator = FleetCoordinator(detector, layout, options=options)
     started = time.perf_counter()
     with coordinator:
@@ -88,6 +99,8 @@ def _run_fleet(detector, layout, model_path, layout_path, workers, cache_urls=()
                 if proc.poll() is None:
                     proc.terminate()
         report = detector.detect(layout, scan=scan)
+    if trace:
+        assert coordinator.trace_documents(), "traced fleet shipped no spans"
     return round(time.perf_counter() - started, 3), report, coordinator.status()
 
 
@@ -123,6 +136,20 @@ def run_fleet_matrix(detector, layout, cache_layout, workdir: Path):
             {"mode": f"fleet-{workers}w", "wall_s": wall,
              "reports": report.report_count, "hit_rate": "-"}
         )
+
+    # Tracing-overhead row: the 2-worker scan again, now with workers
+    # installing tracers and shipping spans to the coordinator after
+    # every push.  Compared against the untraced fleet-2w row below.
+    wall, report, _ = _run_fleet(
+        detector, layout, model_path, layout_path, workers=2, trace=True
+    )
+    assert _report_key(report) == reference_key, (
+        "traced fleet changed the hotspot set"
+    )
+    rows.append(
+        {"mode": "fleet-2w-traced", "wall_s": wall,
+         "reports": report.report_count, "hit_rate": "-"}
+    )
 
     # Shared remote tier: a cold 2-worker scan populates it, the warm
     # rerun reads it back.  Hit rates come from the node itself.
@@ -175,6 +202,11 @@ def test_fleet_scan(once):
         by_mode["cache-cold"]["wall_s"] / max(by_mode["cache-warm"]["wall_s"], 1e-9),
         3,
     )
+    untraced_wall = by_mode["fleet-2w"]["wall_s"]
+    traced_wall = by_mode["fleet-2w-traced"]["wall_s"]
+    tracing_overhead_pct = round(
+        (traced_wall / max(untraced_wall, 1e-9) - 1.0) * 100, 1
+    )
     record_metrics(
         __file__,
         cores=CORES,
@@ -186,7 +218,15 @@ def test_fleet_scan(once):
         remote_cache_cold_hit_rate=by_mode["cache-cold"]["hit_rate"],
         remote_cache_warm_hit_rate=by_mode["cache-warm"]["hit_rate"],
         remote_warm_speedup_x=warm_speedup,
+        fleet_wall_s_2w_traced=traced_wall,
+        tracing_overhead_pct=tracing_overhead_pct,
         reports=by_mode["single-node"]["reports"],
+    )
+
+    assert traced_wall <= untraced_wall * TRACING_OVERHEAD_FACTOR + TRACING_SLACK_S, (
+        f"traced fleet scan {traced_wall}s vs untraced {untraced_wall}s: "
+        f"tracing overhead {tracing_overhead_pct}% above the "
+        f"{round((TRACING_OVERHEAD_FACTOR - 1) * 100)}% bar"
     )
 
     assert by_mode["cache-warm"]["hit_rate"] > by_mode["cache-cold"]["hit_rate"]

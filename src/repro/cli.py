@@ -524,6 +524,31 @@ def _add_fleet_scan(subparsers) -> None:
     _add_obs_arguments(parser, manifest_by_default=False)
 
 
+def _add_fleet_status(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet-status",
+        help="live status plane of a running fleet-scan coordinator",
+    )
+    parser.add_argument("--url", required=True, help="coordinator URL")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print one status document as JSON on stdout",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh until the scan reports done",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh period with --watch",
+    )
+
+
 def _add_fleet_worker(subparsers) -> None:
     parser = subparsers.add_parser(
         "fleet-worker", help="join a fleet coordinator as a scan worker"
@@ -1028,6 +1053,14 @@ def cmd_fleet_scan(args) -> int:
             resume=args.resume,
             keep_journal=args.keep_journal,
             cache_urls=list(args.cache_url or []),
+            # The manifest run id doubles as the fleet's root request
+            # id: every worker RPC, log line and shipped span carries it.
+            request_id=(
+                session.manifest.run_id
+                if session.manifest is not None
+                else obs.new_request_id()
+            ),
+            trace=args.trace is not None,
         )
         session.set_config(detector.config)
         session.set_dataset("layout", obs.fingerprint_layout(layout.layer(args.layer)))
@@ -1118,6 +1151,37 @@ def cmd_fleet_scan(args) -> int:
             for proc in workers.values():
                 if proc.poll() is None:
                     proc.terminate()
+        if args.trace is not None and session.tracer is not None:
+            # One coordinator-rooted timeline: this process's spans plus
+            # every span document the workers shipped with their pushes.
+            documents = [
+                obs.span_document(
+                    session.tracer, "coordinator", options.request_id
+                )
+            ]
+            documents.extend(coordinator.trace_documents())
+            merged = obs.merge_chrome_traces(documents)
+            try:
+                args.trace.write_text(json.dumps(merged))
+                print(f"fleet trace -> {args.trace}", file=sys.stderr)
+                session.artifact("trace", args.trace)
+            except OSError as exc:
+                print(f"warning: could not write trace: {exc}", file=sys.stderr)
+            # finish() must not overwrite the merged trace with the
+            # coordinator-only view.
+            session.trace_path = None
+        cache_nodes = {}
+        for url in options.cache_urls:
+            from repro.fleet import FleetClient
+
+            try:
+                code, document = FleetClient(url, timeout=5.0).get_json(
+                    "/cache/v1/stats"
+                )
+            except Exception:
+                continue
+            if code == 200:
+                cache_nodes[url] = document
         session.record(
             candidates=result.extraction.candidate_count,
             reports=result.report_count,
@@ -1130,6 +1194,11 @@ def cmd_fleet_scan(args) -> int:
             shards_resumed=status["resumed"],
             leases_expired=status["leases_expired"],
             pushes_stale=status["pushes_stale"],
+            pushes_rejected=status["pushes_rejected"],
+            lease_reassignments=sum(status["reassigned_shards"].values()),
+            fleet_request_id=options.request_id,
+            fleet_cache=status.get("cache", {}),
+            cache_nodes=cache_nodes,
         )
         quarantine_note = (
             f", {result.quarantined} quarantined" if result.quarantined else ""
@@ -1168,6 +1237,89 @@ def cmd_fleet_scan(args) -> int:
             default_manifest=args.model.with_suffix(".fleet.manifest.json")
         )
     return 0
+
+
+def _render_fleet_status(status: dict, url: str) -> None:
+    """Human rendering of one /fleet/v1/status document."""
+    state = "done" if status.get("done") else "running"
+    request_id = status.get("request_id") or "?"
+    print(f"fleet {url} [{state}]  request {request_id}")
+    eta = status.get("eta_s")
+    line = (
+        f"  shards {status.get('completed', 0)}/{status.get('shards', 0)} "
+        f"({status.get('leased', 0)} leased, {status.get('pending', 0)} "
+        f"pending, {status.get('resumed', 0)} resumed)  "
+        f"{status.get('throughput_shards_per_s', 0.0):.2f} shards/s"
+    )
+    if eta is not None:
+        line += f"  eta {eta:.0f}s"
+    print(line)
+    print(
+        f"  leases: {status.get('leases_granted', 0)} granted, "
+        f"{status.get('leases_expired', 0)} expired; pushes: "
+        f"{status.get('pushes_accepted', 0)} ok, "
+        f"{status.get('pushes_stale', 0)} stale, "
+        f"{status.get('pushes_rejected', 0)} rejected"
+    )
+    durations = status.get("durations") or {}
+    if durations.get("count"):
+        print(
+            f"  shard wall: p50 {durations['p50']:.3f}s  "
+            f"p95 {durations['p95']:.3f}s  mean {durations['mean']:.3f}s"
+        )
+    cache = status.get("cache") or {}
+    if cache.get("remote_hits") or cache.get("remote_misses"):
+        print(
+            f"  remote cache: {cache.get('remote_hits', 0)} hits / "
+            f"{cache.get('remote_misses', 0)} misses "
+            f"(rate {cache.get('hit_rate', 0.0):.2f})"
+        )
+    for worker in status.get("worker_details", []):
+        mark = "+" if worker.get("alive") else "-"
+        print(
+            f"  {mark} {worker.get('name')}: {worker.get('pushes', 0)} "
+            f"pushes, {worker.get('shards_done', 0)} done, "
+            f"{worker.get('shards_stale', 0)} stale"
+        )
+    stragglers = set(status.get("stragglers") or ())
+    for lease in status.get("leases", []):
+        flag = "  <- straggler" if lease.get("shard") in stragglers else ""
+        print(
+            f"    shard {lease.get('shard')} -> {lease.get('worker')} "
+            f"(age {lease.get('age_s', 0.0):.1f}s, expires in "
+            f"{lease.get('expires_in_s', 0.0):.1f}s){flag}"
+        )
+
+
+def cmd_fleet_status(args) -> int:
+    from repro.errors import FleetError, TransientError
+    from repro.fleet import FleetClient
+
+    try:
+        client = FleetClient(args.url, timeout=5.0)
+    except FleetError as exc:
+        print(f"bad coordinator URL: {exc}", file=sys.stderr)
+        return 2
+    while True:
+        try:
+            code, status = client.get_json("/fleet/v1/status")
+        except (FleetError, TransientError) as exc:
+            print(f"coordinator unreachable: {exc}", file=sys.stderr)
+            return 2
+        if code != 200:
+            print(f"status fetch failed with HTTP {code}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(status, sort_keys=True))
+        else:
+            if args.watch:
+                # Clear + home: a live refreshing pane, not a scrollback
+                # flood.
+                print("\x1b[2J\x1b[H", end="")
+            _render_fleet_status(status, args.url)
+        if not args.watch or status.get("done"):
+            return 0
+        time.sleep(max(0.2, args.interval))
 
 
 def cmd_fleet_worker(args) -> int:
@@ -1370,6 +1522,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve(subparsers)
     _add_client(subparsers)
     _add_fleet_scan(subparsers)
+    _add_fleet_status(subparsers)
     _add_fleet_worker(subparsers)
     _add_fleet_cache(subparsers)
     _add_fleet_frontend(subparsers)
@@ -1391,6 +1544,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": cmd_serve,
         "client": cmd_client,
         "fleet-scan": cmd_fleet_scan,
+        "fleet-status": cmd_fleet_status,
         "fleet-worker": cmd_fleet_worker,
         "fleet-cache": cmd_fleet_cache,
         "fleet-frontend": cmd_fleet_frontend,

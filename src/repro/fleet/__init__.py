@@ -27,8 +27,10 @@ from repro.fleet.coordinator import FleetCoordinator, FleetOptions
 from repro.fleet.membership import Member, MemberTable
 from repro.fleet.protocol import (
     FLEET_PROTOCOL_VERSION,
+    METRICS_TEXT_TYPE,
     FleetClient,
     FleetHTTPServer,
+    metrics_routes,
 )
 from repro.fleet.remote_cache import CacheServer, RemoteCacheStore
 from repro.fleet.router import FleetFrontend, HashRing, RoundRobin
@@ -36,6 +38,7 @@ from repro.fleet.worker import FleetWorker
 
 __all__ = [
     "FLEET_PROTOCOL_VERSION",
+    "METRICS_TEXT_TYPE",
     "CacheServer",
     "FleetClient",
     "FleetCoordinator",
@@ -48,4 +51,5 @@ __all__ = [
     "MemberTable",
     "RemoteCacheStore",
     "RoundRobin",
+    "metrics_routes",
 ]

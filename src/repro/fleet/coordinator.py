@@ -41,8 +41,15 @@ from typing import Optional, Union
 from repro.cache import open_blob
 from repro.errors import FleetError, FleetProtocolError, ScanDrainedError
 from repro.fleet.membership import MemberTable
-from repro.fleet.protocol import FLEET_PROTOCOL_VERSION, JSON_TYPE, FleetHTTPServer
-from repro.obs import get_logger, trace
+from repro.fleet.protocol import (
+    FLEET_PROTOCOL_VERSION,
+    JSON_TYPE,
+    METRICS_TEXT_TYPE,
+    FleetHTTPServer,
+    metrics_routes,
+)
+from repro.obs import MetricsAggregator, get_logger, new_request_id, trace
+from repro.serve.metrics import MetricsRegistry
 from repro.resilience import faults
 from repro.resilience.quarantine import QuarantineReport
 from repro.work.pool import PoolStats
@@ -76,6 +83,20 @@ class FleetOptions:
     keep_journal: bool = False
     #: Remote cache node URLs, handed to workers via ``/fleet/v1/config``.
     cache_urls: list[str] = field(default_factory=list)
+    #: Root trace/request id of the whole scan; minted when unset.  Every
+    #: worker adopts it from ``/fleet/v1/config``, so one fleet scan's
+    #: RPCs and spans all share a single root id.
+    request_id: Optional[str] = None
+    #: Tell workers to record spans and ship them back with pushes.
+    trace: bool = False
+
+
+#: Shard-duration buckets (seconds) — shards run from tens of ms on a
+#: toy layout up to minutes on a dense full-chip layer.
+SHARD_SECONDS_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0,
+)
 
 
 @dataclass
@@ -86,6 +107,7 @@ class _Lease:
     shard_id: int
     worker: str
     expires: float  # time.monotonic()
+    granted: float = 0.0  # time.monotonic() at grant, for straggler age
 
 
 class FleetCoordinator:
@@ -164,6 +186,45 @@ class FleetCoordinator:
         self.pushes_rejected = 0
         self.reassignments: dict[int, int] = {}
 
+        # Root trace context of the whole scan: workers adopt it from
+        # /fleet/v1/config so every RPC and shipped span shares one id.
+        self.request_id = self.options.request_id or new_request_id()
+
+        # Live metrics, scraped on GET /metrics(/state) and federated
+        # with the workers' registries on GET /fleet/v1/metrics.
+        self.metrics = MetricsRegistry()
+        self._m_leases = self.metrics.counter(
+            "fleet_leases_total",
+            "Shard leases by outcome (granted / expired).",
+            labels=("outcome",),
+        )
+        self._m_pushes = self.metrics.counter(
+            "fleet_pushes_total",
+            "Shard pushes by outcome (accepted / stale / rejected).",
+            labels=("outcome",),
+        )
+        self._m_shard_seconds = self.metrics.histogram(
+            "fleet_shard_seconds",
+            "Worker-reported wall seconds per completed shard.",
+            buckets=SHARD_SECONDS_BUCKETS,
+        )
+
+        # Status-plane state: per-shard wall clock (resumed shards keep
+        # theirs via the journal), per-worker self-reports and push
+        # tallies, and shipped trace documents.
+        self._started = time.monotonic()
+        self._shard_wall: dict[int, float] = {
+            shard_id: record.wall_s
+            for shard_id, record in self._resumed.items()
+            if record.wall_s > 0
+        }
+        self._worker_reports: dict[str, dict] = {}
+        self._worker_pushes: dict[str, int] = {}
+        self._trace_docs: list[dict] = []
+        for record in self._resumed.values():
+            if record.wall_s > 0:
+                self._m_shard_seconds.labels().observe(record.wall_s)
+
         self._server: Optional[FleetHTTPServer] = None
         self._reaper: Optional[threading.Thread] = None
         self._closing = threading.Event()
@@ -236,6 +297,8 @@ class FleetCoordinator:
                     self.reassignments.get(lease.shard_id, 0) + 1
                 )
         for lease in expired:
+            self._m_leases.labels("expired").inc()
+        for lease in expired:
             _log.warning(
                 "lease_expired",
                 shard=lease.shard_id,
@@ -254,14 +317,17 @@ class FleetCoordinator:
                 }
             shard_id = self._pending.popleft()
             self._next_lease += 1
+            now = time.monotonic()
             lease = _Lease(
                 lease_id=self._next_lease,
                 shard_id=shard_id,
                 worker=worker,
-                expires=time.monotonic() + self.options.lease_ttl_s,
+                expires=now + self.options.lease_ttl_s,
+                granted=now,
             )
             self._leases[shard_id] = lease
             self.leases_granted += 1
+        self._m_leases.labels("granted").inc()
         cell, anchors = self.cells[shard_id]
         _log.info(
             "lease_granted",
@@ -296,11 +362,13 @@ class FleetCoordinator:
             # Digest-verified on receipt: a corrupt push is re-leased,
             # never merged.
             self.pushes_rejected += 1
+            self._m_pushes.labels("rejected").inc()
             raise FleetProtocolError(f"corrupt push envelope for shard {shard_id}")
         try:
             record = decode_shard_record(payload, shard_id)
         except (KeyError, ValueError, OSError) as exc:
             self.pushes_rejected += 1
+            self._m_pushes.labels("rejected").inc()
             raise FleetProtocolError(
                 f"undecodable push for shard {shard_id}: {exc}"
             ) from exc
@@ -311,6 +379,7 @@ class FleetCoordinator:
                 # First push won already (the lease expired and another
                 # worker finished the reassigned shard first).
                 self.pushes_stale += 1
+                self._m_pushes.labels("stale").inc()
                 return {"status": "stale"}
             # Chaos point: an ``error`` plan aborts between pushes (the
             # journal keeps accepted shards for --resume); a ``kill``
@@ -318,11 +387,18 @@ class FleetCoordinator:
             # tests produce a half-finished journal.
             faults.inject("fleet.push", shard=shard_id)
             self._completed[shard_id] = record
-            self._leases.pop(shard_id, None)
+            lease = self._leases.pop(shard_id, None)
             if self.journal is not None:
                 self.journal.record(record)
             self.pushes_accepted += 1
+            if record.wall_s > 0:
+                self._shard_wall[shard_id] = record.wall_s
+            worker = lease.worker if lease is not None else "?"
+            self._worker_pushes[worker] = self._worker_pushes.get(worker, 0) + 1
             done = len(self._completed) == len(self.shards)
+        self._m_pushes.labels("accepted").inc()
+        if record.wall_s > 0:
+            self._m_shard_seconds.labels().observe(record.wall_s)
         _log.info(
             "push_accepted",
             shard=shard_id,
@@ -338,12 +414,22 @@ class FleetCoordinator:
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str, body: bytes, headers) -> tuple:
         path, _, query = path.partition("?")
+        routed = metrics_routes(self.metrics, method, path)
+        if routed is not None:
+            return routed
         if method == "GET" and path == "/fleet/v1/config":
             return 200, self.config_document(), JSON_TYPE
         if method == "GET" and path == "/fleet/v1/status":
             return 200, self.status(), JSON_TYPE
+        if method == "GET" and path == "/fleet/v1/metrics":
+            return 200, self.federated_metrics().render(), METRICS_TEXT_TYPE
         if method == "GET" and path == "/healthz":
             return 200, {"status": "ok", "done": self._done.is_set()}, JSON_TYPE
+        if method == "POST" and path == "/fleet/v1/trace":
+            document = _json_body(body)
+            with self._lock:
+                self._trace_docs.append(document)
+            return 200, {"status": "ok"}, JSON_TYPE
         if method == "POST" and path == "/fleet/v1/lease":
             document = _json_body(body)
             worker = str(document.get("worker", "?"))
@@ -360,11 +446,24 @@ class FleetCoordinator:
                     },
                     JSON_TYPE,
                 )
-            self.members.register(worker, "", kind="worker", version=theirs)
+            self.members.register(
+                worker,
+                str(document.get("url", "") or ""),
+                kind="worker",
+                version=theirs,
+            )
+            stats = document.get("stats")
+            if isinstance(stats, dict):
+                with self._lock:
+                    self._worker_reports[worker] = stats
             return 200, self._grant(worker), JSON_TYPE
         if method == "POST" and path == "/fleet/v1/heartbeat":
             document = _json_body(body)
             self.members.heartbeat(str(document.get("worker", "?")))
+            stats = document.get("stats")
+            if isinstance(stats, dict):
+                with self._lock:
+                    self._worker_reports[str(document.get("worker", "?"))] = stats
             return (
                 200,
                 self._heartbeat(
@@ -393,13 +492,75 @@ class FleetCoordinator:
             "shards": len(self.shards),
             "lease_ttl_s": self.options.lease_ttl_s,
             "cache_urls": list(self.options.cache_urls),
+            "request_id": self.request_id,
+            "trace": bool(self.options.trace),
         }
 
     def status(self) -> dict:
+        """The live status plane served on ``GET /fleet/v1/status``.
+
+        Beyond the raw queue counters this reports per-lease age, per-
+        worker throughput and cache behaviour (from their lease/heartbeat
+        self-reports), shard-duration percentiles, an ETA, and straggler
+        shards — leases older than the p95 completed-shard duration.
+        """
+        now = time.monotonic()
         with self._lock:
             completed = len(self._completed)
             leased = len(self._leases)
             pending = len(self._pending)
+            leases = [
+                {
+                    "shard": lease.shard_id,
+                    "worker": lease.worker,
+                    "lease": lease.lease_id,
+                    "age_s": round(max(0.0, now - lease.granted), 3),
+                    "expires_in_s": round(lease.expires - now, 3),
+                }
+                for lease in sorted(
+                    self._leases.values(), key=lambda l: l.shard_id
+                )
+            ]
+            walls = sorted(self._shard_wall.values())
+            reports = {name: dict(doc) for name, doc in self._worker_reports.items()}
+            pushes = dict(self._worker_pushes)
+        durations: dict = {"count": len(walls)}
+        if walls:
+            durations.update(
+                p50=round(_percentile(walls, 0.50), 6),
+                p95=round(_percentile(walls, 0.95), 6),
+                mean=round(sum(walls) / len(walls), 6),
+            )
+        stragglers = []
+        if walls:
+            p95 = _percentile(walls, 0.95)
+            stragglers = [
+                entry["shard"] for entry in leases if entry["age_s"] > p95
+            ]
+        alive = {m.name for m in self.members.members(kind="worker")}
+        workers = []
+        for name in sorted(set(alive) | set(reports) | set(pushes)):
+            report = reports.get(name, {})
+            workers.append(
+                {
+                    "name": name,
+                    "alive": name in alive,
+                    "pushes": pushes.get(name, 0),
+                    "shards_done": int(report.get("shards_done", 0)),
+                    "shards_stale": int(report.get("shards_stale", 0)),
+                    "cache": report.get("cache") or {},
+                }
+            )
+        elapsed = max(1e-9, now - self._started)
+        fresh = completed - len(self._resumed)
+        throughput = fresh / elapsed
+        eta_s = None
+        if pending + leased and walls:
+            mean = sum(walls) / len(walls)
+            eta_s = round(
+                (pending + leased) * mean / max(1, len(alive) or 1), 3
+            )
+        cache = _merged_cache_stats(reports.values())
         return {
             "shards": len(self.shards),
             "completed": completed,
@@ -416,7 +577,40 @@ class FleetCoordinator:
             },
             "workers": [m.name for m in self.members.members(kind="worker")],
             "done": self._done.is_set(),
+            "request_id": self.request_id,
+            "elapsed_s": round(elapsed, 3),
+            "throughput_shards_per_s": round(throughput, 6),
+            "eta_s": eta_s,
+            "durations": durations,
+            "leases": leases,
+            "stragglers": stragglers,
+            "worker_details": workers,
+            "cache": cache,
         }
+
+    # ------------------------------------------------------------------
+    # observability plane
+    # ------------------------------------------------------------------
+    def federated_metrics(self) -> MetricsRegistry:
+        """The fleet-wide merged registry served on ``/fleet/v1/metrics``.
+
+        Scrapes every alive worker that registered a status URL plus the
+        configured cache nodes, and merges their states with the
+        coordinator's own registry (bucket-wise, label-preserving).
+        """
+        aggregator = MetricsAggregator()
+        aggregator.register("coordinator", self.metrics.export_state)
+        for member in self.members.members(kind="worker", alive_only=True):
+            if member.url:
+                aggregator.register(member.name, member.url)
+        for index, url in enumerate(self.options.cache_urls):
+            aggregator.register(f"cache-{index}", url)
+        return aggregator.merged()
+
+    def trace_documents(self) -> list[dict]:
+        """Span documents shipped by workers via ``POST /fleet/v1/trace``."""
+        with self._lock:
+            return list(self._trace_docs)
 
     # ------------------------------------------------------------------
     # completion + merge
@@ -460,6 +654,31 @@ class FleetCoordinator:
         if self.journal is not None and not self.options.keep_journal:
             self.journal.clear()
         return result
+
+
+def _percentile(ordered: list, q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+def _merged_cache_stats(reports) -> dict:
+    """Sum workers' self-reported remote-cache counters into fleet totals."""
+    totals = {"remote_hits": 0, "remote_misses": 0, "remote_corrupt": 0}
+    for report in reports:
+        cache = report.get("cache") or {}
+        totals["remote_hits"] += int(cache.get("remote_hits", 0))
+        totals["remote_corrupt"] += int(cache.get("remote_corrupt", 0))
+        hits = int(cache.get("remote_hits", 0))
+        gets = int(cache.get("feature_misses", 0))
+        totals["remote_misses"] += max(0, gets - hits)
+    lookups = totals["remote_hits"] + totals["remote_misses"]
+    totals["hit_rate"] = (
+        round(totals["remote_hits"] / lookups, 6) if lookups else 0.0
+    )
+    return totals
 
 
 def _json_body(body: bytes) -> dict:

@@ -28,7 +28,14 @@ from http.server import BaseHTTPRequestHandler
 from typing import Callable, Optional
 
 from repro.errors import FleetError, FleetProtocolError, TransientError
-from repro.obs import get_logger
+from repro.obs import get_logger, log_context, new_request_id, trace
+from repro.obs.fleet import (
+    REQUEST_ID_HEADER,
+    TRACE_PARENT_HEADER,
+    bind_trace_context,
+    trace_headers,
+)
+from repro.obs.trace import enabled as _tracing_enabled
 from repro.serve.httpd import ReuseAddrHTTPServer
 
 #: Bump on breaking fleet wire-format changes; exchanged in every
@@ -57,6 +64,14 @@ class _FleetHandler(BaseHTTPRequestHandler):
         pass  # fleet servers log through repro.obs, not stderr
 
     def _dispatch(self, method: str) -> None:
+        # Trace context: adopt the caller's request id (or mint one) and
+        # bind it into this thread's log context + span stack for the
+        # duration of the handler, echoing it on every response — the
+        # 413/400/500 error paths included.
+        request_id = (self.headers.get(REQUEST_ID_HEADER, "") or "").strip()
+        request_id = request_id or new_request_id()
+        parent = (self.headers.get(TRACE_PARENT_HEADER, "") or "").strip() or None
+        self._request_id = request_id
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length > MAX_BLOB_BYTES:
             self._respond(413, {"error": "payload too large"})
@@ -64,15 +79,31 @@ class _FleetHandler(BaseHTTPRequestHandler):
         body = self.rfile.read(length) if length else b""
         app = self.server.app  # type: ignore[attr-defined]
         try:
-            status, payload, content_type = app.handle(
-                method, self.path, body, self.headers
-            )
+            with bind_trace_context(request_id, parent), log_context(
+                request_id=request_id
+            ):
+                if _tracing_enabled():
+                    with trace(
+                        "fleet.rpc",
+                        method=method,
+                        path=self.path.split("?", 1)[0],
+                        request_id=request_id,
+                        **({"trace_parent": parent} if parent else {}),
+                    ):
+                        status, payload, content_type = app.handle(
+                            method, self.path, body, self.headers
+                        )
+                else:
+                    status, payload, content_type = app.handle(
+                        method, self.path, body, self.headers
+                    )
         except FleetProtocolError as exc:
             status, payload, content_type = 400, {"error": str(exc)}, JSON_TYPE
         except Exception as exc:  # one bad request never kills the server
             _log.error(
                 "fleet_request_failed",
                 path=self.path,
+                request_id=request_id,
                 error_type=type(exc).__name__,
                 error=str(exc),
             )
@@ -92,6 +123,9 @@ class _FleetHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            request_id = getattr(self, "_request_id", None)
+            if request_id:
+                self.send_header(REQUEST_ID_HEADER, request_id)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
@@ -208,20 +242,42 @@ class FleetClient:
         path: str,
         body: Optional[bytes] = None,
         content_type: str = JSON_TYPE,
+        headers: Optional[dict] = None,
     ) -> tuple[int, bytes, str]:
         """One HTTP round trip: (status, payload bytes, content type)."""
-        headers = {"Content-Type": content_type} if body is not None else {}
+        status, payload, response_headers = self.request_full(
+            method, path, body, content_type, headers
+        )
+        return status, payload, response_headers.get("Content-Type", "")
+
+    def request_full(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = JSON_TYPE,
+        headers: Optional[dict] = None,
+    ) -> tuple[int, bytes, dict]:
+        """Like :meth:`request`, but returns the full response headers.
+
+        Every outbound request is stamped with the thread's trace
+        context (``X-Request-Id`` / ``X-Trace-Parent``) when one is
+        bound — :func:`repro.obs.fleet.trace_headers` is a no-op dict
+        on the untraced path.  Explicit ``headers`` win over stamped
+        ones (the frontend forwards its caller's request id verbatim).
+        """
+        merged = dict(trace_headers())
+        if body is not None:
+            merged["Content-Type"] = content_type
+        if headers:
+            merged.update(headers)
         for attempt in (0, 1):
             conn = self._connection()
             try:
-                conn.request(method, path, body=body, headers=headers)
+                conn.request(method, path, body=body, headers=merged)
                 response = conn.getresponse()
                 payload = response.read()
-                return (
-                    response.status,
-                    payload,
-                    response.headers.get("Content-Type", ""),
-                )
+                return response.status, payload, dict(response.headers.items())
             except (http.client.HTTPException, ConnectionError, OSError) as exc:
                 self.close()
                 if attempt:
@@ -255,6 +311,29 @@ def _decode_json(payload: bytes) -> dict:
     if not isinstance(document, dict):
         raise FleetProtocolError("peer sent a non-object JSON document")
     return document
+
+
+#: Content type of the Prometheus text exposition format.
+METRICS_TEXT_TYPE = "text/plain; version=0.0.4"
+
+
+def metrics_routes(registry, method: str, path: str) -> Optional[tuple]:
+    """The two metrics routes every fleet role serves, or ``None``.
+
+    - ``GET /metrics`` — Prometheus text exposition (human/scraper);
+    - ``GET /metrics/state`` — the lossless JSON state
+      (:meth:`~repro.serve.metrics.MetricsRegistry.export_state`) the
+      :class:`~repro.obs.fleet.MetricsAggregator` federates from.
+
+    Roles call this first in ``handle`` and fall through on ``None``.
+    """
+    if method != "GET":
+        return None
+    if path == "/metrics":
+        return 200, registry.render(), METRICS_TEXT_TYPE
+    if path == "/metrics/state":
+        return 200, registry.export_state(), JSON_TYPE
+    return None
 
 
 def wait_until(

@@ -28,10 +28,11 @@ from typing import Optional, Sequence
 
 from repro.cache import CacheStore, MemoryCacheStore, open_blob
 from repro.errors import FleetError
-from repro.fleet.protocol import BLOB_TYPE, JSON_TYPE, FleetClient
+from repro.fleet.protocol import BLOB_TYPE, JSON_TYPE, FleetClient, metrics_routes
 from repro.fleet.router import HashRing
 from repro.obs import get_logger
 from repro.resilience import faults
+from repro.serve.metrics import MetricsRegistry
 
 _log = get_logger("fleet.cache")
 
@@ -67,9 +68,19 @@ class CacheServer:
         self.hits = 0
         self.puts = 0
         self.rejected_corrupt = 0
+        self.metrics = MetricsRegistry()
+        self._m_ops = self.metrics.counter(
+            "fleet_cache_ops_total",
+            "Cache node operations by outcome "
+            "(hit / miss / put / rejected_corrupt).",
+            labels=("outcome",),
+        )
 
     def handle(self, method: str, path: str, body: bytes, headers) -> tuple:
         path = path.split("?", 1)[0]
+        routed = metrics_routes(self.metrics, method, path)
+        if routed is not None:
+            return routed
         if method == "GET" and path == "/healthz":
             healthy = self.store.healthy()
             return (
@@ -87,16 +98,20 @@ class CacheServer:
             self.gets += 1
             blob = self.store.get(kind, fingerprint, key)
             if blob is None:
+                self._m_ops.labels("miss").inc()
                 return 404, {"error": "miss"}, JSON_TYPE
             self.hits += 1
+            self._m_ops.labels("hit").inc()
             return 200, blob, BLOB_TYPE
         if method == "PUT":
             # Server-side digest check: a corrupt upload never lands.
             if open_blob(body) is None:
                 self.rejected_corrupt += 1
+                self._m_ops.labels("rejected_corrupt").inc()
                 return 400, {"error": "corrupt blob envelope"}, JSON_TYPE
             self.store.put(kind, fingerprint, key, body)
             self.puts += 1
+            self._m_ops.labels("put").inc()
             return 200, {"status": "ok"}, JSON_TYPE
         return 405, {"error": f"method {method} not allowed"}, JSON_TYPE
 

@@ -21,13 +21,15 @@ import bisect
 import itertools
 import json
 import threading
+import time
 from hashlib import sha256
 from typing import Optional, Sequence
 
 from repro.errors import FleetError, TransientError
 from repro.fleet.membership import MemberTable
-from repro.fleet.protocol import JSON_TYPE, FleetClient
-from repro.obs import get_logger
+from repro.fleet.protocol import JSON_TYPE, FleetClient, metrics_routes
+from repro.obs import REQUEST_ID_HEADER, current_request_id, get_logger
+from repro.serve.metrics import MetricsRegistry
 
 _log = get_logger("fleet.router")
 
@@ -132,6 +134,17 @@ class FleetFrontend:
         self._clients_lock = threading.Lock()
         self.forwarded = 0
         self.failed_over = 0
+        self.metrics = MetricsRegistry()
+        self._m_proxied = self.metrics.counter(
+            "fleet_frontend_requests_total",
+            "Predict requests by outcome (forwarded / failed_over / "
+            "no_replicas).",
+            labels=("outcome",),
+        )
+        self._m_proxy_seconds = self.metrics.histogram(
+            "fleet_frontend_proxy_seconds",
+            "Wall seconds per forwarded predict round trip.",
+        )
 
     # ------------------------------------------------------------------
     def _client(self, url: str) -> FleetClient:
@@ -150,6 +163,9 @@ class FleetFrontend:
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str, body: bytes, headers) -> tuple:
         path = path.split("?", 1)[0]
+        routed = metrics_routes(self.metrics, method, path)
+        if routed is not None:
+            return routed
         if method == "POST" and path == "/fleet/v1/register":
             document = json.loads(body or b"{}")
             member = self.members.register(
@@ -198,21 +214,36 @@ class FleetFrontend:
         self._refresh_rotation()
         urls = self._rotation.ordered()
         if not urls:
+            self._m_proxied.labels("no_replicas").inc()
             return 503, {"error": "no healthy serve replicas"}, JSON_TYPE
+        # The caller's request id rides to the replica verbatim, so one
+        # id stitches client -> frontend -> replica in every log line.
+        request_id = current_request_id()
+        forward_headers = (
+            {REQUEST_ID_HEADER: request_id} if request_id else None
+        )
         last_error = "unreachable"
         for index, url in enumerate(urls):
             client = self._client(url)
+            started = time.perf_counter()
             try:
                 status, payload, content_type = client.request(
-                    "POST", "/v1/predict", body, JSON_TYPE
+                    "POST", "/v1/predict", body, JSON_TYPE,
+                    headers=forward_headers,
                 )
             except TransientError as exc:
                 # Dead replica: fall through to the next one and stop
                 # routing to it until its next heartbeat revives it.
                 last_error = str(exc)
                 self.failed_over += index == 0
+                if index == 0:
+                    self._m_proxied.labels("failed_over").inc()
                 _log.warning("replica_unreachable", url=url, error=str(exc))
                 continue
             self.forwarded += 1
+            self._m_proxied.labels("forwarded").inc()
+            self._m_proxy_seconds.labels().observe(
+                time.perf_counter() - started
+            )
             return status, payload, content_type or JSON_TYPE
         return 503, {"error": f"all replicas failed: {last_error}"}, JSON_TYPE

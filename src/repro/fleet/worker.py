@@ -29,16 +29,56 @@ from typing import Optional, Union
 
 from repro.cache import HotspotCache, wrap_blob
 from repro.errors import FleetHandshakeError, FleetProtocolError, TransientError
-from repro.fleet.protocol import FleetClient
-from repro.obs import get_logger, trace
+from repro.fleet.protocol import (
+    JSON_TYPE,
+    FleetClient,
+    FleetHTTPServer,
+    metrics_routes,
+)
+from repro.obs import (
+    Tracer,
+    bind_trace_context,
+    get_logger,
+    get_tracer,
+    set_tracer,
+    span_document,
+    trace,
+)
+from repro.obs.trace import enabled as _tracing_enabled
 from repro.resilience import faults
 from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.serve.metrics import MetricsRegistry
 from repro.work.shard import encode_shard_record, evaluate_shard, scan_fingerprint
 
 _log = get_logger("fleet.worker")
 
 #: Lease/push RPCs retry transient transport failures with this policy.
 RPC_RETRY = RetryPolicy(attempts=4, base_delay_s=0.1, max_delay_s=2.0)
+
+
+class _WorkerApp:
+    """The worker's tiny status/metrics HTTP surface.
+
+    Exposes ``/metrics`` + ``/metrics/state`` (scraped by the
+    coordinator's federated view) and ``/healthz``; the URL rides along
+    in every lease request so the coordinator discovers it.
+    """
+
+    def __init__(self, worker: "FleetWorker") -> None:
+        self.worker = worker
+
+    def handle(self, method: str, path: str, body: bytes, headers) -> tuple:
+        path = path.partition("?")[0]
+        routed = metrics_routes(self.worker.metrics, method, path)
+        if routed is not None:
+            return routed
+        if method == "GET" and path == "/healthz":
+            return (
+                200,
+                {"status": "ok", "worker": self.worker.worker_id},
+                JSON_TYPE,
+            )
+        return 404, {"error": f"no route {path!r}"}, JSON_TYPE
 
 
 class FleetWorker:
@@ -51,18 +91,55 @@ class FleetWorker:
         layout,
         worker_id: str,
         cache_dir: Optional[Union[str, "object"]] = None,
+        status_server: bool = True,
     ) -> None:
         self.client = FleetClient(coordinator_url)
         self.detector = detector
         self.layout = layout
         self.worker_id = worker_id
         self.cache_dir = cache_dir
+        self.status_server = status_server
         self.shards_done = 0
         self.shards_stale = 0
         self._stop = threading.Event()
+        self._server: Optional[FleetHTTPServer] = None
+        self._request_id: Optional[str] = None
+        self._owns_tracer = False
+        self._shipped = 0  # spans already POSTed to /fleet/v1/trace
+        self.metrics = MetricsRegistry()
+        self._m_shards = self.metrics.counter(
+            "fleet_worker_shards_total",
+            "Shards this worker finished, by outcome (done / stale).",
+            labels=("outcome",),
+        )
+        from repro.fleet.coordinator import SHARD_SECONDS_BUCKETS
+
+        self._m_shard_seconds = self.metrics.histogram(
+            "fleet_worker_shard_seconds",
+            "Wall seconds spent evaluating each leased shard.",
+            buckets=SHARD_SECONDS_BUCKETS,
+        )
 
     def stop(self) -> None:
         self._stop.set()
+
+    @property
+    def status_url(self) -> str:
+        return self._server.url if self._server is not None else ""
+
+    def _stats(self) -> dict:
+        """Self-report shipped with every lease/heartbeat request."""
+        stats = {
+            "shards_done": self.shards_done,
+            "shards_stale": self.shards_stale,
+        }
+        cache = getattr(self.detector, "cache_", None)
+        if cache is not None:
+            try:
+                stats["cache"] = cache.stats_dict()
+            except Exception:
+                pass
+        return stats
 
     # ------------------------------------------------------------------
     def _fetch_config(self) -> dict:
@@ -112,31 +189,70 @@ class FleetWorker:
         layer = int(config["layer"])
         ttl_s = float(config.get("lease_ttl_s", 5.0))
 
-        while not self._stop.is_set():
-            status, document = call_with_retry(
-                lambda: self.client.post_json(
-                    "/fleet/v1/lease",
-                    {"worker": self.worker_id, "fingerprint": fingerprint},
-                ),
-                RPC_RETRY,
-                label="fleet.lease",
-            )
-            if status == 409:
-                raise FleetHandshakeError(
-                    f"coordinator rejected worker {self.worker_id}: "
-                    f"{document.get('status')}"
+        # Adopt the coordinator's root request id, and — when the scan
+        # is traced and this process has no tracer of its own (a real
+        # subprocess worker, not an in-process test worker sharing the
+        # driver's) — record spans locally and ship them back.
+        self._request_id = str(config.get("request_id") or "") or None
+        if config.get("trace") and not _tracing_enabled():
+            set_tracer(Tracer())
+            self._owns_tracer = True
+        if self.status_server and self._server is None:
+            try:
+                self._server = FleetHTTPServer(_WorkerApp(self)).start()
+            except OSError:
+                self._server = None  # status plane is best-effort
+
+        binding = (
+            bind_trace_context(self._request_id) if self._request_id else None
+        )
+        try:
+            while not self._stop.is_set():
+                status, document = call_with_retry(
+                    lambda: self.client.post_json(
+                        "/fleet/v1/lease",
+                        {
+                            "worker": self.worker_id,
+                            "fingerprint": fingerprint,
+                            "url": self.status_url,
+                            "stats": self._stats(),
+                        },
+                    ),
+                    RPC_RETRY,
+                    label="fleet.lease",
                 )
-            if status != 200:
-                raise FleetProtocolError(f"lease request failed with HTTP {status}")
-            state = document.get("status")
-            if state == "done":
-                break
-            if state == "wait":
-                time.sleep(float(document.get("retry_after_s", poll_interval_s)))
-                continue
-            if state != "lease":
-                raise FleetProtocolError(f"unexpected lease response {document!r}")
-            self._work_lease(document, layer, ttl_s)
+                if status == 409:
+                    raise FleetHandshakeError(
+                        f"coordinator rejected worker {self.worker_id}: "
+                        f"{document.get('status')}"
+                    )
+                if status != 200:
+                    raise FleetProtocolError(
+                        f"lease request failed with HTTP {status}"
+                    )
+                state = document.get("status")
+                if state == "done":
+                    break
+                if state == "wait":
+                    time.sleep(
+                        float(document.get("retry_after_s", poll_interval_s))
+                    )
+                    continue
+                if state != "lease":
+                    raise FleetProtocolError(
+                        f"unexpected lease response {document!r}"
+                    )
+                self._work_lease(document, layer, ttl_s)
+        finally:
+            self._ship_spans()
+            if binding is not None:
+                binding.__exit__(None, None, None)
+            if self._owns_tracer:
+                set_tracer(None)
+                self._owns_tracer = False
+            if self._server is not None:
+                self._server.stop()
+                self._server = None
         summary = {
             "worker": self.worker_id,
             "shards_done": self.shards_done,
@@ -144,6 +260,26 @@ class FleetWorker:
         }
         _log.info("worker_finished", **summary)
         return summary
+
+    def _ship_spans(self) -> None:
+        """POST finished spans since the last ship (own tracer only)."""
+        tracer = get_tracer()
+        if not self._owns_tracer or not tracer.enabled:
+            return
+        document = span_document(
+            tracer,
+            role=f"worker:{self.worker_id}",
+            request_id=self._request_id,
+            since=self._shipped,
+        )
+        if not document["spans"]:
+            return
+        try:
+            status, _ = self.client.post_json("/fleet/v1/trace", document)
+        except TransientError:
+            return  # unshipped spans go with the next push's ship
+        if status == 200:
+            self._shipped += len(document["spans"])
 
     # ------------------------------------------------------------------
     def _work_lease(self, lease_doc: dict, layer: int, ttl_s: float) -> None:
@@ -166,6 +302,7 @@ class FleetWorker:
                             "worker": self.worker_id,
                             "shard": shard_id,
                             "lease": lease_id,
+                            "stats": self._stats(),
                         },
                     )
                 except TransientError:
@@ -196,10 +333,13 @@ class FleetWorker:
             blob = wrap_blob(encode_shard_record(record))
         finally:
             beat_stop.set()
+        if record.wall_s > 0:
+            self._m_shard_seconds.labels().observe(record.wall_s)
         if lost.is_set():
             # The coordinator reassigned this shard; pushing anyway is
             # harmless (first push wins) but skipping saves the transfer.
             self.shards_stale += 1
+            self._m_shards.labels("stale").inc()
             _log.warning("lease_lost", shard=shard_id, worker=self.worker_id)
             return
         status, answer = call_with_retry(
@@ -215,6 +355,7 @@ class FleetWorker:
             # dropping it here is safe — and retrying the whole lease
             # loop is the worker's only job anyway.
             self.shards_stale += 1
+            self._m_shards.labels("stale").inc()
             _log.warning(
                 "push_rejected", shard=shard_id, status=status,
                 detail=str(answer)[:200],
@@ -222,5 +363,11 @@ class FleetWorker:
             return
         if answer.get("status") == "stale":
             self.shards_stale += 1
+            self._m_shards.labels("stale").inc()
         else:
             self.shards_done += 1
+            self._m_shards.labels("done").inc()
+        # Ship the spans this shard produced while the trace is fresh —
+        # a worker killed mid-scan has already shipped everything up to
+        # its last completed shard.
+        self._ship_spans()

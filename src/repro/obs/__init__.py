@@ -14,7 +14,12 @@ Zero-dependency (stdlib only) observability for the hotspot pipeline:
 See ``docs/OBSERVABILITY.md`` for the full tour.
 """
 
-from .logs import StructuredLogger, configure as configure_logging, get_logger
+from .logs import (
+    StructuredLogger,
+    configure as configure_logging,
+    get_logger,
+    log_context,
+)
 from .manifest import (
     RunManifest,
     config_summary,
@@ -40,19 +45,36 @@ from .trace import (
     trace,
     traced,
 )
+from .fleet import (
+    REQUEST_ID_HEADER,
+    TRACE_PARENT_HEADER,
+    MetricsAggregator,
+    bind_trace_context,
+    current_request_id,
+    current_trace_parent,
+    merge_chrome_traces,
+    span_document,
+    trace_headers,
+)
 
 __all__ = [
     "NULL_TRACER",
+    "REQUEST_ID_HEADER",
     "STAGE_BUCKETS",
     "STAGE_METRIC",
+    "TRACE_PARENT_HEADER",
+    "MetricsAggregator",
     "NullTracer",
     "RunManifest",
     "Span",
     "StructuredLogger",
     "Tracer",
+    "bind_trace_context",
     "compare_manifests",
     "config_summary",
     "configure_logging",
+    "current_request_id",
+    "current_trace_parent",
     "enabled",
     "environment_summary",
     "fingerprint_clipset",
@@ -60,10 +82,13 @@ __all__ = [
     "fingerprint_rects",
     "get_logger",
     "get_tracer",
+    "log_context",
+    "merge_chrome_traces",
     "new_request_id",
     "new_run_id",
     "render_manifest",
     "set_tracer",
+    "span_document",
     "tally",
     "trace",
     "traced",

@@ -44,6 +44,42 @@ class _Config:
 
 _config = _Config()
 _write_lock = threading.Lock()
+_thread_context = threading.local()
+
+
+class _BoundContext:
+    """Context manager restoring the thread-local log context on exit."""
+
+    __slots__ = ("_previous",)
+
+    def __init__(self, previous: dict) -> None:
+        self._previous = previous
+
+    def __enter__(self) -> "_BoundContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _thread_context.fields = self._previous
+        return False
+
+
+def log_context(**fields: Any) -> _BoundContext:
+    """Bind fields onto every log line emitted by *this thread*.
+
+    Used by the fleet HTTP servers to stamp the caller's request id onto
+    whatever the handler logs, without threading a logger through every
+    call::
+
+        with log_context(request_id=rid):
+            ...  # any get_logger(...) line in here carries request_id
+
+    Nests: inner bindings shadow outer ones and are restored on exit.
+    """
+    previous = getattr(_thread_context, "fields", None) or {}
+    merged = dict(previous)
+    merged.update(fields)
+    _thread_context.fields = merged
+    return _BoundContext(previous)
 
 
 def configure(
@@ -104,6 +140,9 @@ class StructuredLogger:
             "event": event,
         }
         record.update(_config.context)
+        thread_fields = getattr(_thread_context, "fields", None)
+        if thread_fields:
+            record.update(thread_fields)
         record.update(self._context)
         record.update(fields)
         line = json.dumps(record, default=str)

@@ -204,6 +204,42 @@ class Histogram:
                 "buckets": cumulative,
             }
 
+    def state(self) -> dict:
+        """Full-fidelity, mergeable dump: raw (non-cumulative) buckets.
+
+        Unlike :meth:`snapshot`, per-bucket counts here are *raw*, so two
+        states with identical bounds merge by plain element-wise
+        addition (see :meth:`absorb`).  The quantile ring is not part of
+        the state — it is a process-local sliding window and has no
+        meaningful cross-process merge.
+        """
+        with self._lock:
+            return {
+                "bounds": list(self._bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    def absorb(self, state: dict) -> None:
+        """Add another histogram's :meth:`state` into this one.
+
+        Bucket-wise: both histograms must share the exact bound list
+        (``ValueError`` otherwise — silently re-bucketing would corrupt
+        the distribution).  The quantile ring is left untouched.
+        """
+        bounds = tuple(state.get("bounds", ()))
+        counts = list(state.get("counts", ()))
+        with self._lock:
+            if bounds != self._bounds or len(counts) != len(self._counts):
+                raise ValueError(
+                    f"histogram bucket mismatch: {bounds} vs {self._bounds}"
+                )
+            for index, count in enumerate(counts):
+                self._counts[index] += int(count)
+            self._sum += float(state.get("sum", 0.0))
+            self._count += int(state.get("count", 0))
+
 
 @dataclass
 class _Family:
@@ -244,6 +280,12 @@ class MetricsRegistry:
         self, name: str, kind: str, help_: str, label_names: Iterable[str], factory
     ) -> _Family:
         full = f"{self.namespace}_{name}" if self.namespace else name
+        return self._family_full(full, kind, help_, label_names, factory)
+
+    def _family_full(
+        self, full: str, kind: str, help_: str, label_names: Iterable[str], factory
+    ) -> _Family:
+        """Register/fetch a family by its already-namespaced name."""
         with self._lock:
             family = self._families.get(full)
             if family is None:
@@ -343,6 +385,112 @@ class MetricsRegistry:
                         "p99": stats["p99"],
                     }
         return out
+
+    # ------------------------------------------------------------------
+    # federation: mergeable state export/absorb
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """A lossless, JSON-able dump for cross-process merging.
+
+        Family names are fully namespaced; histogram children carry raw
+        per-bucket counts (see :meth:`Histogram.state`), so N states
+        merge into exactly the registry that would have observed the
+        union of all observations (modulo the process-local quantile
+        rings, which do not travel).
+        """
+        families = []
+        with self._lock:
+            snapshot = sorted(self._families.values(), key=lambda f: f.name)
+        for family in snapshot:
+            with family.lock:
+                children = sorted(family.children.items())
+            dumped = []
+            for label_values, child in children:
+                if family.kind == "histogram":
+                    entry = {"labels": list(label_values)}
+                    entry.update(child.state())
+                else:
+                    entry = {"labels": list(label_values), "value": child.value}
+                dumped.append(entry)
+            families.append(
+                {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "label_names": list(family.label_names),
+                    "children": dumped,
+                }
+            )
+        return {"families": families}
+
+    def absorb_state(self, state: dict) -> None:
+        """Merge one :meth:`export_state` document into this registry.
+
+        Counters and gauges add; histograms merge bucket-wise.  Label
+        sets are preserved: a child that exists in both registries merges
+        into one child, a child unique to the absorbed state is created.
+        A malformed family (kind clash, bucket mismatch) raises
+        ``ValueError`` — callers federating untrusted peers should catch
+        it per state and count the peer as unscrapable.
+        """
+        for family_state in state.get("families", ()):
+            name = str(family_state.get("name", ""))
+            kind = str(family_state.get("kind", ""))
+            if not name or kind not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"malformed metrics family {family_state!r}")
+            label_names = tuple(
+                str(label) for label in family_state.get("label_names", ())
+            )
+            if kind == "histogram":
+                factory = Histogram  # bounds come from the absorbed state
+            else:
+                factory = Counter if kind == "counter" else Gauge
+            family = self._family_full(
+                name, kind, str(family_state.get("help", "")), label_names, factory
+            )
+            if family.label_names != label_names:
+                raise ValueError(
+                    f"metric {name} label mismatch: "
+                    f"{label_names} vs {family.label_names}"
+                )
+            for entry in family_state.get("children", ()):
+                labels = tuple(str(v) for v in entry.get("labels", ()))
+                if len(labels) != len(label_names):
+                    raise ValueError(
+                        f"metric {name} child labels {labels} do not match "
+                        f"label names {label_names}"
+                    )
+                if kind == "histogram":
+                    bounds = tuple(entry.get("bounds", ()))
+                    with family.lock:
+                        child = family.children.get(labels)
+                        if child is None:
+                            child = Histogram(bounds or DEFAULT_BUCKETS)
+                            family.children[labels] = child
+                    child.absorb(entry)
+                else:
+                    value = float(entry.get("value", 0.0))
+                    child = family.child(labels)
+                    if kind == "counter":
+                        child.inc(max(0.0, value))
+                    else:
+                        child.inc(value)  # gauges federate by summing
+
+
+def merge_metrics_states(
+    states: Iterable[dict], namespace: str = ""
+) -> MetricsRegistry:
+    """Merge N :meth:`MetricsRegistry.export_state` docs into one registry.
+
+    The merge is bucket-wise for histograms and additive for counters and
+    gauges, preserving every label set — the algebra behind the fleet's
+    federated ``/metrics`` view.  A malformed state raises ``ValueError``;
+    federating callers should validate per member before merging.
+    """
+    merged = MetricsRegistry(namespace=namespace)
+    for state in states:
+        merged.absorb_state(state)
+    return merged
 
 
 class _Bound:

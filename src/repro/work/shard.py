@@ -147,6 +147,9 @@ class _ShardRecord:
     #: clip side — everything that can influence this shard's anchors,
     #: clip contents and funnel counts.
     geometry_sha: str = ""
+    #: Wall seconds spent evaluating the shard (journaled, so the fleet
+    #: status plane's ETA/straggler percentiles survive ``--resume``).
+    wall_s: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +247,7 @@ def shard_record_arrays(record: _ShardRecord) -> dict[str, np.ndarray]:
         "quarantine": record.quarantine,
         "cell": list(record.cell) if record.cell is not None else None,
         "geometry_sha": record.geometry_sha,
+        "wall_s": round(record.wall_s, 6),
     }
     return {
         "anchors": anchors,
@@ -281,6 +285,7 @@ def _record_from_archive(archive, shard_id: int) -> _ShardRecord:
         clips=None,
         cell=(int(cell[0]), int(cell[1])) if cell else None,
         geometry_sha=str(meta.get("geometry_sha", "")),
+        wall_s=float(meta.get("wall_s", 0.0)),
     )
 
 
@@ -306,6 +311,7 @@ def evaluate_shard(config, model, layout, layer: int, anchors) -> _ShardRecord:
     bit-identical.  The caller stamps ``shard_id``/``cell``/
     ``geometry_sha`` from the lease.
     """
+    started = time.perf_counter()
     state = _WorkerState(config=config, model=model, layout=layout, layer=layer)
     part = _scan_shard_task(state, (0, [(int(x), int(y)) for x, y in anchors]))
     merged = sorted(zip(part["anchors"], part["margins"]), key=lambda item: item[0])
@@ -319,6 +325,7 @@ def evaluate_shard(config, model, layout, layer: int, anchors) -> _ShardRecord:
         rejected_boundary=part["rejected_boundary"],
         quarantine=part["quarantine"].to_dict(),
         clips=None,
+        wall_s=time.perf_counter() - started,
     )
 
 
@@ -520,6 +527,7 @@ class ScanJournal:
                             "file": path.name,
                             "anchors": record.anchor_count,
                             "candidates": len(record.anchors),
+                            "wall_s": round(record.wall_s, 6),
                         }
                     )
                     + "\n"
@@ -795,10 +803,11 @@ def run_sharded_scan(
             if poison is not None:
                 shard_quarantine.merge(poison)
             record.quarantine = shard_quarantine.to_dict()
+            record.wall_s = shard_wall.pop(shard_id, 0.0)
             completed[shard_id] = record
             if journal is not None:
                 journal.record(record)
-            tally("work.shard", shard_wall.pop(shard_id, 0.0))
+            tally("work.shard", record.wall_s)
 
         def on_result(task: PoolTask, result: dict, info: dict) -> None:
             shard_id = task.group

@@ -166,6 +166,155 @@ class TestFleetDifferential:
 
 
 # ----------------------------------------------------------------------
+# fleet observability: traced scans, status plane, federated metrics
+# ----------------------------------------------------------------------
+class TestFleetObservability:
+    def test_traced_fleet_scan_ships_spans_and_stays_bit_identical(
+        self, detached, small_benchmark
+    ):
+        """options.trace makes workers record + ship spans back; merging
+        them with the coordinator's own yields one multi-row Chrome trace
+        sharing the scan's root request id — without changing output."""
+        from repro import obs
+
+        layout = small_benchmark.testing.layout
+        baseline = signature(detached, detached.detect(layout))
+
+        options = FleetOptions(trace=True, request_id="rid-fleet-test")
+        # No process tracer installed: the (single) worker thread owns
+        # one, exactly like a real subprocess worker.
+        coordinator, workers, scan = run_fleet(
+            detached, layout, worker_count=1, options=options
+        )
+        assert_identical(
+            baseline, signature(detached, detached.detect(layout, scan=scan))
+        )
+
+        documents = coordinator.trace_documents()
+        assert documents, "worker never shipped spans"
+        shipped_names = {
+            span["name"] for doc in documents for span in doc["spans"]
+        }
+        assert "fleet.shard" in shipped_names
+        assert all(doc["request_id"] == "rid-fleet-test" for doc in documents)
+
+        coordinator_doc = {
+            "role": "coordinator",
+            "pid": 0,
+            "request_id": coordinator.request_id,
+            "epoch_unix": documents[0]["epoch_unix"],
+            "spans": [],
+        }
+        merged = obs.merge_chrome_traces([coordinator_doc, *documents])
+        rows = {
+            event["args"]["name"]
+            for event in merged["traceEvents"]
+            if event["name"] == "process_name"
+        }
+        assert rows == {"coordinator", "worker:worker-0"}
+        assert merged["metadata"]["request_id"] == "rid-fleet-test"
+
+    def test_status_plane_reports_durations_workers_and_eta_fields(
+        self, detached, small_benchmark
+    ):
+        layout = small_benchmark.testing.layout
+        coordinator, workers, scan = run_fleet(detached, layout, worker_count=2)
+        status = coordinator.status()
+        assert status["request_id"] == coordinator.request_id
+        assert status["done"] is True
+        assert status["leases"] == []  # nothing outstanding
+        assert status["stragglers"] == []
+        assert status["eta_s"] is None
+        assert status["durations"]["count"] == status["shards"]
+        assert status["durations"]["p95"] >= status["durations"]["p50"] > 0
+        assert status["elapsed_s"] > 0
+        assert status["throughput_shards_per_s"] > 0
+        details = {w["name"]: w for w in status["worker_details"]}
+        assert sum(w["pushes"] for w in details.values()) == status["shards"]
+        # Workers self-reported stats with their lease requests.
+        assert sum(w["shards_done"] for w in details.values()) >= 0
+        assert "cache" in status
+
+    def test_outstanding_lease_appears_with_age_and_straggles_past_p95(
+        self, detached, small_benchmark
+    ):
+        layout = small_benchmark.testing.layout
+        with FleetCoordinator(
+            detached, layout, options=FleetOptions(lease_ttl_s=60.0)
+        ) as coordinator:
+            client = FleetClient(coordinator.url)
+            granted = client.post_json(
+                "/fleet/v1/lease",
+                {"worker": "slow", "fingerprint": coordinator.fingerprint},
+            )[1]
+            assert granted["status"] == "lease"
+            # Seed one completed-duration sample so p95 exists and is
+            # tiny: the outstanding lease immediately counts as a
+            # straggler once older than it.
+            coordinator._shard_wall[int(granted["shard"]) + 10_000] = 1e-9
+            time.sleep(0.05)
+            status = coordinator.status()
+        (lease,) = status["leases"]
+        assert lease["worker"] == "slow"
+        assert lease["shard"] == int(granted["shard"])
+        assert lease["age_s"] > 0
+        assert lease["expires_in_s"] > 0
+        assert status["stragglers"] == [lease["shard"]]
+
+    def test_coordinator_serves_own_and_federated_metrics(
+        self, detached, small_benchmark
+    ):
+        layout = small_benchmark.testing.layout
+        coordinator, workers, scan = run_fleet(detached, layout, worker_count=1)
+        rendered = coordinator.metrics.render()
+        assert 'repro_fleet_pushes_total{outcome="accepted"}' in rendered
+        assert "repro_fleet_shard_seconds_count" in rendered
+        federated = coordinator.federated_metrics().render()
+        assert 'fleet_member_up{member="coordinator"} 1' in federated
+        assert 'repro_fleet_leases_total{outcome="granted"}' in federated
+
+    def test_metrics_endpoints_served_over_http(
+        self, detached, small_benchmark
+    ):
+        layout = small_benchmark.testing.layout
+        with FleetCoordinator(detached, layout) as coordinator:
+            client = FleetClient(coordinator.url)
+            status, payload, content_type = client.request("GET", "/metrics")
+            assert status == 200
+            assert content_type.startswith("text/plain")
+            status, state = client.get_json("/metrics/state")
+            assert status == 200
+            assert {"families"} <= set(state)
+            status, payload, content_type = client.request(
+                "GET", "/fleet/v1/metrics"
+            )
+            assert status == 200
+            assert b"fleet_member_up" in payload
+
+    def test_handshake_409_echoes_the_request_id(
+        self, detached, small_benchmark
+    ):
+        layout = small_benchmark.testing.layout
+        with FleetCoordinator(detached, layout) as coordinator:
+            status, _, headers = FleetClient(coordinator.url).request_full(
+                "POST",
+                "/fleet/v1/lease",
+                b'{"worker": "x", "fingerprint": "nope"}',
+                headers={"X-Request-Id": "rid-409"},
+            )
+        assert status == 409
+        assert headers["X-Request-Id"] == "rid-409"
+
+    def test_cache_node_serves_metrics(self, cache_node):
+        app, url = cache_node
+        client = FleetClient(url)
+        client.request("GET", "/cache/v1/margins/fp/missing")
+        status, payload, _ = client.request("GET", "/metrics")
+        assert status == 200
+        assert b'repro_fleet_cache_ops_total{outcome="miss"} 1' in payload
+
+
+# ----------------------------------------------------------------------
 # lease protocol edges: handshake, corrupt push, first push wins
 # ----------------------------------------------------------------------
 class TestLeaseProtocol:
@@ -397,6 +546,34 @@ class TestFrontend:
             assert status == 200
             assert health["replicas"] == 3  # corpse still within its TTL
             assert health["forwarded"] >= 10
+
+    def test_predict_forwards_the_callers_request_id(self):
+        """The id a client sends the frontend reaches the replica verbatim
+        and comes back in the frontend's response headers."""
+
+        class _HeaderEcho:
+            def handle(self, method, path, body, headers):
+                return 200, {"rid": headers.get("X-Request-Id")}, JSON_TYPE
+
+        frontend = FleetFrontend(MemberTable(ttl_s=30.0))
+        with FleetHTTPServer(frontend) as front, FleetHTTPServer(
+            _HeaderEcho()
+        ) as replica:
+            client = FleetClient(front.url)
+            client.post_json(
+                "/fleet/v1/register",
+                {"name": "r", "url": replica.url, "kind": "serve", "version": "v"},
+            )
+            status, payload, headers = client.request_full(
+                "POST",
+                "/v1/predict",
+                b"{}",
+                headers={"X-Request-Id": "rid-proxy"},
+            )
+        assert status == 200
+        assert b'"rid": "rid-proxy"' in payload
+        assert headers["X-Request-Id"] == "rid-proxy"
+        assert "fleet_frontend_requests_total" in frontend.metrics.render()
 
     def test_no_replicas_is_503(self):
         frontend = FleetFrontend(MemberTable())

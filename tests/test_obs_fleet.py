@@ -1,0 +1,379 @@
+"""Fleet observability: metrics merge algebra, trace merging, federation.
+
+The merge algebra must be exact: federating N per-process metric states
+has to produce the registry that one process observing the union of all
+observations would hold (property-tested below).  Chrome-trace merging
+must land every process's spans on one shared timeline — one row per
+fleet node, all stamped with the scan's root request id.  And the wire
+layer must carry that request id on every RPC, echoing it on every
+response (error responses included).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import FleetClient, FleetHTTPServer, metrics_routes
+from repro.fleet.protocol import JSON_TYPE
+from repro.obs import (
+    REQUEST_ID_HEADER,
+    TRACE_PARENT_HEADER,
+    MetricsAggregator,
+    Tracer,
+    bind_trace_context,
+    current_request_id,
+    current_trace_parent,
+    merge_chrome_traces,
+    set_tracer,
+    span_document,
+    trace,
+    trace_headers,
+)
+from repro.serve.metrics import MetricsRegistry, merge_metrics_states
+
+
+# ----------------------------------------------------------------------
+# metrics merge algebra
+# ----------------------------------------------------------------------
+BUCKETS = (0.1, 1.0, 10.0)
+
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=20
+)
+
+
+def _registry_observing(counter_incs, histogram_values) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("ops_total", "ops", labels=("kind",))
+    for kind, amount in counter_incs:
+        counter.labels(kind).inc(amount)
+    histogram = registry.histogram("lat_seconds", "latency", buckets=BUCKETS)
+    for value in histogram_values:
+        histogram.labels().observe(value)
+    return registry
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        shards=st.lists(
+            st.tuples(
+                st.lists(
+                    st.tuples(
+                        st.sampled_from(["get", "put"]),
+                        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                    ),
+                    max_size=10,
+                ),
+                observations,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_merge_of_n_states_equals_one_registry_observing_union(
+        self, shards
+    ):
+        """merge(state_1..state_n) == registry(union of observations)."""
+        states = [
+            _registry_observing(incs, values).export_state()
+            for incs, values in shards
+        ]
+        merged = merge_metrics_states(states)
+        union = _registry_observing(
+            [pair for incs, _ in shards for pair in incs],
+            [value for _, values in shards for value in values],
+        )
+        merged_state = merged.export_state()
+        union_state = union.export_state()
+        assert [f["name"] for f in merged_state["families"]] == [
+            f["name"] for f in union_state["families"]
+        ]
+        for left, right in zip(
+            merged_state["families"], union_state["families"]
+        ):
+            assert left["kind"] == right["kind"]
+            assert left["label_names"] == right["label_names"]
+            for lchild, rchild in zip(left["children"], right["children"]):
+                assert lchild["labels"] == rchild["labels"]
+                if left["kind"] == "histogram":
+                    assert lchild["bounds"] == rchild["bounds"]
+                    assert lchild["counts"] == rchild["counts"]  # exact
+                    assert lchild["count"] == rchild["count"]
+                    assert math.isclose(
+                        lchild["sum"], rchild["sum"], rel_tol=1e-9, abs_tol=1e-9
+                    )
+                else:
+                    assert math.isclose(
+                        lchild["value"],
+                        rchild["value"],
+                        rel_tol=1e-9,
+                        abs_tol=1e-9,
+                    )
+
+    def test_export_absorb_round_trip_renders_identically(self):
+        registry = _registry_observing(
+            [("get", 3.0), ("put", 1.0)], [0.05, 0.5, 5.0, 50.0]
+        )
+        clone = MetricsRegistry()
+        clone.absorb_state(registry.export_state())
+        assert clone.render() == registry.render()
+
+    def test_histogram_bounds_mismatch_raises(self):
+        left = MetricsRegistry()
+        left.histogram("h_seconds", buckets=(0.1, 1.0)).labels().observe(0.2)
+        right = MetricsRegistry()
+        right.histogram("h_seconds", buckets=(0.5, 5.0)).labels().observe(0.2)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            right.absorb_state(left.export_state())
+
+    def test_kind_clash_raises(self):
+        left = MetricsRegistry()
+        left.counter("thing").labels().inc()
+        right = MetricsRegistry()
+        right.gauge("thing").labels().set(2.0)
+        with pytest.raises(ValueError):
+            right.absorb_state(left.export_state())
+
+    def test_label_sets_are_preserved_and_disjoint_children_created(self):
+        left = MetricsRegistry()
+        left.counter("ops_total", labels=("kind",)).labels("get").inc(2)
+        right = MetricsRegistry()
+        right.counter("ops_total", labels=("kind",)).labels("put").inc(5)
+        merged = merge_metrics_states(
+            [left.export_state(), right.export_state()]
+        )
+        rendered = merged.render()
+        assert 'repro_ops_total{kind="get"} 2' in rendered
+        assert 'repro_ops_total{kind="put"} 5' in rendered
+
+    def test_gauges_federate_by_summing(self):
+        states = []
+        for depth in (3.0, 4.0):
+            registry = MetricsRegistry()
+            registry.gauge("queue_depth").labels().set(depth)
+            states.append(registry.export_state())
+        merged = merge_metrics_states(states)
+        assert "repro_queue_depth 7" in merged.render()
+
+
+# ----------------------------------------------------------------------
+# trace context propagation
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_unbound_untraced_headers_are_empty(self):
+        assert trace_headers() == {}
+        assert current_request_id() is None
+
+    def test_bind_nest_restore(self):
+        with bind_trace_context("outer", "parent-a"):
+            assert current_request_id() == "outer"
+            assert current_trace_parent() == "parent-a"
+            assert trace_headers()[REQUEST_ID_HEADER] == "outer"
+            with bind_trace_context("inner"):
+                assert current_request_id() == "inner"
+                assert current_trace_parent() is None
+            assert current_request_id() == "outer"
+        assert current_request_id() is None
+
+    def test_recording_tracer_stamps_current_span_as_parent(self):
+        set_tracer(Tracer())
+        try:
+            with bind_trace_context("rid-1"):
+                with trace("outer.work"):
+                    headers = trace_headers()
+            assert headers[REQUEST_ID_HEADER] == "rid-1"
+            name, _, span_id = headers[TRACE_PARENT_HEADER].partition(":")
+            assert name == "outer.work"
+            assert span_id
+        finally:
+            set_tracer(None)
+
+
+class _EchoApp:
+    """Answers with the request id its handler thread sees bound."""
+
+    def handle(self, method, path, body, headers):
+        if path == "/boom":
+            raise RuntimeError("kaboom")
+        return 200, {"bound": current_request_id()}, JSON_TYPE
+
+
+class TestRequestIdOnTheWire:
+    def test_caller_id_is_bound_and_echoed(self):
+        with FleetHTTPServer(_EchoApp()) as server:
+            client = FleetClient(server.url)
+            status, payload, headers = client.request_full(
+                "GET", "/x", headers={REQUEST_ID_HEADER: "rid-wire"}
+            )
+            assert status == 200
+            assert headers[REQUEST_ID_HEADER] == "rid-wire"
+            assert b'"bound": "rid-wire"' in payload
+
+    def test_missing_id_is_minted_and_echoed(self):
+        with FleetHTTPServer(_EchoApp()) as server:
+            _, payload, headers = FleetClient(server.url).request_full(
+                "GET", "/x"
+            )
+            minted = headers[REQUEST_ID_HEADER]
+            assert minted
+            assert minted.encode() in payload  # handler saw the same id
+
+    def test_error_responses_carry_the_id(self):
+        with FleetHTTPServer(_EchoApp()) as server:
+            status, _, headers = FleetClient(server.url).request_full(
+                "GET", "/boom", headers={REQUEST_ID_HEADER: "rid-err"}
+            )
+            assert status == 500
+            assert headers[REQUEST_ID_HEADER] == "rid-err"
+
+    def test_bound_context_rides_outbound_requests(self):
+        with FleetHTTPServer(_EchoApp()) as server:
+            client = FleetClient(server.url)
+            with bind_trace_context("rid-out"):
+                _, payload, _ = client.request_full("GET", "/x")
+            assert b'"bound": "rid-out"' in payload
+
+
+# ----------------------------------------------------------------------
+# span shipping + chrome merge
+# ----------------------------------------------------------------------
+def _traced_document(role, epoch, request_id="rid-m", names=("a.one",)):
+    tracer = Tracer()
+    tracer.epoch_unix = epoch
+    for name in names:
+        with tracer.span(name):
+            pass
+    return span_document(tracer, role, request_id=request_id)
+
+
+class TestSpanDocument:
+    def test_since_slices_already_shipped_spans(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        doc = span_document(tracer, "worker:w0", since=0)
+        assert [s["name"] for s in doc["spans"]] == ["first"]
+        with tracer.span("second"):
+            pass
+        incremental = span_document(tracer, "worker:w0", since=1)
+        assert [s["name"] for s in incremental["spans"]] == ["second"]
+
+
+class TestMergeChromeTraces:
+    def test_one_row_per_role_coordinator_first(self):
+        merged = merge_chrome_traces(
+            [
+                _traced_document("worker:w1", 1000.0),
+                _traced_document("coordinator", 1000.0),
+                _traced_document("worker:w0", 1000.0),
+            ]
+        )
+        names = {
+            event["pid"]: event["args"]["name"]
+            for event in merged["traceEvents"]
+            if event["name"] == "process_name"
+        }
+        assert names == {1: "coordinator", 2: "worker:w0", 3: "worker:w1"}
+        assert merged["metadata"]["request_id"] == "rid-m"
+
+    def test_respawned_worker_reuses_its_role_row(self):
+        # Two different OS processes (same role) — one Chrome row.
+        first = _traced_document("worker:w0", 1000.0)
+        second = _traced_document("worker:w0", 1001.0)
+        second["pid"] = first["pid"] + 1
+        merged = merge_chrome_traces([first, second])
+        span_pids = {
+            e["pid"] for e in merged["traceEvents"] if e["ph"] == "X"
+        }
+        assert span_pids == {1}
+        # ...but distinct threads, so the rows don't visually overlap.
+        span_tids = {
+            e["tid"] for e in merged["traceEvents"] if e["ph"] == "X"
+        }
+        assert len(span_tids) == 2
+
+    def test_timestamps_rebase_onto_the_earliest_epoch(self):
+        early = _traced_document("coordinator", 1000.0)
+        late = _traced_document("worker:w0", 1002.5)
+        merged = merge_chrome_traces([late, early])
+        by_role = {}
+        rows = {
+            e["pid"]: e["args"]["name"]
+            for e in merged["traceEvents"]
+            if e["name"] == "process_name"
+        }
+        for event in merged["traceEvents"]:
+            if event["ph"] == "X":
+                by_role[rows[event["pid"]]] = event["ts"]
+        # The late process's spans are shifted by the epoch delta (2.5s).
+        assert by_role["worker:w0"] - by_role["coordinator"] >= 2.5e6 - 1e4
+
+    def test_spans_carry_the_root_request_id(self):
+        merged = merge_chrome_traces([_traced_document("coordinator", 1.0)])
+        spans = [e for e in merged["traceEvents"] if e["ph"] == "X"]
+        assert spans and all(
+            e["args"]["request_id"] == "rid-m" for e in spans
+        )
+
+    def test_empty_documents_are_filtered(self):
+        assert merge_chrome_traces([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+        assert merge_chrome_traces([None, {}])["traceEvents"] == []
+
+
+# ----------------------------------------------------------------------
+# metrics federation over live members
+# ----------------------------------------------------------------------
+class _MetricsApp:
+    def __init__(self, registry) -> None:
+        self.registry = registry
+
+    def handle(self, method, path, body, headers):
+        routed = metrics_routes(self.registry, method, path)
+        if routed is not None:
+            return routed
+        return 404, {"error": "no route"}, JSON_TYPE
+
+
+class TestMetricsAggregator:
+    def test_scrapes_urls_and_callables_and_flags_down_members(self):
+        left = MetricsRegistry()
+        left.counter("ops_total").labels().inc(2)
+        right = MetricsRegistry()
+        right.counter("ops_total").labels().inc(3)
+        with FleetHTTPServer(_MetricsApp(left)) as one:
+            aggregator = MetricsAggregator(timeout_s=0.5)
+            aggregator.register("node-a", one.url)
+            aggregator.register("node-b", right.export_state)
+            aggregator.register("node-dead", "http://127.0.0.1:9")
+            rendered = aggregator.render()
+        assert "repro_ops_total 5" in rendered
+        assert 'fleet_member_up{member="node-a"} 1' in rendered
+        assert 'fleet_member_up{member="node-b"} 1' in rendered
+        assert 'fleet_member_up{member="node-dead"} 0' in rendered
+
+    def test_malformed_member_state_counts_as_down(self):
+        aggregator = MetricsAggregator()
+        aggregator.register("bad", lambda: {"families": [{"name": ""}]})
+        rendered = aggregator.render()
+        assert 'fleet_member_up{member="bad"} 0' in rendered
+
+    def test_metrics_routes_serves_text_and_state(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total").labels().inc()
+        with FleetHTTPServer(_MetricsApp(registry)) as server:
+            client = FleetClient(server.url)
+            status, payload, content_type = client.request("GET", "/metrics")
+            assert status == 200
+            assert content_type.startswith("text/plain")
+            assert b"repro_ops_total 1" in payload
+            status, state = client.get_json("/metrics/state")
+            assert status == 200
+            assert state["families"][0]["name"] == "repro_ops_total"
