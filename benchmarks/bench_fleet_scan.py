@@ -14,7 +14,11 @@ Recorded in ``BENCH_fleet_scan.json``:
   — how much of the second scan's work the shared tier absorbed;
 - ``fleet_wall_s_2w_traced`` and ``tracing_overhead_pct`` — the same
   2-worker scan with cross-process span shipping on, gated at <=5%
-  over the untraced run.
+  over the untraced run;
+- ``ha_wall_s_2w``, ``ha_wall_s_2w_failover`` and
+  ``failover_overhead_pct`` — the 2-worker scan with a warm standby
+  attached, quiet and with the primary killed mid-scan (standby
+  promotes, workers re-home), gated at <=20% over the quiet run.
 
 The wall-clock acceptance bar scales with the machine: >=1.7x at 4
 workers on >=4 cores, >=1.2x on 2-3 cores, and on a single core the
@@ -58,6 +62,12 @@ WARM_SPEEDUP_BAR = 1.3
 #: cannot fail the gate on its own.
 TRACING_OVERHEAD_FACTOR = 1.05
 TRACING_SLACK_S = 0.5
+#: A failover run repeats the in-flight shards and pays the promotion
+#: latency; it must stay within this factor of the quiet standby run,
+#: plus an absolute slack covering the probe/re-home floor on layouts
+#: small enough that it dominates.
+FAILOVER_OVERHEAD_FACTOR = 1.2
+FAILOVER_SLACK_S = 2.0
 
 
 def _report_key(report):
@@ -102,6 +112,52 @@ def _run_fleet(
     if trace:
         assert coordinator.trace_documents(), "traced fleet shipped no spans"
     return round(time.perf_counter() - started, 3), report, coordinator.status()
+
+
+def _run_ha_fleet(
+    detector, layout, model_path, layout_path, workers=2, failover=False
+):
+    """A fleet scan with a warm standby attached; optionally kill the
+    primary mid-scan and finish against the promoted standby."""
+    from repro.fleet import StandbyCoordinator
+    from repro.fleet.protocol import wait_until
+
+    coordinator = FleetCoordinator(
+        detector, layout, options=FleetOptions(lease_ttl_s=2.0)
+    )
+    started = time.perf_counter()
+    coordinator.start()
+    standby = StandbyCoordinator(
+        detector, layout, coordinator.url, probe_interval_s=0.25
+    ).start()
+    endpoints = f"{coordinator.url},{standby.url}"
+    procs = [
+        _spawn_worker(endpoints, model_path, layout_path, i)
+        for i in range(workers)
+    ]
+    try:
+        if failover:
+            assert wait_until(
+                lambda: coordinator.pushes_accepted >= 1, timeout_s=600
+            ), coordinator.status()
+            coordinator.stop()
+            assert wait_until(
+                lambda: standby.promoted.is_set(), timeout_s=60
+            ), "standby never promoted"
+        leader = standby.inner if failover else coordinator
+        assert leader.wait(timeout=1200), leader.status()
+        for proc in procs:
+            proc.wait(timeout=60)
+        scan = leader.result()
+        status = leader.status()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        standby.stop()
+        coordinator.stop()
+    report = detector.detect(layout, scan=scan)
+    return round(time.perf_counter() - started, 3), report, status
 
 
 def run_fleet_matrix(detector, layout, cache_layout, workdir: Path):
@@ -150,6 +206,26 @@ def run_fleet_matrix(detector, layout, cache_layout, workdir: Path):
         {"mode": "fleet-2w-traced", "wall_s": wall,
          "reports": report.report_count, "hit_rate": "-"}
     )
+
+    # HA rows: the 2-worker scan with a warm standby tailing the
+    # primary (the standing replication cost), then again with the
+    # primary killed after its first accepted push — promotion,
+    # worker re-homing and shard re-leases all land inside the wall.
+    for label, failover in (("ha-2w", False), ("ha-2w-failover", True)):
+        wall, report, status = _run_ha_fleet(
+            detector, layout, model_path, layout_path,
+            workers=2, failover=failover,
+        )
+        assert _report_key(report) == reference_key, (
+            f"{label} changed the hotspot set"
+        )
+        assert status["completed"] == status["shards"], status
+        if failover:
+            assert status["epoch"] >= 2, status
+        rows.append(
+            {"mode": label, "wall_s": wall,
+             "reports": report.report_count, "hit_rate": "-"}
+        )
 
     # Shared remote tier: a cold 2-worker scan populates it, the warm
     # rerun reads it back.  Hit rates come from the node itself.
@@ -207,6 +283,11 @@ def test_fleet_scan(once):
     tracing_overhead_pct = round(
         (traced_wall / max(untraced_wall, 1e-9) - 1.0) * 100, 1
     )
+    ha_wall = by_mode["ha-2w"]["wall_s"]
+    failover_wall = by_mode["ha-2w-failover"]["wall_s"]
+    failover_overhead_pct = round(
+        (failover_wall / max(ha_wall, 1e-9) - 1.0) * 100, 1
+    )
     record_metrics(
         __file__,
         cores=CORES,
@@ -220,6 +301,9 @@ def test_fleet_scan(once):
         remote_warm_speedup_x=warm_speedup,
         fleet_wall_s_2w_traced=traced_wall,
         tracing_overhead_pct=tracing_overhead_pct,
+        ha_wall_s_2w=ha_wall,
+        ha_wall_s_2w_failover=failover_wall,
+        failover_overhead_pct=failover_overhead_pct,
         reports=by_mode["single-node"]["reports"],
     )
 
@@ -227,6 +311,12 @@ def test_fleet_scan(once):
         f"traced fleet scan {traced_wall}s vs untraced {untraced_wall}s: "
         f"tracing overhead {tracing_overhead_pct}% above the "
         f"{round((TRACING_OVERHEAD_FACTOR - 1) * 100)}% bar"
+    )
+
+    assert failover_wall <= ha_wall * FAILOVER_OVERHEAD_FACTOR + FAILOVER_SLACK_S, (
+        f"failover scan {failover_wall}s vs quiet standby run {ha_wall}s: "
+        f"failover overhead {failover_overhead_pct}% above the "
+        f"{round((FAILOVER_OVERHEAD_FACTOR - 1) * 100)}% bar"
     )
 
     assert by_mode["cache-warm"]["hit_rate"] > by_mode["cache-cold"]["hit_rate"]

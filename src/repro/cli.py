@@ -410,6 +410,13 @@ def _add_serve(subparsers) -> None:
         help="record pipeline spans and expose per-stage histograms on /metrics",
     )
     parser.add_argument(
+        "--frontend",
+        default=None,
+        metavar="URL",
+        help="self-register with this fleet-frontend and heartbeat at "
+        "TTL/3 (re-registers after a frontend restart)",
+    )
+    parser.add_argument(
         "--json-logs", action="store_true", help="structured JSON logs on stderr"
     )
 
@@ -484,6 +491,19 @@ def _add_fleet_scan(subparsers) -> None:
         "--port", type=int, default=0, help="coordinator port (0 = ephemeral)"
     )
     fleet.add_argument(
+        "--standby",
+        action="store_true",
+        help="supervise a warm-standby coordinator; workers get both "
+        "endpoints and re-home if the primary dies",
+    )
+    fleet.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="standby health-probe period (promotes after 2 misses)",
+    )
+    fleet.add_argument(
         "--cache-url",
         action="append",
         default=None,
@@ -553,7 +573,12 @@ def _add_fleet_worker(subparsers) -> None:
     parser = subparsers.add_parser(
         "fleet-worker", help="join a fleet coordinator as a scan worker"
     )
-    parser.add_argument("--url", required=True, help="coordinator URL")
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="ordered, comma-separated coordinator URLs (primary first, "
+        "then standbys); the worker re-homes down the list on failure",
+    )
     parser.add_argument("--model", type=Path, required=True)
     parser.add_argument("--layout", type=Path, required=True)
     parser.add_argument(
@@ -568,6 +593,148 @@ def _add_fleet_worker(subparsers) -> None:
     )
     parser.add_argument(
         "--json-logs", action="store_true", help="structured JSON logs on stderr"
+    )
+
+
+def _add_fleet_coordinator(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet-coordinator",
+        help="standalone fleet coordinator (primary or warm standby); "
+        "serves leases until done and leaves the journal for merging",
+    )
+    parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument("--layout", type=Path, required=True)
+    parser.add_argument("--layer", type=int, default=1)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds a shard lease survives without a heartbeat",
+    )
+    parser.add_argument(
+        "--shard-side", type=int, default=None, metavar="DBU"
+    )
+    parser.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="shard journal directory (kept on exit for external merge)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already journaled in --journal-dir",
+    )
+    standby = parser.add_argument_group("standby")
+    standby.add_argument(
+        "--standby-of",
+        default=None,
+        metavar="URL",
+        help="run as a warm standby tailing this primary's replicate "
+        "feed; promotes under epoch+1 when probes go unanswered",
+    )
+    standby.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="replication/health-probe period as a standby",
+    )
+    standby.add_argument(
+        "--max-missed-probes",
+        type=int,
+        default=2,
+        metavar="N",
+        help="consecutive missed probes before promotion",
+    )
+    parser.add_argument(
+        "--linger",
+        type=float,
+        default=3.0,
+        metavar="S",
+        help="keep serving this long after the scan completes",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the merged chrome trace (own spans + worker-shipped)",
+    )
+    parser.add_argument(
+        "--json-logs", action="store_true", help="structured JSON logs on stderr"
+    )
+
+
+def _add_chaos(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "chaos",
+        help="run a seeded fleet chaos drill and assert bit-identical "
+        "output against a quiet single-node scan",
+    )
+    parser.add_argument("--model", type=Path, required=True)
+    parser.add_argument("--layout", type=Path, required=True)
+    parser.add_argument("--layer", type=int, default=1)
+    parser.add_argument(
+        "--schedule",
+        required=True,
+        metavar="SPEC",
+        help="drill schedule DSL ('seed N; at T verb target [arg]'), or "
+        "@FILE to read it from a file",
+    )
+    parser.add_argument(
+        "--fleet-workers", type=int, default=2, metavar="N"
+    )
+    parser.add_argument(
+        "--no-standby",
+        action="store_true",
+        help="drill without a warm standby (coordinator death then hangs "
+        "the fleet — useful for testing the deadline path)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=2.0, metavar="S"
+    )
+    parser.add_argument(
+        "--probe-interval", type=float, default=0.3, metavar="S"
+    )
+    parser.add_argument(
+        "--shard-side", type=int, default=None, metavar="DBU"
+    )
+    parser.add_argument(
+        "--workdir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="journals, role logs and traces land here (default: next "
+        "to the layout)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the drill; each coordinator writes a merged timeline",
+    )
+    parser.add_argument(
+        "--expect-promotion",
+        action="store_true",
+        help="fail unless the standby actually promoted",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=240.0,
+        metavar="S",
+        help="abort the drill after this many seconds",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the drill report (timeline + verdict) as JSON",
     )
 
 
@@ -1013,6 +1180,10 @@ def cmd_serve(args) -> int:
     )
     server.start()
     print(f"serving on {server.url} (Ctrl-C or SIGTERM drains and stops)")
+    registration = None
+    if args.frontend:
+        registration = _register_with_frontend(args.frontend, server, service)
+        print(f"registering with frontend {args.frontend}")
 
     def _shutdown(signum, frame):
         print(f"signal {signum}: draining queue and shutting down")
@@ -1024,10 +1195,76 @@ def cmd_serve(args) -> int:
     signal.signal(signal.SIGTERM, _shutdown)
     signal.signal(signal.SIGINT, _shutdown)
     server.wait()
+    if registration is not None:
+        registration.set()
     obs.set_tracer(None)
     obs.configure_logging(False)
     print("server stopped")
     return 0
+
+
+def _register_with_frontend(frontend_url: str, server, service):
+    """Self-register this replica with a FleetFrontend, and keep it so.
+
+    Registers on startup and heartbeats at TTL/3; a heartbeat answered
+    404 means the frontend restarted and forgot this replica, so it
+    simply re-registers — the rotation heals without operator action.
+    Returns the Event that stops the loop.
+    """
+    import threading
+
+    from repro.errors import TransientError
+    from repro.fleet import FleetClient
+
+    client = FleetClient(frontend_url, timeout=5.0)
+    name = f"replica-{server.url}"
+    stop = threading.Event()
+    state = {"ttl_s": 10.0, "registered": False}
+
+    def _version() -> str:
+        try:
+            return str(service.registry.signature())
+        except Exception:
+            return ""
+
+    def _register() -> None:
+        try:
+            code, answer = client.post_json(
+                "/fleet/v1/register",
+                {
+                    "name": name,
+                    "url": server.url,
+                    "kind": "serve",
+                    "version": _version(),
+                },
+            )
+        except TransientError:
+            state["registered"] = False
+            return
+        state["registered"] = code == 200
+        if code == 200:
+            state["ttl_s"] = float(answer.get("ttl_s", state["ttl_s"]))
+
+    def _loop() -> None:
+        _register()
+        while not stop.wait(max(0.5, state["ttl_s"] / 3)):
+            if not state["registered"]:
+                _register()
+                continue
+            try:
+                code, _ = client.post_json(
+                    "/fleet/v1/heartbeat",
+                    {"name": name, "version": _version()},
+                )
+            except TransientError:
+                continue  # frontend blip; next beat retries
+            if code == 404:
+                _register()
+
+    threading.Thread(
+        target=_loop, name="repro-serve-register", daemon=True
+    ).start()
+    return stop
 
 
 def cmd_fleet_scan(args) -> int:
@@ -1073,9 +1310,64 @@ def cmd_fleet_scan(args) -> int:
         print(
             f"coordinator on {coordinator.url}: "
             f"{len(coordinator.shards)} shards "
-            f"({len(coordinator._resumed)} resumed)",
+            f"({len(coordinator._resumed)} resumed), "
+            f"epoch {coordinator.epoch}",
             file=sys.stderr,
         )
+
+        # Warm standby: a fleet-coordinator subprocess tailing this
+        # coordinator's replicate feed on a pre-allocated port, so every
+        # worker's endpoint list stays valid across standby respawns.
+        endpoints = [coordinator.url]
+        standby_port = None
+        standby = None
+        if args.standby:
+            from repro.resilience.drill import _free_port
+
+            standby_port = _free_port()
+            endpoints.append(f"http://{args.host}:{standby_port}")
+
+        def spawn_standby() -> subprocess.Popen:
+            command = [
+                sys.executable,
+                "-m",
+                "repro",
+                "fleet-coordinator",
+                "--model",
+                str(args.model),
+                "--layout",
+                str(args.layout),
+                "--layer",
+                str(args.layer),
+                "--host",
+                args.host,
+                "--port",
+                str(standby_port),
+                "--lease-ttl",
+                str(args.lease_ttl),
+                "--standby-of",
+                coordinator.url,
+                "--probe-interval",
+                str(args.probe_interval),
+            ]
+            if args.shard_side is not None:
+                command += ["--shard-side", str(args.shard_side)]
+            if journal_dir is not None:
+                command += [
+                    "--journal-dir",
+                    str(Path(journal_dir).with_name(
+                        Path(journal_dir).name + "-standby"
+                    )),
+                ]
+            return subprocess.Popen(command)
+
+        if args.standby:
+            standby = spawn_standby()
+            print(
+                f"standby coordinator on {endpoints[1]} "
+                f"(probe every {args.probe_interval}s)",
+                file=sys.stderr,
+            )
 
         def spawn(index: int) -> subprocess.Popen:
             command = [
@@ -1084,7 +1376,7 @@ def cmd_fleet_scan(args) -> int:
                 "repro",
                 "fleet-worker",
                 "--url",
-                coordinator.url,
+                ",".join(endpoints),
                 "--model",
                 str(args.model),
                 "--layout",
@@ -1104,6 +1396,20 @@ def cmd_fleet_scan(args) -> int:
         started = time.perf_counter()
         try:
             while not coordinator.wait(timeout=0.2):
+                if standby is not None and standby.poll() is not None:
+                    # The standby shares the worker respawn budget: a
+                    # crash-looping standby drains it instead of
+                    # flapping forever.
+                    code = standby.poll()
+                    standby = None
+                    if restarts < budget:
+                        restarts += 1
+                        print(
+                            f"standby died (exit {code}); "
+                            f"respawning ({restarts}/{budget})",
+                            file=sys.stderr,
+                        )
+                        standby = spawn_standby()
                 for index, proc in list(workers.items()):
                     code = proc.poll()
                     if code is None or code == 0:
@@ -1148,6 +1454,8 @@ def cmd_fleet_scan(args) -> int:
         finally:
             status = coordinator.status()
             coordinator.stop()
+            if standby is not None and standby.poll() is None:
+                standby.terminate()
             for proc in workers.values():
                 if proc.poll() is None:
                     proc.terminate()
@@ -1189,6 +1497,8 @@ def cmd_fleet_scan(args) -> int:
             eval_seconds=round(result.eval_seconds, 4),
             backend=result.backend,
             fleet_workers=args.fleet_workers,
+            fleet_standby=bool(args.standby),
+            fleet_epoch=status.get("epoch", 1),
             worker_restarts=restarts,
             shards_total=status["shards"],
             shards_resumed=status["resumed"],
@@ -1243,7 +1553,11 @@ def _render_fleet_status(status: dict, url: str) -> None:
     """Human rendering of one /fleet/v1/status document."""
     state = "done" if status.get("done") else "running"
     request_id = status.get("request_id") or "?"
-    print(f"fleet {url} [{state}]  request {request_id}")
+    role = status.get("role", "primary")
+    epoch = status.get("epoch", "?")
+    print(
+        f"fleet {url} [{state}]  {role} epoch {epoch}  request {request_id}"
+    )
     eta = status.get("eta_s")
     line = (
         f"  shards {status.get('completed', 0)}/{status.get('shards', 0)} "
@@ -1300,15 +1614,30 @@ def cmd_fleet_status(args) -> int:
     except FleetError as exc:
         print(f"bad coordinator URL: {exc}", file=sys.stderr)
         return 2
+    interval = max(0.2, args.interval)
+    misses = 0
     while True:
         try:
             code, status = client.get_json("/fleet/v1/status")
+            if code != 200:
+                raise TransientError(f"status fetch failed with HTTP {code}")
         except (FleetError, TransientError) as exc:
-            print(f"coordinator unreachable: {exc}", file=sys.stderr)
-            return 2
-        if code != 200:
-            print(f"status fetch failed with HTTP {code}", file=sys.stderr)
-            return 2
+            # A restarting coordinator (or a standby mid-promotion) is a
+            # row in the watch, not a crash; one-shot mode still exits.
+            if not args.watch:
+                print(f"coordinator unreachable: {exc}", file=sys.stderr)
+                return 2
+            misses += 1
+            if not args.json:
+                print("\x1b[2J\x1b[H", end="")
+                print(
+                    f"fleet {args.url} [coordinator unreachable (epoch ?)]"
+                    f"  retry {misses}"
+                )
+            # Bounded backoff: 1x..8x the refresh interval, capped.
+            time.sleep(min(30.0, interval * min(2 ** (misses - 1), 8)))
+            continue
+        misses = 0
         if args.json:
             print(json.dumps(status, sort_keys=True))
         else:
@@ -1319,7 +1648,7 @@ def cmd_fleet_status(args) -> int:
             _render_fleet_status(status, args.url)
         if not args.watch or status.get("done"):
             return 0
-        time.sleep(max(0.2, args.interval))
+        time.sleep(interval)
 
 
 def cmd_fleet_worker(args) -> int:
@@ -1345,9 +1674,159 @@ def cmd_fleet_worker(args) -> int:
         obs.configure_logging(False)
     print(
         f"worker {worker_id}: {summary['shards_done']} shards done, "
-        f"{summary['shards_stale']} stale"
+        f"{summary['shards_stale']} stale, {summary['rehomes']} rehomes"
     )
     return 0
+
+
+def cmd_fleet_coordinator(args) -> int:
+    """Standalone coordinator process: primary, or warm standby.
+
+    Unlike ``fleet-scan`` this never merges or clears the journal — it
+    serves the lease protocol until every shard is pushed, lingers so
+    workers and any standby observe ``done``, and exits leaving the
+    journal on disk.  The chaos drill (and any external driver) merges
+    from that journal afterwards.
+    """
+    import signal
+    import threading
+
+    from repro.fleet import FleetCoordinator, FleetOptions, StandbyCoordinator
+
+    if args.json_logs:
+        obs.configure_logging(
+            True, command="fleet-coordinator", run_id=obs.new_run_id()
+        )
+    if args.trace is not None:
+        obs.set_tracer(obs.Tracer())
+    detector = load_detector(args.model)
+    layout = load_layout_auto(args.layout)
+    options = FleetOptions(
+        host=args.host,
+        port=args.port,
+        lease_ttl_s=args.lease_ttl,
+        shard_side=args.shard_side,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        keep_journal=True,
+        trace=args.trace is not None,
+    )
+    if args.standby_of:
+        role = "standby"
+        node = StandbyCoordinator(
+            detector,
+            layout,
+            args.standby_of,
+            layer=args.layer,
+            options=options,
+            probe_interval_s=args.probe_interval,
+            max_missed_probes=args.max_missed_probes,
+        )
+    else:
+        role = "primary"
+        node = FleetCoordinator(
+            detector, layout, layer=args.layer, options=options
+        )
+    node.start()
+    inner = node.inner if role == "standby" else node
+    print(
+        f"{role} coordinator on {node.url}: {len(inner.shards)} shards, "
+        f"epoch {inner.epoch}",
+        flush=True,
+    )
+    stopped = threading.Event()
+
+    def _shutdown(signum, frame):
+        stopped.set()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    while not stopped.is_set():
+        if node.wait(timeout=0.2):
+            break
+    done = node.wait(timeout=0)
+    if done and args.linger > 0:
+        # Workers still need their final "done" lease answers, and an
+        # attached standby its last replication tick; serving a little
+        # past completion keeps hand-offs and drills clean.
+        time.sleep(args.linger)
+    if args.trace is not None:
+        documents = [
+            obs.span_document(
+                obs.get_tracer(),
+                "coordinator" if role == "primary" else "standby",
+                inner.request_id,
+            )
+        ]
+        documents.extend(inner.trace_documents())
+        try:
+            args.trace.write_text(json.dumps(obs.merge_chrome_traces(documents)))
+            print(f"fleet trace -> {args.trace}", file=sys.stderr)
+        except OSError as exc:
+            print(f"warning: could not write trace: {exc}", file=sys.stderr)
+    status = inner.status()
+    node.stop()
+    obs.set_tracer(None)
+    obs.configure_logging(False)
+    print(
+        f"coordinator exiting: {status['completed']}/{status['shards']} "
+        f"shards journaled, role {inner.role}, epoch {status['epoch']}, "
+        f"{status['stale_epoch_fenced']} stale-epoch requests fenced",
+        file=sys.stderr,
+    )
+    return 0 if done else 1
+
+
+def cmd_chaos(args) -> int:
+    from repro.resilience.drill import ChaosDrill, DrillSchedule
+
+    spec = args.schedule
+    if spec.startswith("@"):
+        spec = Path(spec[1:]).read_text()
+    schedule = DrillSchedule.parse(spec)
+    drill = ChaosDrill(
+        args.model,
+        args.layout,
+        schedule,
+        layer=args.layer,
+        workers=args.fleet_workers,
+        standby=not args.no_standby,
+        lease_ttl_s=args.lease_ttl,
+        probe_interval_s=args.probe_interval,
+        shard_side=args.shard_side,
+        workdir=args.workdir,
+        trace=args.trace,
+        deadline_s=args.deadline,
+    )
+    print(
+        f"chaos drill: seed {schedule.seed}, {len(schedule.actions)} "
+        f"scheduled actions, {args.fleet_workers} workers"
+        f"{'' if args.no_standby else ' + warm standby'}",
+        file=sys.stderr,
+    )
+    report = drill.run()
+    for entry in report.timeline:
+        print(
+            f"  [{entry['t_s']:7.2f}s] {entry['action']} ({entry['detail']})",
+            file=sys.stderr,
+        )
+    if args.out is not None:
+        args.out.write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"drill report -> {args.out}", file=sys.stderr)
+    print(
+        f"drill: leader={report.leader or '?'} epoch={report.leader_epoch} "
+        f"promoted={report.promoted} "
+        f"shards={report.completed}/{report.shards} "
+        f"fenced={report.stale_epoch_fenced} identical={report.identical} "
+        f"({report.wall_s:.1f}s)"
+    )
+    if report.error:
+        print(f"drill error: {report.error}", file=sys.stderr)
+    ok = report.identical and not report.error
+    if args.expect_promotion and not report.promoted:
+        print("drill failed: expected a standby promotion", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
 
 
 def _serve_forever(server, banner: str) -> int:
@@ -1524,6 +2003,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fleet_scan(subparsers)
     _add_fleet_status(subparsers)
     _add_fleet_worker(subparsers)
+    _add_fleet_coordinator(subparsers)
+    _add_chaos(subparsers)
     _add_fleet_cache(subparsers)
     _add_fleet_frontend(subparsers)
     return parser
@@ -1546,6 +2027,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fleet-scan": cmd_fleet_scan,
         "fleet-status": cmd_fleet_status,
         "fleet-worker": cmd_fleet_worker,
+        "fleet-coordinator": cmd_fleet_coordinator,
+        "chaos": cmd_chaos,
         "fleet-cache": cmd_fleet_cache,
         "fleet-frontend": cmd_fleet_frontend,
     }

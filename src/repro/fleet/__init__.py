@@ -11,7 +11,11 @@ bit-identical** (same hotspot set, margins and funnel counts).
   crash recovery (``--resume`` works across coordinator death);
 - :mod:`repro.fleet.worker` — :class:`FleetWorker`: pull a lease,
   evaluate the shard with the exact single-node code path, push the
-  npz record back;
+  npz record back; takes an ordered coordinator list and re-homes to
+  the promoted standby on leader failure;
+- :mod:`repro.fleet.ha` — :class:`StandbyCoordinator`: tails the
+  primary's replicate feed and promotes itself under a new leader
+  epoch when health probes go unanswered;
 - :mod:`repro.fleet.remote_cache` — an HTTP blob cache
   (:class:`CacheServer`) and the :class:`RemoteCacheStore` tier that
   plugs it into :class:`~repro.cache.HotspotCache`;
@@ -20,10 +24,11 @@ bit-identical** (same hotspot set, margins and funnel counts).
   :class:`~repro.fleet.router.FleetFrontend` predict proxy.
 
 CLI entry points: ``repro fleet-scan | fleet-worker | fleet-cache |
-fleet-frontend``.  See ``docs/FLEET.md``.
+fleet-frontend | fleet-coordinator | chaos``.  See ``docs/FLEET.md``.
 """
 
 from repro.fleet.coordinator import FleetCoordinator, FleetOptions
+from repro.fleet.ha import StandbyCoordinator
 from repro.fleet.membership import Member, MemberTable
 from repro.fleet.protocol import (
     FLEET_PROTOCOL_VERSION,
@@ -34,12 +39,13 @@ from repro.fleet.protocol import (
 )
 from repro.fleet.remote_cache import CacheServer, RemoteCacheStore
 from repro.fleet.router import FleetFrontend, HashRing, RoundRobin
-from repro.fleet.worker import FleetWorker
+from repro.fleet.worker import CoordinatorChannel, FleetWorker
 
 __all__ = [
     "FLEET_PROTOCOL_VERSION",
     "METRICS_TEXT_TYPE",
     "CacheServer",
+    "CoordinatorChannel",
     "FleetClient",
     "FleetCoordinator",
     "FleetFrontend",
@@ -51,5 +57,6 @@ __all__ = [
     "MemberTable",
     "RemoteCacheStore",
     "RoundRobin",
+    "StandbyCoordinator",
     "metrics_routes",
 ]

@@ -26,6 +26,16 @@ Lease protocol (all JSON over HTTP, see ``docs/FLEET.md``):
 A background reaper expires leases whose worker stopped heartbeating
 and returns their shards to the *front* of the queue (they are the
 oldest work, and front-of-queue reassignment keeps tail latency down).
+
+High availability (``docs/FLEET.md``, :mod:`repro.fleet.ha`): every
+coordinator serves under a monotonically increasing **leader epoch**.
+Workers adopt the epoch at handshake and send it with every lease,
+heartbeat and push; a request carrying any *other* epoch is fenced with
+``409 {"status": "stale_epoch"}`` — so after a warm standby promotes
+(epoch + 1), a zombie primary's leases can never double-accept a shard
+on the new leader.  The standby mirrors durable state through ``GET
+/fleet/v1/replicate`` (completed-shard ids + the live lease table) and
+fetches journaled shard records via ``GET /fleet/v1/shard?id=N``.
 """
 
 from __future__ import annotations
@@ -38,10 +48,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.cache import open_blob
+from repro.cache import open_blob, wrap_blob
 from repro.errors import FleetError, FleetProtocolError, ScanDrainedError
 from repro.fleet.membership import MemberTable
 from repro.fleet.protocol import (
+    BLOB_TYPE,
     FLEET_PROTOCOL_VERSION,
     JSON_TYPE,
     METRICS_TEXT_TYPE,
@@ -60,6 +71,7 @@ from repro.work.shard import (
     _merge_shards,
     _ShardRecord,
     decode_shard_record,
+    encode_shard_record,
     scan_base_fingerprint,
     scan_fingerprint,
     shard_cells,
@@ -89,6 +101,11 @@ class FleetOptions:
     request_id: Optional[str] = None
     #: Tell workers to record spans and ship them back with pushes.
     trace: bool = False
+    #: Leader epoch this coordinator serves under.  A journal directory
+    #: that has seen a leader before bumps past its stored epoch, and a
+    #: promoted standby serves at the dead primary's epoch + 1 — the
+    #: epoch only ever moves forward for a given worker population.
+    epoch: int = 1
 
 
 #: Shard-duration buckets (seconds) — shards run from tens of ms on a
@@ -165,6 +182,18 @@ class FleetCoordinator:
                     of=len(self.shards),
                 )
 
+        # Leader epoch: monotone across restarts of the same journal dir
+        # (the sidecar survives a crash, so a resumed coordinator never
+        # reuses the epoch its predecessor's leases were granted under).
+        self.role = "primary"
+        self.epoch = int(self.options.epoch)
+        if self.options.journal_dir is not None:
+            stored = _read_epoch(Path(self.options.journal_dir))
+            if stored is not None:
+                self.epoch = max(self.epoch, stored + 1)
+            _write_epoch(Path(self.options.journal_dir), self.epoch)
+        self.stale_epoch_fenced = 0
+
         self._lock = threading.Lock()
         self._completed: dict[int, _ShardRecord] = dict(self._resumed)
         self._pending: deque[int] = deque(
@@ -208,6 +237,15 @@ class FleetCoordinator:
             "Worker-reported wall seconds per completed shard.",
             buckets=SHARD_SECONDS_BUCKETS,
         )
+        self._m_stale_epoch = self.metrics.counter(
+            "fleet_stale_epoch_total",
+            "Requests fenced with 409 stale_epoch, by route.",
+            labels=("route",),
+        )
+        self._m_epoch = self.metrics.gauge(
+            "fleet_epoch", "Leader epoch this coordinator serves under."
+        )
+        self._m_epoch.labels().set(float(self.epoch))
 
         # Status-plane state: per-shard wall clock (resumed shards keep
         # theirs via the journal), per-worker self-reports and push
@@ -244,19 +282,32 @@ class FleetCoordinator:
         self._server = FleetHTTPServer(
             self, host=self.options.host, port=self.options.port
         ).start()
-        self._closing.clear()
-        self._reaper = threading.Thread(
-            target=self._reap_loop, name="repro-fleet-reaper", daemon=True
-        )
-        self._reaper.start()
+        self.start_reaper()
         _log.info(
             "coordinator_started",
             url=self._server.url,
             shards=len(self.shards),
             resumed=len(self._resumed),
+            epoch=self.epoch,
             fingerprint=self.fingerprint[:16],
         )
         return self
+
+    def start_reaper(self) -> None:
+        """Start the lease-expiry thread (separately from the server).
+
+        A :class:`~repro.fleet.ha.StandbyCoordinator` serves this app
+        through its own HTTP server and only starts the reaper at
+        promotion — mirrored state must never expire leases the primary
+        still owns.
+        """
+        if self._reaper is not None:
+            return
+        self._closing.clear()
+        self._reaper = threading.Thread(
+            target=self._reap_loop, name="repro-fleet-reaper", daemon=True
+        )
+        self._reaper.start()
 
     def stop(self) -> None:
         self._closing.set()
@@ -272,6 +323,52 @@ class FleetCoordinator:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------
+    # leader epoch
+    # ------------------------------------------------------------------
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt a new (strictly larger) leader epoch.
+
+        Called by a promoting standby with the dead primary's epoch + 1;
+        persisted beside the journal so a later ``--resume`` of this
+        directory keeps moving forward.
+        """
+        if epoch <= self.epoch:
+            raise FleetError(
+                f"epoch must increase: {epoch} <= current {self.epoch}"
+            )
+        self.epoch = int(epoch)
+        self._m_epoch.labels().set(float(self.epoch))
+        if self.options.journal_dir is not None:
+            _write_epoch(Path(self.options.journal_dir), self.epoch)
+
+    def _fence_epoch(self, raw, route: str) -> Optional[tuple]:
+        """The 409 fence response for a stale-epoch request, or ``None``.
+
+        A request carrying no epoch at all is let through (hand-rolled
+        clients and pre-HA peers); :class:`~repro.fleet.worker.FleetWorker`
+        always sends the epoch it handshook under, which is what makes
+        the zombie-primary fence airtight for real fleets.
+        """
+        if raw is None or raw == "":
+            return None
+        try:
+            theirs = int(raw)
+        except (TypeError, ValueError) as exc:
+            raise FleetProtocolError(f"bad epoch {raw!r}") from exc
+        if theirs == self.epoch:
+            return None
+        self.stale_epoch_fenced += 1
+        self._m_stale_epoch.labels(route).inc()
+        _log.warning(
+            "stale_epoch_fenced", route=route, got=theirs, expected=self.epoch
+        )
+        return (
+            409,
+            {"status": "stale_epoch", "expected": self.epoch, "got": theirs},
+            JSON_TYPE,
+        )
 
     # ------------------------------------------------------------------
     # lease state machine
@@ -410,6 +507,89 @@ class FleetCoordinator:
         return {"status": "ok"}
 
     # ------------------------------------------------------------------
+    # replication (standby tail)
+    # ------------------------------------------------------------------
+    def absorb_replicated(self, record: _ShardRecord) -> bool:
+        """Mirror one already-validated shard record from the primary.
+
+        The standby's replication loop calls this for every completed
+        shard id it has not mirrored yet; the record lands in this
+        coordinator's own journal, so a promotion (or a crash of the
+        promoted standby followed by ``--resume``) starts from
+        everything the feed delivered.  Returns ``False`` for a
+        duplicate.
+        """
+        shard_id = record.shard_id
+        if not 0 <= shard_id < len(self.shards):
+            raise FleetProtocolError(f"replicated unknown shard {shard_id}")
+        record.cell = self.cells[shard_id][0]
+        record.geometry_sha = self._geometry[shard_id]
+        with self._lock:
+            if shard_id in self._completed:
+                return False
+            self._completed[shard_id] = record
+            try:
+                self._pending.remove(shard_id)
+            except ValueError:
+                pass
+            if self.journal is not None:
+                self.journal.record(record)
+            if record.wall_s > 0:
+                self._shard_wall[shard_id] = record.wall_s
+            done = len(self._completed) == len(self.shards)
+        if record.wall_s > 0:
+            self._m_shard_seconds.labels().observe(record.wall_s)
+        if done:
+            self._done.set()
+        return True
+
+    def replicate_document(self) -> dict:
+        """The ``GET /fleet/v1/replicate`` feed a warm standby tails.
+
+        Everything a standby needs to mirror durable state and take
+        over: the leader epoch, the scan identity, every completed
+        shard id (blobs fetched separately via ``/fleet/v1/shard``) and
+        the live lease table (status continuity — on promotion leased
+        shards are simply re-queued, first push still wins).
+        """
+        now = time.monotonic()
+        with self._lock:
+            completed = sorted(self._completed)
+            leases = [
+                {
+                    "shard": lease.shard_id,
+                    "worker": lease.worker,
+                    "lease": lease.lease_id,
+                    "expires_in_s": round(lease.expires - now, 3),
+                }
+                for lease in sorted(self._leases.values(), key=lambda l: l.shard_id)
+            ]
+        return {
+            "protocol": FLEET_PROTOCOL_VERSION,
+            "epoch": self.epoch,
+            "role": self.role,
+            "fingerprint": self.fingerprint,
+            "shards": len(self.shards),
+            "shard_side": self.shard_side,
+            "layer": self.layer,
+            "lease_ttl_s": self.options.lease_ttl_s,
+            "request_id": self.request_id,
+            "cache_urls": list(self.options.cache_urls),
+            "trace": bool(self.options.trace),
+            "completed": completed,
+            "leases": leases,
+            "done": self._done.is_set(),
+        }
+
+    def shard_blob(self, shard_id: int) -> Optional[bytes]:
+        """One completed shard re-encoded as an RPCB1 blob, or ``None``."""
+        with self._lock:
+            record = self._completed.get(shard_id)
+        if record is None:
+            return None
+        return wrap_blob(encode_shard_record(record))
+
+    # ------------------------------------------------------------------
     # HTTP app (FleetHTTPServer)
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str, body: bytes, headers) -> tuple:
@@ -423,8 +603,31 @@ class FleetCoordinator:
             return 200, self.status(), JSON_TYPE
         if method == "GET" and path == "/fleet/v1/metrics":
             return 200, self.federated_metrics().render(), METRICS_TEXT_TYPE
+        if method == "GET" and path == "/fleet/v1/replicate":
+            return 200, self.replicate_document(), JSON_TYPE
+        if method == "GET" and path == "/fleet/v1/shard":
+            params = dict(
+                pair.split("=", 1) for pair in query.split("&") if "=" in pair
+            )
+            try:
+                shard_id = int(params.get("id", ""))
+            except ValueError as exc:
+                raise FleetProtocolError(f"bad shard query {query!r}") from exc
+            blob = self.shard_blob(shard_id)
+            if blob is None:
+                return 404, {"error": f"shard {shard_id} not completed"}, JSON_TYPE
+            return 200, blob, BLOB_TYPE
         if method == "GET" and path == "/healthz":
-            return 200, {"status": "ok", "done": self._done.is_set()}, JSON_TYPE
+            return (
+                200,
+                {
+                    "status": "ok",
+                    "done": self._done.is_set(),
+                    "role": self.role,
+                    "epoch": self.epoch,
+                },
+                JSON_TYPE,
+            )
         if method == "POST" and path == "/fleet/v1/trace":
             document = _json_body(body)
             with self._lock:
@@ -432,6 +635,9 @@ class FleetCoordinator:
             return 200, {"status": "ok"}, JSON_TYPE
         if method == "POST" and path == "/fleet/v1/lease":
             document = _json_body(body)
+            fenced = self._fence_epoch(document.get("epoch"), "lease")
+            if fenced is not None:
+                return fenced
             worker = str(document.get("worker", "?"))
             theirs = str(document.get("fingerprint", ""))
             if theirs != self.fingerprint:
@@ -459,6 +665,9 @@ class FleetCoordinator:
             return 200, self._grant(worker), JSON_TYPE
         if method == "POST" and path == "/fleet/v1/heartbeat":
             document = _json_body(body)
+            fenced = self._fence_epoch(document.get("epoch"), "heartbeat")
+            if fenced is not None:
+                return fenced
             self.members.heartbeat(str(document.get("worker", "?")))
             stats = document.get("stats")
             if isinstance(stats, dict):
@@ -480,12 +689,17 @@ class FleetCoordinator:
                 lease_id = int(params.get("lease", "-1"))
             except ValueError as exc:
                 raise FleetProtocolError(f"bad push query {query!r}") from exc
+            fenced = self._fence_epoch(params.get("epoch"), "push")
+            if fenced is not None:
+                return fenced
             return 200, self._accept_push(shard_id, lease_id, body), JSON_TYPE
         return 404, {"error": f"no route {path!r}"}, JSON_TYPE
 
     def config_document(self) -> dict:
         return {
             "protocol": FLEET_PROTOCOL_VERSION,
+            "epoch": self.epoch,
+            "role": self.role,
             "fingerprint": self.fingerprint,
             "shard_side": self.shard_side,
             "layer": self.layer,
@@ -563,10 +777,13 @@ class FleetCoordinator:
         cache = _merged_cache_stats(reports.values())
         return {
             "shards": len(self.shards),
+            "epoch": self.epoch,
+            "role": self.role,
             "completed": completed,
             "leased": leased,
             "pending": pending,
             "resumed": len(self._resumed),
+            "stale_epoch_fenced": self.stale_epoch_fenced,
             "leases_granted": self.leases_granted,
             "leases_expired": self.leases_expired,
             "pushes_accepted": self.pushes_accepted,
@@ -653,7 +870,38 @@ class FleetCoordinator:
             )
         if self.journal is not None and not self.options.keep_journal:
             self.journal.clear()
+            _clear_epoch(Path(self.options.journal_dir))
         return result
+
+
+#: Sidecar file (in the journal dir) persisting the leader epoch.
+EPOCH_FILE = "epoch.json"
+
+
+def _read_epoch(journal_dir: Path) -> Optional[int]:
+    try:
+        document = json.loads((journal_dir / EPOCH_FILE).read_text())
+        return int(document["epoch"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _write_epoch(journal_dir: Path, epoch: int) -> None:
+    try:
+        journal_dir.mkdir(parents=True, exist_ok=True)
+        (journal_dir / EPOCH_FILE).write_text(json.dumps({"epoch": int(epoch)}))
+    except OSError:
+        pass  # best-effort: a lost sidecar only costs monotonicity-on-resume
+
+
+def _clear_epoch(journal_dir: Path) -> None:
+    """Drop the sidecar with the cleared journal (a finished scan's
+    epoch has no successor to fence against)."""
+    try:
+        (journal_dir / EPOCH_FILE).unlink(missing_ok=True)
+        journal_dir.rmdir()
+    except OSError:
+        pass
 
 
 def _percentile(ordered: list, q: float) -> float:

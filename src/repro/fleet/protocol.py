@@ -36,6 +36,7 @@ from repro.obs.fleet import (
     trace_headers,
 )
 from repro.obs.trace import enabled as _tracing_enabled
+from repro.resilience import faults
 from repro.serve.httpd import ReuseAddrHTTPServer
 
 #: Bump on breaking fleet wire-format changes; exchanged in every
@@ -186,6 +187,9 @@ class FleetHTTPServer:
             return
         self._httpd.shutdown()
         self._httpd.server_close()
+        # Keep-alive peers would otherwise still be answered by live
+        # handler threads — a zombie server, not a stopped one.
+        self._httpd.close_connections()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
         self._httpd = None
@@ -266,6 +270,14 @@ class FleetClient:
         on the untraced path.  Explicit ``headers`` win over stamped
         ones (the frontend forwards its caller's request id verbatim).
         """
+        # Chaos point: ``fleet.partition.<host>_<port>`` simulates a
+        # network partition toward this one peer — an ``error`` plan
+        # makes every RPC to it raise TransientError, which is exactly
+        # what a worker sees when its coordinator drops off the network
+        # (and what drives its re-homing).  Pattern rules cover a whole
+        # peer set: ``fleet.partition.*_8990=error:1.0``.
+        if faults.get() is not None:
+            faults.inject(f"fleet.partition.{self.host}_{self.port}", path=path)
         merged = dict(trace_headers())
         if body is not None:
             merged["Content-Type"] = content_type
@@ -299,6 +311,11 @@ class FleetClient:
     def post_blob(self, path: str, blob: bytes) -> tuple[int, dict]:
         status, payload, _ = self.request("POST", path, blob, BLOB_TYPE)
         return status, _decode_json(payload)
+
+    def get_blob(self, path: str) -> tuple[int, bytes]:
+        """Fetch a raw RPCB1 blob (the standby's shard-mirror path)."""
+        status, payload, _ = self.request("GET", path)
+        return status, payload
 
 
 def _decode_json(payload: bytes) -> dict:

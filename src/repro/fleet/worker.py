@@ -15,6 +15,15 @@ result is bit-identical).  A heartbeat answered with ``lost`` makes the
 evaluation's push come back ``stale``; both are normal outcomes of
 lease reassignment and the worker just asks for the next shard.
 
+Workers take an **ordered coordinator list** (primary first, then any
+warm standby).  Every RPC carries the leader epoch adopted at
+handshake; when the current coordinator drops off the network
+(``TransientError`` after retries) or fences a request with ``409
+stale_epoch``, the worker *re-homes*: it cycles the endpoint list for a
+leader config (skipping un-promoted standbys), re-verifies the scan
+fingerprint, adopts the new epoch, and resumes leasing — completed
+shards survive in whichever journal accepted them.
+
 When the coordinator hands out remote cache URLs, the worker attaches a
 :class:`~repro.cache.HotspotCache` over a
 :class:`~repro.fleet.remote_cache.RemoteCacheStore` (plus an optional
@@ -25,10 +34,15 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from repro.cache import HotspotCache, wrap_blob
-from repro.errors import FleetHandshakeError, FleetProtocolError, TransientError
+from repro.errors import (
+    FleetError,
+    FleetHandshakeError,
+    FleetProtocolError,
+    TransientError,
+)
 from repro.fleet.protocol import (
     JSON_TYPE,
     FleetClient,
@@ -54,6 +68,41 @@ _log = get_logger("fleet.worker")
 
 #: Lease/push RPCs retry transient transport failures with this policy.
 RPC_RETRY = RetryPolicy(attempts=4, base_delay_s=0.1, max_delay_s=2.0)
+
+
+class CoordinatorChannel:
+    """Ordered coordinator endpoints with a failover cursor.
+
+    The worker talks to ``current`` until it proves unreachable or
+    stale; ``advance`` rotates to the next endpoint in the ordered list
+    (primary first, standbys after).  Cursor reads/writes are single
+    int assignments, so the heartbeat thread can share the channel with
+    the lease loop without a lock.
+    """
+
+    def __init__(
+        self, urls: Union[str, Sequence[str]], timeout_s: float = 30.0
+    ) -> None:
+        if isinstance(urls, str):
+            urls = [part.strip() for part in urls.split(",") if part.strip()]
+        self.clients = [FleetClient(url, timeout=timeout_s) for url in urls]
+        if not self.clients:
+            raise FleetError("worker needs at least one coordinator URL")
+        self._index = 0
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    @property
+    def current(self) -> FleetClient:
+        return self.clients[self._index]
+
+    @property
+    def url(self) -> str:
+        return self.current.url
+
+    def advance(self) -> None:
+        self._index = (self._index + 1) % len(self.clients)
 
 
 class _WorkerApp:
@@ -86,21 +135,27 @@ class FleetWorker:
 
     def __init__(
         self,
-        coordinator_url: str,
+        coordinator_url: Union[str, Sequence[str]],
         detector,
         layout,
         worker_id: str,
         cache_dir: Optional[Union[str, "object"]] = None,
         status_server: bool = True,
+        rehome_timeout_s: float = 30.0,
     ) -> None:
-        self.client = FleetClient(coordinator_url)
+        self.channel = CoordinatorChannel(coordinator_url)
         self.detector = detector
         self.layout = layout
         self.worker_id = worker_id
         self.cache_dir = cache_dir
         self.status_server = status_server
+        self.rehome_timeout_s = rehome_timeout_s
+        self.epoch = 0
+        self.rehomes = 0
+        self.heartbeat_failures = 0
         self.shards_done = 0
         self.shards_stale = 0
+        self._fingerprint = ""
         self._stop = threading.Event()
         self._server: Optional[FleetHTTPServer] = None
         self._request_id: Optional[str] = None
@@ -119,6 +174,21 @@ class FleetWorker:
             "Wall seconds spent evaluating each leased shard.",
             buckets=SHARD_SECONDS_BUCKETS,
         )
+        self._m_heartbeat_failures = self.metrics.counter(
+            "fleet_heartbeat_failures_total",
+            "Lease heartbeats that failed transport before reaching the "
+            "coordinator.",
+        )
+        self._m_rehomes = self.metrics.counter(
+            "fleet_worker_rehomes_total",
+            "Times this worker re-homed to another coordinator endpoint.",
+            labels=("reason",),
+        )
+
+    @property
+    def client(self) -> FleetClient:
+        """The coordinator endpoint currently believed to be the leader."""
+        return self.channel.current
 
     def stop(self) -> None:
         self._stop.set()
@@ -142,17 +212,75 @@ class FleetWorker:
         return stats
 
     # ------------------------------------------------------------------
-    def _fetch_config(self) -> dict:
-        status, document = call_with_retry(
-            lambda: self.client.get_json("/fleet/v1/config"),
-            RPC_RETRY,
-            label="fleet.config",
+    def _handshake(self) -> dict:
+        """Find the fleet leader among the ordered endpoints.
+
+        Cycles the endpoint list until one serves a leader
+        ``/fleet/v1/config`` (an un-promoted standby answers
+        ``role=standby`` and is skipped), verifies the scan fingerprint
+        against it, and adopts its leader epoch.  Raises
+        :class:`TransientError` when no leader answers within
+        ``rehome_timeout_s``.
+        """
+        deadline = time.monotonic() + self.rehome_timeout_s
+        last = "no coordinator endpoint answered"
+        while not self._stop.is_set():
+            for _ in range(len(self.channel)):
+                client = self.channel.current
+                try:
+                    status, config = client.get_json("/fleet/v1/config")
+                except TransientError as exc:
+                    last = f"{client.url}: {exc}"
+                    self.channel.advance()
+                    continue
+                if status != 200:
+                    last = f"{client.url}: config HTTP {status}"
+                    self.channel.advance()
+                    continue
+                if str(config.get("role", "primary")) == "standby":
+                    last = f"{client.url}: standby, not promoted"
+                    self.channel.advance()
+                    continue
+                self._verify_fingerprint(config)
+                self.epoch = int(config.get("epoch", 0))
+                _log.info(
+                    "worker_homed", worker=self.worker_id, url=client.url,
+                    epoch=self.epoch,
+                )
+                return config
+            if time.monotonic() >= deadline:
+                raise TransientError(f"no fleet leader reachable: {last}")
+            time.sleep(0.2)
+        raise TransientError("worker stopped while locating a leader")
+
+    def _verify_fingerprint(self, config: dict) -> None:
+        fingerprint = scan_fingerprint(
+            self.layout,
+            int(config["layer"]),
+            self.detector.config,
+            self.detector.model_,
+            int(config["shard_side"]),
         )
-        if status != 200:
-            raise FleetProtocolError(
-                f"coordinator config fetch failed with HTTP {status}"
+        if fingerprint != config["fingerprint"]:
+            raise FleetHandshakeError(
+                f"worker {self.worker_id} disagrees with coordinator: "
+                f"{fingerprint[:16]} != {str(config['fingerprint'])[:16]}"
             )
-        return document
+        self._fingerprint = fingerprint
+
+    def _rehome(self, reason: str) -> dict:
+        """Locate the current leader again after losing this one."""
+        self.rehomes += 1
+        self._m_rehomes.labels(reason).inc()
+        _log.warning(
+            "worker_rehoming", worker=self.worker_id, reason=reason,
+            epoch=self.epoch,
+        )
+        if reason == "unreachable":
+            # The current endpoint is dark; probing it again first would
+            # just spend another connect timeout.
+            self.channel.advance()
+        return self._handshake()
 
     def _attach_cache(self, cache_urls: list[str]) -> None:
         if not cache_urls and self.cache_dir is None:
@@ -171,20 +299,7 @@ class FleetWorker:
 
         Returns a summary dict (shards completed/stale) for logging.
         """
-        config = self._fetch_config()
-        model = self.detector.model_
-        fingerprint = scan_fingerprint(
-            self.layout,
-            int(config["layer"]),
-            self.detector.config,
-            model,
-            int(config["shard_side"]),
-        )
-        if fingerprint != config["fingerprint"]:
-            raise FleetHandshakeError(
-                f"worker {self.worker_id} disagrees with coordinator: "
-                f"{fingerprint[:16]} != {str(config['fingerprint'])[:16]}"
-            )
+        config = self._handshake()
         self._attach_cache([str(u) for u in config.get("cache_urls", [])])
         layer = int(config["layer"])
         ttl_s = float(config.get("lease_ttl_s", 5.0))
@@ -208,24 +323,40 @@ class FleetWorker:
         )
         try:
             while not self._stop.is_set():
-                status, document = call_with_retry(
-                    lambda: self.client.post_json(
-                        "/fleet/v1/lease",
-                        {
-                            "worker": self.worker_id,
-                            "fingerprint": fingerprint,
-                            "url": self.status_url,
-                            "stats": self._stats(),
-                        },
-                    ),
-                    RPC_RETRY,
-                    label="fleet.lease",
-                )
+                try:
+                    status, document = call_with_retry(
+                        lambda: self.channel.current.post_json(
+                            "/fleet/v1/lease",
+                            {
+                                "worker": self.worker_id,
+                                "fingerprint": self._fingerprint,
+                                "epoch": self.epoch,
+                                "url": self.status_url,
+                                "stats": self._stats(),
+                            },
+                        ),
+                        RPC_RETRY,
+                        label="fleet.lease",
+                    )
+                except TransientError:
+                    config = self._rehome("unreachable")
+                    layer = int(config["layer"])
+                    ttl_s = float(config.get("lease_ttl_s", ttl_s))
+                    continue
                 if status == 409:
+                    if document.get("status") == "stale_epoch":
+                        # A new leader took over; adopt its epoch and
+                        # keep leasing — completed shards are safe.
+                        config = self._rehome("stale_epoch")
+                        continue
                     raise FleetHandshakeError(
                         f"coordinator rejected worker {self.worker_id}: "
                         f"{document.get('status')}"
                     )
+                if status == 503 and document.get("status") == "standby":
+                    # Raced an endpoint that has not promoted yet.
+                    config = self._rehome("standby")
+                    continue
                 if status != 200:
                     raise FleetProtocolError(
                         f"lease request failed with HTTP {status}"
@@ -257,6 +388,8 @@ class FleetWorker:
             "worker": self.worker_id,
             "shards_done": self.shards_done,
             "shards_stale": self.shards_stale,
+            "rehomes": self.rehomes,
+            "heartbeat_failures": self.heartbeat_failures,
         }
         _log.info("worker_finished", **summary)
         return summary
@@ -296,18 +429,30 @@ class FleetWorker:
         def _beat() -> None:
             while not beat_stop.wait(max(0.05, ttl_s / 3)):
                 try:
-                    _, answer = self.client.post_json(
+                    code, answer = self.channel.current.post_json(
                         "/fleet/v1/heartbeat",
                         {
                             "worker": self.worker_id,
                             "shard": shard_id,
                             "lease": lease_id,
+                            "epoch": self.epoch,
                             "stats": self._stats(),
                         },
                     )
-                except TransientError:
-                    continue  # coordinator blip; the lease may survive it
-                if answer.get("status") == "lost":
+                except TransientError as exc:
+                    # The lease may survive a coordinator blip, but a
+                    # flapping coordinator must be visible before leases
+                    # start expiring.
+                    self.heartbeat_failures += 1
+                    self._m_heartbeat_failures.labels().inc()
+                    _log.warning(
+                        "heartbeat_failed", worker=self.worker_id,
+                        shard=shard_id, lease=lease_id, error=str(exc),
+                    )
+                    continue
+                if code == 409 or answer.get("status") in (
+                    "lost", "stale_epoch", "standby",
+                ):
                     lost.set()
                     return
 
@@ -342,13 +487,27 @@ class FleetWorker:
             self._m_shards.labels("stale").inc()
             _log.warning("lease_lost", shard=shard_id, worker=self.worker_id)
             return
-        status, answer = call_with_retry(
-            lambda: self.client.post_blob(
-                f"/fleet/v1/push?shard={shard_id}&lease={lease_id}", blob
-            ),
-            RPC_RETRY,
-            label="fleet.push",
-        )
+        try:
+            status, answer = call_with_retry(
+                lambda: self.channel.current.post_blob(
+                    f"/fleet/v1/push?shard={shard_id}&lease={lease_id}"
+                    f"&epoch={self.epoch}",
+                    blob,
+                ),
+                RPC_RETRY,
+                label="fleet.push",
+            )
+        except TransientError:
+            # The coordinator died between lease and push.  Drop the
+            # result: the next lease RPC re-homes, and whoever leads
+            # next re-leases this shard — first push wins keeps it
+            # single-counted.
+            self.shards_stale += 1
+            self._m_shards.labels("stale").inc()
+            _log.warning(
+                "push_unreachable", shard=shard_id, worker=self.worker_id
+            )
+            return
         if status != 200:
             # A 4xx/5xx push (e.g. an injected coordinator fault) leaves
             # the lease alive; the reaper will reassign the shard, so

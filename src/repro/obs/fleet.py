@@ -172,13 +172,14 @@ def merge_chrome_traces(documents: Iterable[dict]) -> dict:
     request_ids = [str(doc["request_id"]) for doc in documents if doc.get("request_id")]
     root_request = request_ids[0] if request_ids else None
 
-    # Stable row order: coordinator first, then roles alphabetically.
+    # Stable row order: coordinator first, then the standby (the
+    # failover pair reads top-down), then roles alphabetically.
     roles: list[str] = []
     for doc in documents:
         role = str(doc.get("role", "?"))
         if role not in roles:
             roles.append(role)
-    roles.sort(key=lambda r: (r != "coordinator", r))
+    roles.sort(key=lambda r: (r != "coordinator", r != "standby", r))
     row_of = {role: index + 1 for index, role in enumerate(roles)}
 
     events: list[dict] = []

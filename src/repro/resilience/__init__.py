@@ -18,7 +18,10 @@ Stdlib-only building blocks, wired through core, IO and serving:
 - :class:`~repro.resilience.breaker.CircuitBreaker` — per-model load
   shedding in the serving path;
 - :mod:`~repro.resilience.faults` — seeded, deterministic fault
-  injection (``REPRO_FAULTS``) for the test suite and CI chaos job.
+  injection (``REPRO_FAULTS``) for the test suite and CI chaos job;
+- :mod:`~repro.resilience.drill` — :class:`~repro.resilience.drill.ChaosDrill`:
+  seeded multi-process fleet drills (``repro chaos``) that kill and
+  partition nodes on a schedule, then assert bit-identical output.
 
 See ``docs/RESILIENCE.md`` for the full tour.
 """
@@ -33,17 +36,22 @@ from repro.errors import (
 
 from . import faults
 from .breaker import BreakerConfig, CircuitBreaker
+from .drill import ChaosDrill, DrillAction, DrillReport, DrillSchedule
 from .checkpoint import CheckpointStore, training_fingerprint
 from .quarantine import QuarantineItem, QuarantineReport
 from .retry import IO_RETRY, Deadline, RetryPolicy, RetryState, call_with_retry
 
 __all__ = [
     "BreakerConfig",
+    "ChaosDrill",
     "CheckpointError",
     "CheckpointStore",
     "CircuitBreaker",
     "CircuitOpenError",
     "Deadline",
+    "DrillAction",
+    "DrillReport",
+    "DrillSchedule",
     "IO_RETRY",
     "InputError",
     "QuarantineItem",

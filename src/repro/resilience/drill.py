@@ -1,0 +1,529 @@
+"""Deterministic chaos drills for the fleet: kill, partition, verify.
+
+A drill runs a real multi-process fleet topology — a primary
+coordinator, an optional warm standby and N workers, all spawned as
+``repro`` subprocesses — then executes a **seeded schedule** of
+disruptions against it on a reproducible timeline and finally asserts
+the property every other fleet test leans on: the merged hotspot set,
+funnel counts and margins are **bit-identical** to a quiet single-node
+scan of the same layout.
+
+The schedule DSL is deliberately tiny.  Entries are separated by
+newlines or ``;``; ``#`` starts a comment::
+
+    seed 42
+    at 0 faults worker-0 fleet.lease=kill:1.0@1!1
+    at 1.5 kill primary
+    at 6.0 cont primary        # no-op here; primary is dead
+
+- ``seed N`` — seeds any ``faults`` plans that do not carry their own
+  (the same schedule injects the same faults run after run).
+- ``at T kill <role>`` — SIGKILL the role's process at T seconds.
+- ``at T stop <role>`` / ``at T cont <role>`` — SIGSTOP / SIGCONT: a
+  stopped coordinator is the *zombie primary* (alive but frozen, later
+  resumed to test the stale-epoch fence), a stopped worker a network
+  partition of that node.
+- ``at T promote standby`` — force promotion via ``POST
+  /fleet/v1/promote`` without waiting for missed probes.
+- ``at 0 faults <role> <REPRO_FAULTS spec>`` — install a fault plan in
+  that role's environment at spawn time (``at`` must be 0; fault
+  *firing* times are governed by the plan's own counters, which is what
+  keeps them deterministic while wall-clock actions are best-effort).
+
+Roles are ``primary``, ``standby`` and ``worker-0`` .. ``worker-N``.
+Action timestamps are wall-clock best effort — the bit-identity
+assertion at the end is what makes the drill deterministic, not the
+exact millisecond a SIGKILL lands.
+
+Everything heavier than the stdlib is imported lazily inside methods:
+:mod:`repro.fleet` imports :mod:`repro.resilience` (fault points), so
+this module must not complete the cycle at import time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import InputError
+from repro.obs import get_logger
+
+_log = get_logger("resilience.drill")
+
+VERBS = ("kill", "stop", "cont", "promote", "faults")
+ROLES = ("primary", "standby")  # plus worker-<n>
+
+#: Hard ceiling on one drill's wall clock; a wedged topology is killed
+#: and reported as failed rather than hanging CI.
+DEFAULT_DEADLINE_S = 240.0
+
+
+@dataclass
+class DrillAction:
+    """One scheduled disruption."""
+
+    at_s: float
+    verb: str
+    target: str
+    arg: str = ""
+
+    def label(self) -> str:
+        suffix = f" {self.arg}" if self.arg else ""
+        return f"at {self.at_s:g} {self.verb} {self.target}{suffix}"
+
+
+@dataclass
+class DrillSchedule:
+    """A parsed, validated drill schedule."""
+
+    seed: int = 42
+    actions: list[DrillAction] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, spec: str) -> "DrillSchedule":
+        schedule = cls()
+        entries = [
+            chunk.strip()
+            for line in spec.splitlines()
+            for chunk in line.split(";")
+        ]
+        for entry in entries:
+            entry = entry.partition("#")[0].strip()
+            if not entry:
+                continue
+            words = entry.split()
+            if words[0] == "seed":
+                if len(words) != 2:
+                    raise InputError(f"bad schedule entry {entry!r}")
+                schedule.seed = int(words[1])
+                continue
+            if words[0] != "at" or len(words) < 4:
+                raise InputError(
+                    f"bad schedule entry {entry!r} "
+                    "(want 'seed N' or 'at T verb target [arg]')"
+                )
+            at_s = float(words[1])
+            verb, target = words[2], words[3]
+            arg = " ".join(words[4:])
+            if verb not in VERBS:
+                raise InputError(f"unknown drill verb {verb!r} in {entry!r}")
+            if target not in ROLES and not target.startswith("worker-"):
+                raise InputError(f"unknown drill target {target!r}")
+            if verb == "promote" and target != "standby":
+                raise InputError("promote only targets the standby")
+            if verb == "faults":
+                if at_s != 0:
+                    raise InputError(
+                        f"faults plans are installed at spawn; {entry!r} "
+                        "must use 'at 0'"
+                    )
+                if not arg:
+                    raise InputError(f"faults entry {entry!r} needs a plan")
+            schedule.actions.append(DrillAction(at_s, verb, target, arg))
+        schedule.actions.sort(key=lambda action: action.at_s)
+        return schedule
+
+    def spawn_faults(self, target: str) -> Optional[str]:
+        """The ``REPRO_FAULTS`` plan for one role, seed-prefixed."""
+        plans = [
+            action.arg
+            for action in self.actions
+            if action.verb == "faults" and action.target == target
+        ]
+        if not plans:
+            return None
+        plan = ";".join(plans)
+        if "seed=" not in plan:
+            plan = f"seed={self.seed};{plan}"
+        return plan
+
+
+@dataclass
+class DrillReport:
+    """What one drill did and whether the invariant held."""
+
+    identical: bool = False
+    promoted: bool = False
+    leader: str = ""
+    leader_epoch: int = 0
+    shards: int = 0
+    completed: int = 0
+    stale_epoch_fenced: int = 0
+    wall_s: float = 0.0
+    reference_reports: int = 0
+    drill_reports: int = 0
+    error: str = ""
+    timeline: list[dict] = field(default_factory=list)
+    artifacts: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "identical": self.identical,
+            "promoted": self.promoted,
+            "leader": self.leader,
+            "leader_epoch": self.leader_epoch,
+            "shards": self.shards,
+            "completed": self.completed,
+            "stale_epoch_fenced": self.stale_epoch_fenced,
+            "wall_s": round(self.wall_s, 3),
+            "reference_reports": self.reference_reports,
+            "drill_reports": self.drill_reports,
+            "error": self.error,
+            "timeline": self.timeline,
+            "artifacts": self.artifacts,
+        }
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class ChaosDrill:
+    """Run one fleet topology under a :class:`DrillSchedule`."""
+
+    def __init__(
+        self,
+        model_path: Path,
+        layout_path: Path,
+        schedule: DrillSchedule,
+        layer: int = 1,
+        workers: int = 2,
+        standby: bool = True,
+        lease_ttl_s: float = 2.0,
+        probe_interval_s: float = 0.3,
+        shard_side: Optional[int] = None,
+        workdir: Optional[Path] = None,
+        trace: bool = False,
+        deadline_s: float = DEFAULT_DEADLINE_S,
+    ) -> None:
+        self.model_path = Path(model_path)
+        self.layout_path = Path(layout_path)
+        self.schedule = schedule
+        self.layer = layer
+        self.workers = max(1, workers)
+        self.standby = standby
+        self.lease_ttl_s = lease_ttl_s
+        self.probe_interval_s = probe_interval_s
+        self.shard_side = shard_side
+        self.workdir = Path(workdir) if workdir else self.layout_path.parent
+        self.trace = trace
+        self.deadline_s = deadline_s
+        self._procs: dict[str, subprocess.Popen] = {}
+        self._stopped: set[str] = set()
+        self._urls: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> DrillReport:
+        from repro.cli import load_detector, load_layout_auto
+
+        report = DrillReport()
+        detector = load_detector(self.model_path)
+        layout = load_layout_auto(self.layout_path)
+        reference = detector.detect(layout, layer=self.layer)
+        report.reference_reports = reference.report_count
+        started = time.perf_counter()
+        try:
+            self._launch(report)
+            leader = self._drive(report, started)
+            self._settle(leader)
+            self._compare(report, detector, layout, reference, leader)
+        except Exception as exc:  # a failed drill is a report, not a crash
+            report.error = f"{type(exc).__name__}: {exc}"
+            _log.error("drill_failed", error=report.error)
+        finally:
+            self._cleanup()
+            report.wall_s = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def _journal_dir(self, role: str) -> Path:
+        return self.workdir / f"drill-journal-{role}"
+
+    def _spawn(self, role: str, command: list, log_name: str) -> None:
+        env = dict(os.environ)
+        env.pop("REPRO_FAULTS", None)
+        plan = self.schedule.spawn_faults(role)
+        if plan is not None:
+            env["REPRO_FAULTS"] = plan
+        log_path = self.workdir / f"drill-{log_name}.log"
+        stream = open(log_path, "w")
+        self._procs[role] = subprocess.Popen(
+            [sys.executable, "-m", "repro", *command],
+            env=env,
+            stdout=stream,
+            stderr=subprocess.STDOUT,
+        )
+
+    def _launch(self, report: DrillReport) -> None:
+        from repro.fleet.protocol import FleetClient, wait_until
+
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        ports = {"primary": _free_port(), "standby": _free_port()}
+        self._urls["primary"] = f"http://127.0.0.1:{ports['primary']}"
+        coordinator_args = [
+            "--model", str(self.model_path),
+            "--layout", str(self.layout_path),
+            "--layer", str(self.layer),
+            "--lease-ttl", str(self.lease_ttl_s),
+        ]
+        if self.shard_side is not None:
+            coordinator_args += ["--shard-side", str(self.shard_side)]
+        primary_args = [
+            "fleet-coordinator", *coordinator_args,
+            "--port", str(ports["primary"]),
+            "--journal-dir", str(self._journal_dir("primary")),
+        ]
+        if self.trace:
+            trace_path = self.workdir / "drill-trace-primary.json"
+            primary_args += ["--trace", str(trace_path)]
+            report.artifacts["trace_primary"] = str(trace_path)
+        self._spawn("primary", primary_args, "primary")
+
+        def _healthy() -> bool:
+            try:
+                code, _ = FleetClient(
+                    self._urls["primary"], timeout=1.0
+                ).get_json("/healthz")
+            except Exception:
+                return False
+            return code == 200
+
+        if not wait_until(_healthy, timeout_s=30.0, interval_s=0.1):
+            raise InputError("primary coordinator never became healthy")
+
+        endpoints = [self._urls["primary"]]
+        if self.standby:
+            self._urls["standby"] = f"http://127.0.0.1:{ports['standby']}"
+            standby_args = [
+                "fleet-coordinator", *coordinator_args,
+                "--port", str(ports["standby"]),
+                "--journal-dir", str(self._journal_dir("standby")),
+                "--standby-of", self._urls["primary"],
+                "--probe-interval", str(self.probe_interval_s),
+            ]
+            if self.trace:
+                trace_path = self.workdir / "drill-trace-standby.json"
+                standby_args += ["--trace", str(trace_path)]
+                report.artifacts["trace_standby"] = str(trace_path)
+            self._spawn("standby", standby_args, "standby")
+            endpoints.append(self._urls["standby"])
+
+        for index in range(self.workers):
+            role = f"worker-{index}"
+            self._spawn(
+                role,
+                [
+                    "fleet-worker",
+                    "--url", ",".join(endpoints),
+                    "--model", str(self.model_path),
+                    "--layout", str(self.layout_path),
+                    "--worker-id", f"drill-{role}",
+                ],
+                role,
+            )
+
+    # ------------------------------------------------------------------
+    # timeline + completion
+    # ------------------------------------------------------------------
+    def _execute(self, action: DrillAction, report: DrillReport, t: float) -> None:
+        from repro.fleet.protocol import FleetClient
+
+        detail = ""
+        if action.verb == "faults":
+            detail = "installed at spawn"
+        elif action.verb == "promote":
+            url = self._urls.get("standby")
+            if url is None:
+                detail = "no standby in this drill"
+            else:
+                try:
+                    code, answer = FleetClient(url, timeout=5.0).post_json(
+                        "/fleet/v1/promote", {}
+                    )
+                    detail = f"HTTP {code}: {answer.get('status')}"
+                except Exception as exc:
+                    detail = f"failed: {exc}"
+        else:
+            proc = self._procs.get(action.target)
+            if proc is None or proc.poll() is not None:
+                detail = "process already gone"
+            elif action.verb == "kill":
+                proc.kill()
+                detail = f"SIGKILL pid {proc.pid}"
+            elif action.verb == "stop":
+                proc.send_signal(signal.SIGSTOP)
+                self._stopped.add(action.target)
+                detail = f"SIGSTOP pid {proc.pid}"
+            elif action.verb == "cont":
+                proc.send_signal(signal.SIGCONT)
+                self._stopped.discard(action.target)
+                detail = f"SIGCONT pid {proc.pid}"
+        entry = {
+            "t_s": round(t, 3),
+            "action": action.label(),
+            "detail": detail,
+        }
+        report.timeline.append(entry)
+        _log.info("drill_action", **entry)
+
+    def _poll_roles(self) -> dict:
+        """Healthz of each reachable coordinator, keyed by spawn role."""
+        from repro.fleet.protocol import FleetClient
+
+        healths = {}
+        for role in ("primary", "standby"):
+            url = self._urls.get(role)
+            if url is None:
+                continue
+            try:
+                code, health = FleetClient(url, timeout=1.0).get_json("/healthz")
+            except Exception:
+                continue
+            if code == 200:
+                healths[role] = health
+        return healths
+
+    def _drive(self, report: DrillReport, started: float) -> str:
+        """Execute the timeline while polling for a finished leader."""
+        pending = list(self.schedule.actions)
+        deadline = started + self.deadline_s
+        leader = ""
+        while time.perf_counter() < deadline:
+            now = time.perf_counter() - started
+            while pending and pending[0].at_s <= now:
+                self._execute(pending.pop(0), report, now)
+            healths = self._poll_roles()
+            # Latch any observed promotion — a transiently-dead primary
+            # (SIGSTOP) may resume and finish first, but the promotion
+            # still happened and the report must say so.
+            if healths.get("standby", {}).get("role") == "primary":
+                report.promoted = True
+            for role, health in healths.items():
+                if health.get("role") != "primary":
+                    continue
+                leader = leader or role
+                if health.get("done"):
+                    report.leader = role
+                    report.leader_epoch = int(health.get("epoch", 0))
+                    self._final_status(report, role)
+                    return role
+            time.sleep(0.2)
+        raise InputError(
+            f"drill deadline ({self.deadline_s:.0f}s) expired; last "
+            f"reachable leader: {leader or 'none'}"
+        )
+
+    def _final_status(self, report: DrillReport, leader: str) -> None:
+        from repro.fleet.protocol import FleetClient
+
+        try:
+            code, status = FleetClient(
+                self._urls[leader], timeout=2.0
+            ).get_json("/fleet/v1/status")
+        except Exception:
+            return
+        if code == 200:
+            report.stale_epoch_fenced = int(
+                status.get("stale_epoch_fenced", 0)
+            )
+
+    def _settle(self, leader: str) -> None:
+        """Let workers drain and the leader write its trace, then stop."""
+        for role, proc in self._procs.items():
+            if role.startswith("worker-") and role not in self._stopped:
+                try:
+                    proc.wait(timeout=15.0)
+                except subprocess.TimeoutExpired:
+                    pass
+        # The leader lingers after done (writing its merged trace);
+        # give it that window before the cleanup sweep terminates it.
+        proc = self._procs.get(leader)
+        if proc is not None:
+            try:
+                proc.wait(timeout=20.0)
+            except subprocess.TimeoutExpired:
+                pass
+
+    def _cleanup(self) -> None:
+        for role in list(self._stopped):
+            proc = self._procs.get(role)
+            if proc is not None and proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGCONT)
+                except OSError:
+                    pass
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs.values():
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _compare(
+        self, report: DrillReport, detector, layout, reference, leader: str
+    ) -> None:
+        import numpy as np
+
+        from repro.fleet import FleetCoordinator, FleetOptions
+
+        journal_dir = self._journal_dir(leader)
+        merger = FleetCoordinator(
+            detector,
+            layout,
+            layer=self.layer,
+            options=FleetOptions(
+                journal_dir=journal_dir,
+                resume=True,
+                shard_side=self.shard_side,
+            ),
+        )
+        report.shards = len(merger.shards)
+        report.completed = len(merger._completed)
+        scan = merger.result()
+        drill_result = detector.detect(layout, layer=self.layer, scan=scan)
+        report.drill_reports = drill_result.report_count
+
+        def _signature(result):
+            cores = tuple(
+                (clip.core.x0, clip.core.y0, clip.core.x1, clip.core.y1)
+                for clip in result.reports
+            )
+            extraction = result.extraction
+            funnel = (
+                extraction.anchor_count,
+                extraction.rejected_density,
+                extraction.rejected_count,
+                extraction.rejected_boundary,
+                len(extraction.clips),
+            )
+            return cores, funnel, detector.margins(extraction.clips)
+
+        left = _signature(reference)
+        right = _signature(drill_result)
+        report.identical = (
+            left[0] == right[0]
+            and left[1] == right[1]
+            and np.array_equal(left[2], right[2])
+        )
+        if not report.identical:
+            report.error = (
+                f"drill output diverged: reports {len(right[0])} vs "
+                f"{len(left[0])}, funnel {right[1]} vs {left[1]}"
+            )

@@ -29,6 +29,15 @@ every training stage.  Kinds map to failure modes at the call site:
   task); at a parent-side point like ``work.shard`` it kills the whole
   run, which is how the CI chaos job produces a journal to resume.
 
+The fleet adds network-shaped points on top of the pipeline ones:
+``fleet.lease`` fires in the worker the moment it accepts a lease (a
+``kill`` there is the scenario lease TTLs exist for);
+``fleet.partition.<host>_<port>`` fires in
+:class:`~repro.fleet.protocol.FleetClient` before every request to that
+peer, so ``fleet.partition.*_8990=error:1.0`` partitions one endpoint
+off the network; ``fleet.promote`` fires in the standby coordinator as
+it takes over, letting a drill fail the promotion itself.
+
 Install a plan process-wide with :func:`install` / :func:`from_env`, or
 scope one to a block with :func:`active`::
 

@@ -23,6 +23,7 @@ batching queue so every in-flight request gets its response.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -56,10 +57,42 @@ class ReuseAddrHTTPServer(ThreadingHTTPServer):
     threads are daemonic so a hung connection never blocks interpreter
     exit.  Fleet servers (:mod:`repro.fleet.protocol`) reuse this class
     for the same bind semantics as the serve front end.
+
+    Open connections are tracked so :meth:`close_connections` can sever
+    live HTTP/1.1 keep-alive peers: ``server_close()`` only closes the
+    *listening* socket, and a "stopped" server whose handler threads
+    keep answering persistent connections is a zombie — the exact
+    split-brain failure the fleet's leader-epoch fence exists for.
     """
 
     allow_reuse_address = True
     daemon_threads = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._open_connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    def process_request(self, request, client_address):
+        with self._connections_lock:
+            self._open_connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request):
+        with self._connections_lock:
+            self._open_connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_connections(self) -> None:
+        """Sever every live keep-alive connection (called on stop)."""
+        with self._connections_lock:
+            connections = list(self._open_connections)
+            self._open_connections.clear()
+        for request in connections:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already closing on its own
 
 
 @dataclass(frozen=True)
@@ -311,6 +344,11 @@ class HotspotServer:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
         self.service.close(drain=drain)
+        # NOTE: live connections are deliberately NOT severed here —
+        # handler threads may still be writing drained responses, and
+        # graceful shutdown promises every in-flight request its
+        # answer.  Fleet servers (whose stop() means *death*) sever
+        # theirs via close_connections().
         self._httpd = None
         self._thread = None
         self._stopped.set()
