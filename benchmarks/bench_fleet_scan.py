@@ -18,7 +18,10 @@ Recorded in ``BENCH_fleet_scan.json``:
 - ``ha_wall_s_2w``, ``ha_wall_s_2w_failover`` and
   ``failover_overhead_pct`` — the 2-worker scan with a warm standby
   attached, quiet and with the primary killed mid-scan (standby
-  promotes, workers re-home), gated at <=20% over the quiet run.
+  promotes, workers re-home), gated at <=20% over the quiet run;
+- ``cache_rf2_wall_s_{cold,warm}`` and ``rf2_overhead_pct`` — the
+  cold cache scan again against a two-node RF=2 tier (every put lands
+  on both replicas), gated at <=15% over the unreplicated cold run.
 
 The wall-clock acceptance bar scales with the machine: >=1.7x at 4
 workers on >=4 cores, >=1.2x on 2-3 cores, and on a single core the
@@ -68,6 +71,12 @@ TRACING_SLACK_S = 0.5
 #: small enough that it dominates.
 FAILOVER_OVERHEAD_FACTOR = 1.2
 FAILOVER_SLACK_S = 2.0
+#: Doubling every put (RF=2) must stay close to the single-node cache
+#: wall: puts are batched per shard flush, so the second replica costs
+#: one extra batch RPC per flush, not one RPC per clip.  Absolute
+#: slack covers scheduler noise on walls of a few seconds.
+RF2_OVERHEAD_FACTOR = 1.15
+RF2_SLACK_S = 1.0
 
 
 def _report_key(report):
@@ -247,6 +256,32 @@ def run_fleet_matrix(detector, layout, cache_layout, workdir: Path):
                 {"mode": label, "wall_s": wall, "reports": report.report_count,
                  "hit_rate": round(hits / gets, 3) if gets else 0.0}
             )
+
+    # Replicated tier: the same cold/warm pair against two nodes at
+    # RF=2 — every put lands on both replicas, every get asks the
+    # key's primary first.  Compared against the unreplicated
+    # cache-cold row by the <=15% overhead gate in the test.
+    nodes = [CacheServer(), CacheServer()]
+    with FleetHTTPServer(nodes[0]) as s0, FleetHTTPServer(nodes[1]) as s1:
+        for label in ("cache-rf2-cold", "cache-rf2-warm"):
+            before = [n.stats() for n in nodes]
+            wall, report, _ = _run_fleet(
+                detector, cache_layout, model_path, cache_layout_path,
+                workers=2, cache_urls=[s0.url, s1.url],
+            )
+            assert _report_key(report) == cache_reference_key, (
+                f"{label} fleet changed the hotspot set"
+            )
+            gets = sum(
+                n.stats()["gets"] - b["gets"] for n, b in zip(nodes, before)
+            )
+            hits = sum(
+                n.stats()["hits"] - b["hits"] for n, b in zip(nodes, before)
+            )
+            rows.append(
+                {"mode": label, "wall_s": wall, "reports": report.report_count,
+                 "hit_rate": round(hits / gets, 3) if gets else 0.0}
+            )
     return rows
 
 
@@ -288,6 +323,9 @@ def test_fleet_scan(once):
     failover_overhead_pct = round(
         (failover_wall / max(ha_wall, 1e-9) - 1.0) * 100, 1
     )
+    rf1_wall = by_mode["cache-cold"]["wall_s"]
+    rf2_wall = by_mode["cache-rf2-cold"]["wall_s"]
+    rf2_overhead_pct = round((rf2_wall / max(rf1_wall, 1e-9) - 1.0) * 100, 1)
     record_metrics(
         __file__,
         cores=CORES,
@@ -304,6 +342,10 @@ def test_fleet_scan(once):
         ha_wall_s_2w=ha_wall,
         ha_wall_s_2w_failover=failover_wall,
         failover_overhead_pct=failover_overhead_pct,
+        cache_rf2_wall_s_cold=rf2_wall,
+        cache_rf2_wall_s_warm=by_mode["cache-rf2-warm"]["wall_s"],
+        cache_rf2_warm_hit_rate=by_mode["cache-rf2-warm"]["hit_rate"],
+        rf2_overhead_pct=rf2_overhead_pct,
         reports=by_mode["single-node"]["reports"],
     )
 
@@ -317,6 +359,16 @@ def test_fleet_scan(once):
         f"failover scan {failover_wall}s vs quiet standby run {ha_wall}s: "
         f"failover overhead {failover_overhead_pct}% above the "
         f"{round((FAILOVER_OVERHEAD_FACTOR - 1) * 100)}% bar"
+    )
+
+    assert rf2_wall <= rf1_wall * RF2_OVERHEAD_FACTOR + RF2_SLACK_S, (
+        f"RF=2 cold cache scan {rf2_wall}s vs unreplicated {rf1_wall}s: "
+        f"replication overhead {rf2_overhead_pct}% above the "
+        f"{round((RF2_OVERHEAD_FACTOR - 1) * 100)}% bar"
+    )
+    assert (
+        by_mode["cache-rf2-warm"]["hit_rate"]
+        > by_mode["cache-rf2-cold"]["hit_rate"]
     )
 
     assert by_mode["cache-warm"]["hit_rate"] > by_mode["cache-cold"]["hit_rate"]

@@ -52,6 +52,9 @@ BLOB_MAGIC = b"RPCB1\n"
 #: Default in-process LRU capacity (entries across both namespaces).
 DEFAULT_MAX_ENTRIES = 65536
 
+#: Buffered writes per batch-capable store before an automatic flush.
+WRITE_BEHIND_MAX = 256
+
 
 # ----------------------------------------------------------------------
 # the sha256 blob envelope (shared by every tier and the fleet wire)
@@ -326,6 +329,7 @@ class HotspotCache:
         directory: Optional[Union[str, Path]] = None,
         metrics_sink: Any = None,
         stores: Optional[Sequence[CacheStore]] = None,
+        write_behind: bool = False,
     ):
         self.max_entries = max(1, int(max_entries))
         self.directory = Path(directory) if directory is not None else None
@@ -336,6 +340,14 @@ class HotspotCache:
         self.stores: list[CacheStore] = list(stores or [])
         if self.directory is not None:
             self.stores.insert(0, DiskCacheStore(self.directory))
+        # Batch plumbing for stores exposing get_many/put_many (the
+        # remote tier): buffered write-behind puts (opt-in — callers
+        # that enable it own calling flush()), and the keys the last
+        # prefetch definitively missed (so the per-key path does not
+        # pay one RPC per known-absent key).
+        self.write_behind = bool(write_behind)
+        self._write_behind: dict[int, tuple[CacheStore, list]] = {}
+        self._prefetched_absent: set = set()
 
     # ------------------------------------------------------------------
     def _increment(self, name: str, amount: int = 1) -> None:
@@ -409,6 +421,13 @@ class HotspotCache:
         for index, store in enumerate(self.stores):
             if not store.healthy():
                 continue
+            if (
+                hasattr(store, "get_many")
+                and (kind, fingerprint, key) in self._prefetched_absent
+            ):
+                # The last batched prefetch already asked this store and
+                # got a definitive miss: don't pay one more RPC for it.
+                continue
             started = time.perf_counter()
             raw = store.get(kind, fingerprint, key)
             if raw is None:
@@ -433,12 +452,20 @@ class HotspotCache:
     def _disk_put(self, kind: str, fingerprint: str, key: str, value: Any) -> None:
         if not self.stores:
             return
+        with self._lock:
+            self._prefetched_absent.discard((kind, fingerprint, key))
         blob: Optional[bytes] = None
         for store in self.stores:
             if not store.healthy():
                 continue
             if blob is None:
                 blob = self._encode_blob(kind, value)
+            if self.write_behind and hasattr(store, "put_many"):
+                # Write-behind: batch-capable tiers get their puts in one
+                # RPC per flush instead of one per clip.
+                self._buffer_put(store, (kind, fingerprint, key, blob))
+                self._count_tier(store, "writes")
+                continue
             started = time.perf_counter()
             store.put(kind, fingerprint, key, blob)
             if not store.healthy():
@@ -450,6 +477,94 @@ class HotspotCache:
                 obs.tally(
                     f"cache.{store.name}.write", time.perf_counter() - started
                 )
+
+    def _buffer_put(self, store: CacheStore, entry: tuple) -> None:
+        flush_now: Optional[list] = None
+        with self._lock:
+            _, queue = self._write_behind.setdefault(id(store), (store, []))
+            queue.append(entry)
+            if len(queue) >= WRITE_BEHIND_MAX:
+                flush_now = list(queue)
+                queue.clear()
+        if flush_now:
+            try:
+                store.put_many(flush_now)
+            except Exception:  # noqa: BLE001 — tiers degrade, never raise
+                pass
+
+    def flush(self) -> None:
+        """Drain buffered write-behind puts to batch-capable stores."""
+        with self._lock:
+            drained = [
+                (store, list(queue))
+                for store, queue in self._write_behind.values()
+                if queue
+            ]
+            for _, queue in self._write_behind.values():
+                queue.clear()
+        for store, entries in drained:
+            try:
+                store.put_many(entries)
+            except Exception:  # noqa: BLE001 — tiers degrade, never raise
+                pass
+
+    def prefetch(self, kind: str, fingerprint: str, keys: Sequence[str]) -> int:
+        """Batch-warm the memory tier from batch-capable stores.
+
+        One RPC per node fetches every key the memory tier is missing;
+        hits are decoded into the LRU (and back-fill earlier plain
+        tiers), definitive misses are remembered so the per-key lookup
+        path skips the remote round trip.  Returns the number of keys
+        warmed.
+        """
+        batch_stores = [
+            store
+            for store in self.stores
+            if hasattr(store, "get_many") and store.healthy()
+        ]
+        if not batch_stores:
+            return 0
+        remaining: list[tuple] = []
+        seen: set = set()
+        for key in keys:
+            full_key = (kind, fingerprint, key)
+            if full_key in seen:
+                continue
+            seen.add(full_key)
+            if self._memory_get(full_key) is None:
+                remaining.append(full_key)
+        if not remaining:
+            return 0
+        warmed = 0
+        for store in batch_stores:
+            if not remaining:
+                break
+            try:
+                found = store.get_many(remaining)
+            except Exception:  # noqa: BLE001 — tiers degrade, never raise
+                found = {}
+            index = self.stores.index(store)
+            still: list[tuple] = []
+            for full_key in remaining:
+                raw = found.get(full_key)
+                if raw is None:
+                    still.append(full_key)
+                    continue
+                value = self._decode_blob(kind, raw)
+                if value is None:
+                    self._count_tier(store, "corrupt")
+                    still.append(full_key)
+                    continue
+                self._count_tier(store, "hits")
+                self._memory_put(full_key, value)
+                for earlier in self.stores[:index]:
+                    if earlier.healthy() and not hasattr(earlier, "get_many"):
+                        earlier.put(*full_key, raw)
+                warmed += 1
+            remaining = still
+        with self._lock:
+            self._prefetched_absent = set(remaining)
+        return warmed
 
     def _encode_blob(self, kind: str, value: Any) -> bytes:
         encode, _ = _CODECS[kind]
@@ -519,4 +634,13 @@ class HotspotCache:
 
     def stats_dict(self) -> dict:
         with self._lock:
-            return self.stats.as_dict()
+            out = self.stats.as_dict()
+        for store in self.stores:
+            tier_stats = getattr(store, "tier_stats", None)
+            if tier_stats is None:
+                continue
+            try:
+                out.update(tier_stats())
+            except Exception:  # noqa: BLE001 — stats must never break a scan
+                pass
+        return out

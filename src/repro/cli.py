@@ -629,6 +629,15 @@ def _add_fleet_coordinator(subparsers) -> None:
         action="store_true",
         help="skip shards already journaled in --journal-dir",
     )
+    parser.add_argument(
+        "--cache-url",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="remote cache node workers should use (repeatable); "
+        "piggybacked on every lease answer, so late joins via "
+        "POST /fleet/v1/cache-join propagate mid-scan",
+    )
     standby = parser.add_argument_group("standby")
     standby.add_argument(
         "--standby-of",
@@ -736,6 +745,40 @@ def _add_chaos(subparsers) -> None:
         metavar="PATH",
         help="write the drill report (timeline + verdict) as JSON",
     )
+    cache = parser.add_argument_group("cache tier")
+    cache.add_argument(
+        "--cache-nodes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N remote cache nodes (RF=2 tier) the fleet scans "
+        "through; schedule targets cache-0..cache-N",
+    )
+    cache.add_argument(
+        "--scans",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the fleet scan N times against the surviving cache "
+        "tier; scan 2+ measures the warm-rescan remote hit rate",
+    )
+    serve = parser.add_argument_group("serve fleet")
+    serve.add_argument(
+        "--serve-replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drill a serve fleet instead of a scan: a fleet-frontend "
+        "over N serve replicas; schedule targets replica-0..replica-N "
+        "and frontend",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=40,
+        metavar="N",
+        help="predict requests the serve drill fires (with --serve-replicas)",
+    )
 
 
 def _add_fleet_cache(subparsers) -> None:
@@ -756,6 +799,20 @@ def _add_fleet_cache(subparsers) -> None:
         type=int,
         default=65536,
         help="in-memory store capacity (ignored with --dir)",
+    )
+    parser.add_argument(
+        "--join",
+        default=None,
+        metavar="URLS",
+        help="comma-separated coordinator URLs to announce this node to "
+        "(POST /fleet/v1/cache-join); workers pick the new ring up on "
+        "their next lease answer",
+    )
+    parser.add_argument(
+        "--advertise",
+        default=None,
+        metavar="URL",
+        help="URL to announce with --join (default: the bound address)",
     )
 
 
@@ -1583,10 +1640,26 @@ def _render_fleet_status(status: dict, url: str) -> None:
         )
     cache = status.get("cache") or {}
     if cache.get("remote_hits") or cache.get("remote_misses"):
-        print(
+        line = (
             f"  remote cache: {cache.get('remote_hits', 0)} hits / "
             f"{cache.get('remote_misses', 0)} misses "
             f"(rate {cache.get('hit_rate', 0.0):.2f})"
+        )
+        if cache.get("repairs") or cache.get("probes"):
+            line += (
+                f", {cache.get('repairs', 0)} repairs, "
+                f"{cache.get('probes', 0)} probes"
+            )
+        print(line)
+    marks = {"up": "+", "half_open": "~", "down": "-"}
+    for node, health in sorted((cache.get("nodes") or {}).items()):
+        state = health.get("state", "?")
+        print(
+            f"    {marks.get(state, '?')} {node} [{state}]: "
+            f"{health.get('failures', 0)} failing, "
+            f"{health.get('errors', 0)} errors, "
+            f"{health.get('repairs', 0)} repairs, "
+            f"{health.get('hints_pending', 0)} hints pending"
         )
     for worker in status.get("worker_details", []):
         mark = "+" if worker.get("alive") else "-"
@@ -1710,6 +1783,7 @@ def cmd_fleet_coordinator(args) -> int:
         resume=args.resume,
         keep_journal=True,
         trace=args.trace is not None,
+        cache_urls=list(args.cache_url or []),
     )
     if args.standby_of:
         role = "standby"
@@ -1778,32 +1852,57 @@ def cmd_fleet_coordinator(args) -> int:
 
 
 def cmd_chaos(args) -> int:
-    from repro.resilience.drill import ChaosDrill, DrillSchedule
+    from repro.resilience.drill import ChaosDrill, DrillSchedule, ServeFleetDrill
 
     spec = args.schedule
     if spec.startswith("@"):
         spec = Path(spec[1:]).read_text()
     schedule = DrillSchedule.parse(spec)
-    drill = ChaosDrill(
-        args.model,
-        args.layout,
-        schedule,
-        layer=args.layer,
-        workers=args.fleet_workers,
-        standby=not args.no_standby,
-        lease_ttl_s=args.lease_ttl,
-        probe_interval_s=args.probe_interval,
-        shard_side=args.shard_side,
-        workdir=args.workdir,
-        trace=args.trace,
-        deadline_s=args.deadline,
-    )
-    print(
-        f"chaos drill: seed {schedule.seed}, {len(schedule.actions)} "
-        f"scheduled actions, {args.fleet_workers} workers"
-        f"{'' if args.no_standby else ' + warm standby'}",
-        file=sys.stderr,
-    )
+    if args.serve_replicas > 0:
+        drill = ServeFleetDrill(
+            args.model,
+            args.layout,
+            schedule,
+            replicas=args.serve_replicas,
+            requests=args.requests,
+            layer=args.layer,
+            workdir=args.workdir,
+            deadline_s=args.deadline,
+        )
+        print(
+            f"serve drill: seed {schedule.seed}, {len(schedule.actions)} "
+            f"scheduled actions, {args.serve_replicas} replicas, "
+            f"{args.requests} requests",
+            file=sys.stderr,
+        )
+    else:
+        drill = ChaosDrill(
+            args.model,
+            args.layout,
+            schedule,
+            layer=args.layer,
+            workers=args.fleet_workers,
+            standby=not args.no_standby,
+            lease_ttl_s=args.lease_ttl,
+            probe_interval_s=args.probe_interval,
+            shard_side=args.shard_side,
+            workdir=args.workdir,
+            trace=args.trace,
+            deadline_s=args.deadline,
+            cache_nodes=args.cache_nodes,
+            scans=args.scans,
+        )
+        print(
+            f"chaos drill: seed {schedule.seed}, {len(schedule.actions)} "
+            f"scheduled actions, {args.fleet_workers} workers"
+            f"{'' if args.no_standby else ' + warm standby'}"
+            + (
+                f", {args.cache_nodes} cache nodes x {args.scans} scans"
+                if args.cache_nodes
+                else ""
+            ),
+            file=sys.stderr,
+        )
     report = drill.run()
     for entry in report.timeline:
         print(
@@ -1820,6 +1919,17 @@ def cmd_chaos(args) -> int:
         f"fenced={report.stale_epoch_fenced} identical={report.identical} "
         f"({report.wall_s:.1f}s)"
     )
+    if report.cache_nodes:
+        warm = (
+            f"{report.warm_hit_rate:.2f}"
+            if report.warm_hit_rate is not None
+            else "n/a"
+        )
+        print(
+            f"drill cache: {len(report.cache_nodes)} nodes, "
+            f"{report.scans_completed} scans, warm hit rate {warm}, "
+            f"{report.remote_corrupt} corrupt blobs served"
+        )
     if report.error:
         print(f"drill error: {report.error}", file=sys.stderr)
     ok = report.identical and not report.error
@@ -1850,7 +1960,7 @@ def _serve_forever(server, banner: str) -> int:
 
 def cmd_fleet_cache(args) -> int:
     from repro.cache import DiskCacheStore, MemoryCacheStore
-    from repro.fleet import CacheServer, FleetHTTPServer
+    from repro.fleet import CacheServer, FleetClient, FleetHTTPServer
 
     store = (
         DiskCacheStore(args.dir)
@@ -1860,6 +1970,25 @@ def cmd_fleet_cache(args) -> int:
     server = FleetHTTPServer(
         CacheServer(store), host=args.host, port=args.port
     ).start()
+    if args.join:
+        advertise = args.advertise or server.url
+        for endpoint in args.join.split(","):
+            endpoint = endpoint.strip()
+            if not endpoint:
+                continue
+            try:
+                code, answer = FleetClient(endpoint, timeout=5.0).post_json(
+                    "/fleet/v1/cache-join", {"url": advertise}
+                )
+                print(
+                    f"joined {endpoint} as {advertise}: HTTP {code} "
+                    f"{answer.get('status', '?')}",
+                    file=sys.stderr,
+                )
+            except Exception as exc:
+                # A dead standby in the join list is routine churn; the
+                # surviving coordinator already knows this node.
+                print(f"join {endpoint} failed: {exc}", file=sys.stderr)
     return _serve_forever(
         server,
         f"cache node on {server.url} "

@@ -134,7 +134,16 @@ class HotspotDetector:
         if self.cache_ is None or before is None:
             return None
         after = self.cache_.stats_dict()
-        return {name: after[name] - before.get(name, 0) for name in after}
+        # Non-numeric entries (per-node health maps from the remote
+        # tier) have no meaningful delta; report their current value.
+        return {
+            name: (
+                value - before.get(name, 0)
+                if isinstance(value, (int, float))
+                else value
+            )
+            for name, value in after.items()
+        }
 
     def _observe(self, name: str, seconds: float) -> None:
         sink = self.metrics_sink_

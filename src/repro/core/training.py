@@ -127,6 +127,12 @@ class MultiKernelModel:
         # cheaper than the D8 canonicalization (see keys.cache_canonical).
         fingerprint = self._cache_fingerprint()
         keys = [clip_content_key(clip, canonical=False) for clip in clips]
+        # With a batch-capable tier attached (the fleet's remote cache)
+        # warm the whole clip batch in one RPC per node up front, so the
+        # per-clip loop below hits memory instead of the network.
+        prefetch = getattr(self.cache, "prefetch", None)
+        if prefetch is not None:
+            prefetch("margins", fingerprint, keys)
         margins = np.full((len(clips), len(self.kernels)), GATED_OUT)
         # Group cache misses by key: same geometry -> same row, so each
         # distinct geometry is evaluated once per call.
@@ -139,13 +145,32 @@ class MultiKernelModel:
                 missing.setdefault(key, []).append(i)
         if missing:
             groups = list(missing.values())
+            self._prefetch_features([clips[indices[0]] for indices in groups])
             computed = self._kernel_margins_uncached(
                 [clips[indices[0]] for indices in groups]
             )
             for row, indices in zip(computed, groups):
                 margins[indices] = row
                 self.cache.put_margins(fingerprint, keys[indices[0]], row)
+        flush = getattr(self.cache, "flush", None)
+        if flush is not None:
+            flush()
         return margins
+
+    def _prefetch_features(self, clips: Sequence[Clip]) -> None:
+        """Batch-warm the extractor's feature cache for margin misses."""
+        cache = getattr(self.extractor, "cache", None)
+        prefetch = getattr(cache, "prefetch", None)
+        if prefetch is None or not clips:
+            return
+        from repro.cache.keys import clip_content_key
+
+        fingerprint, canonical = self.extractor._cache_identity()
+        prefetch(
+            "features",
+            fingerprint,
+            [clip_content_key(clip, canonical=canonical) for clip in clips],
+        )
 
     def _kernel_margins_uncached(self, clips: Sequence[Clip]) -> np.ndarray:
         margins = np.full((len(clips), len(self.kernels)), GATED_OUT)

@@ -18,7 +18,10 @@ bit-identical** (same hotspot set, margins and funnel counts).
   epoch when health probes go unanswered;
 - :mod:`repro.fleet.remote_cache` — an HTTP blob cache
   (:class:`CacheServer`) and the :class:`RemoteCacheStore` tier that
-  plugs it into :class:`~repro.cache.HotspotCache`;
+  plugs it into :class:`~repro.cache.HotspotCache`: RF=2 replication
+  over the hash ring, read-repair, half-open node recovery with hinted
+  handoff, and a batch RPC (``/cache/v1/batch``) for shard-sized
+  multi-get/multi-put;
 - :mod:`repro.fleet.membership` / :mod:`repro.fleet.router` — TTL'd
   peer registry, consistent-hash + round-robin routing, and the
   :class:`~repro.fleet.router.FleetFrontend` predict proxy.
@@ -37,13 +40,20 @@ from repro.fleet.protocol import (
     FleetHTTPServer,
     metrics_routes,
 )
-from repro.fleet.remote_cache import CacheServer, RemoteCacheStore
+from repro.fleet.remote_cache import (
+    REPLICATION_FACTOR,
+    CacheServer,
+    RemoteCacheStore,
+    pack_batch,
+    unpack_batch,
+)
 from repro.fleet.router import FleetFrontend, HashRing, RoundRobin
 from repro.fleet.worker import CoordinatorChannel, FleetWorker
 
 __all__ = [
     "FLEET_PROTOCOL_VERSION",
     "METRICS_TEXT_TYPE",
+    "REPLICATION_FACTOR",
     "CacheServer",
     "CoordinatorChannel",
     "FleetClient",
@@ -59,4 +69,6 @@ __all__ = [
     "RoundRobin",
     "StandbyCoordinator",
     "metrics_routes",
+    "pack_batch",
+    "unpack_batch",
 ]

@@ -662,7 +662,25 @@ class FleetCoordinator:
             if isinstance(stats, dict):
                 with self._lock:
                     self._worker_reports[worker] = stats
-            return 200, self._grant(worker), JSON_TYPE
+            answer = self._grant(worker)
+            # Piggyback the live cache topology on every lease response,
+            # so workers adopt ring membership changes mid-scan.
+            answer["cache_urls"] = list(self.options.cache_urls)
+            return 200, answer, JSON_TYPE
+        if method == "POST" and path == "/fleet/v1/cache-join":
+            document = _json_body(body)
+            url = str(document.get("url", "")).strip()
+            if not url:
+                return 400, {"error": "cache-join needs a url"}, JSON_TYPE
+            joined = self.join_cache_node(url)
+            return (
+                200,
+                {
+                    "status": "joined" if joined else "known",
+                    "cache_urls": list(self.options.cache_urls),
+                },
+                JSON_TYPE,
+            )
         if method == "POST" and path == "/fleet/v1/heartbeat":
             document = _json_body(body)
             fenced = self._fence_epoch(document.get("epoch"), "heartbeat")
@@ -694,6 +712,25 @@ class FleetCoordinator:
                 return fenced
             return 200, self._accept_push(shard_id, lease_id, body), JSON_TYPE
         return 404, {"error": f"no route {path!r}"}, JSON_TYPE
+
+    def join_cache_node(self, url: str) -> bool:
+        """Admit one cache node into the announced ring topology.
+
+        Consistent hashing bounds the key movement: only keys whose
+        replica set now touches the new node re-home, the rest of the
+        fleet's warm tier stays where it is.  Workers pick the new
+        membership up from their next lease response.
+        """
+        url = str(url).rstrip("/")
+        if not url:
+            return False
+        with self._lock:
+            if url in self.options.cache_urls:
+                return False
+            self.options.cache_urls.append(url)
+            nodes = list(self.options.cache_urls)
+        _log.info("cache_node_joined", url=url, nodes=nodes)
+        return True
 
     def config_document(self) -> dict:
         return {
@@ -912,20 +949,74 @@ def _percentile(ordered: list, q: float) -> float:
     return float(ordered[rank])
 
 
+#: Worst-state-wins ordering when several workers disagree on a node.
+_NODE_STATE_RANK = {"up": 0, "half_open": 1, "down": 2}
+
+
 def _merged_cache_stats(reports) -> dict:
-    """Sum workers' self-reported remote-cache counters into fleet totals."""
-    totals = {"remote_hits": 0, "remote_misses": 0, "remote_corrupt": 0}
+    """Sum workers' self-reported remote-cache counters into fleet totals.
+
+    Beyond hit/miss/corrupt totals this merges per-node liveness (the
+    worst state any worker observed wins), repair/probe counters and
+    RPC counts, feeding ``fleet-status`` and the chaos drills.
+    """
+    totals = {
+        "remote_hits": 0,
+        "remote_misses": 0,
+        "remote_corrupt": 0,
+        "remote_rpcs": 0,
+        "remote_batch_rpcs": 0,
+        "remote_repairs": 0,
+        "remote_probes": 0,
+    }
+    nodes: dict = {}
     for report in reports:
         cache = report.get("cache") or {}
         totals["remote_hits"] += int(cache.get("remote_hits", 0))
         totals["remote_corrupt"] += int(cache.get("remote_corrupt", 0))
-        hits = int(cache.get("remote_hits", 0))
-        gets = int(cache.get("feature_misses", 0))
+        if "remote_store_gets" in cache:
+            gets = int(cache.get("remote_store_gets", 0))
+            hits = int(cache.get("remote_store_hits", 0))
+        else:  # older worker: derive from the tier counters
+            hits = int(cache.get("remote_hits", 0))
+            gets = int(cache.get("feature_misses", 0))
         totals["remote_misses"] += max(0, gets - hits)
+        for key in (
+            "remote_rpcs", "remote_batch_rpcs", "remote_repairs",
+            "remote_probes",
+        ):
+            totals[key] += int(cache.get(key, 0))
+        for url, health in (cache.get("remote_nodes") or {}).items():
+            if not isinstance(health, dict):
+                continue
+            merged = nodes.setdefault(
+                url,
+                {
+                    "state": "up",
+                    "failures": 0,
+                    "errors": 0,
+                    "probes": 0,
+                    "repairs": 0,
+                    "hints_pending": 0,
+                },
+            )
+            state = str(health.get("state", "up"))
+            if (
+                _NODE_STATE_RANK.get(state, 0)
+                > _NODE_STATE_RANK.get(merged["state"], 0)
+            ):
+                merged["state"] = state
+            merged["failures"] = max(
+                merged["failures"], int(health.get("failures", 0))
+            )
+            for key in ("errors", "probes", "repairs", "hints_pending"):
+                merged[key] += int(health.get(key, 0))
     lookups = totals["remote_hits"] + totals["remote_misses"]
     totals["hit_rate"] = (
         round(totals["remote_hits"] / lookups, 6) if lookups else 0.0
     )
+    if nodes:
+        totals["nodes"] = nodes
     return totals
 
 

@@ -84,6 +84,16 @@ class HashRing:
                     break
         return seen
 
+    def replicas_for(self, key: str, rf: int) -> list[str]:
+        """The key's replica set: the first ``rf`` distinct fallback nodes.
+
+        ``replicas_for(key, 1)[0] == node_for(key)`` (the primary), and
+        the successor replicas are the next distinct nodes clockwise —
+        so membership changes move only the keys whose replica set
+        actually touched the changed node.
+        """
+        return self.nodes_for(key)[: max(1, int(rf))]
+
 
 class RoundRobin:
     """Thread-safe rotating cursor over a (mutable) item list."""

@@ -161,6 +161,8 @@ class FleetWorker:
         self._request_id: Optional[str] = None
         self._owns_tracer = False
         self._shipped = 0  # spans already POSTed to /fleet/v1/trace
+        self._cache = None
+        self._remote_store = None
         self.metrics = MetricsRegistry()
         self._m_shards = self.metrics.counter(
             "fleet_worker_shards_total",
@@ -289,9 +291,43 @@ class FleetWorker:
         if cache_urls:
             from repro.fleet.remote_cache import RemoteCacheStore
 
-            stores.append(RemoteCacheStore(cache_urls))
-        cache = HotspotCache(directory=self.cache_dir, stores=stores)
-        self.detector.attach_cache(cache)
+            self._remote_store = RemoteCacheStore(
+                cache_urls, metrics=self.metrics
+            )
+            stores.append(self._remote_store)
+        self._cache = HotspotCache(
+            directory=self.cache_dir, stores=stores, write_behind=True
+        )
+        self.detector.attach_cache(self._cache)
+
+    def _update_cache_topology(self, cache_urls) -> None:
+        """Adopt a coordinator-announced cache ring membership change."""
+        if not isinstance(cache_urls, list) or not cache_urls:
+            return
+        urls = [str(url) for url in cache_urls if url]
+        if not urls:
+            return
+        if self._remote_store is None:
+            # A cache tier appeared mid-scan (first node joined).
+            self._attach_cache(urls)
+            if self._remote_store is not None:
+                _log.info(
+                    "worker_cache_attached", worker=self.worker_id, nodes=urls
+                )
+            return
+        if self._remote_store.set_nodes(urls):
+            _log.info(
+                "worker_cache_topology", worker=self.worker_id, nodes=urls
+            )
+
+    def _flush_cache(self) -> None:
+        cache = self._cache or getattr(self.detector, "cache_", None)
+        flush = getattr(cache, "flush", None)
+        if flush is not None:
+            try:
+                flush()
+            except Exception:  # noqa: BLE001 — cache is best-effort
+                pass
 
     # ------------------------------------------------------------------
     def run(self, poll_interval_s: float = 0.05) -> dict:
@@ -361,6 +397,7 @@ class FleetWorker:
                     raise FleetProtocolError(
                         f"lease request failed with HTTP {status}"
                     )
+                self._update_cache_topology(document.get("cache_urls"))
                 state = document.get("status")
                 if state == "done":
                     break
@@ -375,6 +412,7 @@ class FleetWorker:
                     )
                 self._work_lease(document, layer, ttl_s)
         finally:
+            self._flush_cache()
             self._ship_spans()
             if binding is not None:
                 binding.__exit__(None, None, None)
@@ -478,6 +516,9 @@ class FleetWorker:
             blob = wrap_blob(encode_shard_record(record))
         finally:
             beat_stop.set()
+            # Push this shard's buffered remote-cache writes in one RPC
+            # per node, so other workers can hit them.
+            self._flush_cache()
         if record.wall_s > 0:
             self._m_shard_seconds.labels().observe(record.wall_s)
         if lost.is_set():

@@ -22,18 +22,31 @@ newlines or ``;``; ``#`` starts a comment::
 - ``at T stop <role>`` / ``at T cont <role>`` — SIGSTOP / SIGCONT: a
   stopped coordinator is the *zombie primary* (alive but frozen, later
   resumed to test the stale-epoch fence), a stopped worker a network
-  partition of that node.
+  partition of that node, a stopped cache node a flapping member of the
+  warm tier (its half-open probe re-admits it after ``cont``).
 - ``at T promote standby`` — force promotion via ``POST
   /fleet/v1/promote`` without waiting for missed probes.
+- ``at T add cache-K`` — spawn a brand-new cache node mid-drill; it
+  announces itself to the coordinator (``repro fleet-cache --join``),
+  which piggybacks the new ring membership on the next lease responses.
 - ``at 0 faults <role> <REPRO_FAULTS spec>`` — install a fault plan in
   that role's environment at spawn time (``at`` must be 0; fault
   *firing* times are governed by the plan's own counters, which is what
   keeps them deterministic while wall-clock actions are best-effort).
 
-Roles are ``primary``, ``standby`` and ``worker-0`` .. ``worker-N``.
-Action timestamps are wall-clock best effort — the bit-identity
-assertion at the end is what makes the drill deterministic, not the
-exact millisecond a SIGKILL lands.
+Roles are ``primary``, ``standby``, ``worker-0`` .. ``worker-N`` and —
+when the drill carries a cache tier — ``cache-0`` .. ``cache-K``
+(:class:`ServeFleetDrill` adds ``frontend`` and ``replica-N``).  Action
+timestamps are wall-clock best effort — the bit-identity assertion at
+the end is what makes the drill deterministic, not the exact
+millisecond a SIGKILL lands.
+
+:class:`ChaosDrill` optionally runs a **long-running session**:
+``scans=N`` re-runs the same fleet scan N times against the surviving
+cache tier (fresh coordinator + workers each time, cache nodes
+persist), so scan 2 measures the warm-rescan remote hit rate the drill
+asserts on.  :class:`ServeFleetDrill` drives a predict front end over
+churning serve replicas instead of a scan.
 
 Everything heavier than the stdlib is imported lazily inside methods:
 :mod:`repro.fleet` imports :mod:`repro.resilience` (fault points), so
@@ -58,8 +71,11 @@ from repro.obs import get_logger
 
 _log = get_logger("resilience.drill")
 
-VERBS = ("kill", "stop", "cont", "promote", "faults")
-ROLES = ("primary", "standby")  # plus worker-<n>
+VERBS = ("kill", "stop", "cont", "promote", "add", "faults")
+ROLES = ("primary", "standby", "frontend")  # plus worker-/cache-/replica-<n>
+
+#: Role-name prefixes of the numbered process families.
+ROLE_PREFIXES = ("worker-", "cache-", "replica-")
 
 #: Hard ceiling on one drill's wall clock; a wedged topology is killed
 #: and reported as failed rather than hanging CI.
@@ -115,10 +131,12 @@ class DrillSchedule:
             arg = " ".join(words[4:])
             if verb not in VERBS:
                 raise InputError(f"unknown drill verb {verb!r} in {entry!r}")
-            if target not in ROLES and not target.startswith("worker-"):
+            if target not in ROLES and not target.startswith(ROLE_PREFIXES):
                 raise InputError(f"unknown drill target {target!r}")
             if verb == "promote" and target != "standby":
                 raise InputError("promote only targets the standby")
+            if verb == "add" and not target.startswith("cache-"):
+                raise InputError("add only targets cache-<n> nodes")
             if verb == "faults":
                 if at_s != 0:
                     raise InputError(
@@ -163,6 +181,12 @@ class DrillReport:
     error: str = ""
     timeline: list[dict] = field(default_factory=list)
     artifacts: dict = field(default_factory=dict)
+    #: Cache-tier churn coverage (empty when the drill has no cache).
+    cache_nodes: list[str] = field(default_factory=list)
+    scans_completed: int = 0
+    scan_cache: list[dict] = field(default_factory=list)
+    warm_hit_rate: Optional[float] = None
+    remote_corrupt: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -179,6 +203,11 @@ class DrillReport:
             "error": self.error,
             "timeline": self.timeline,
             "artifacts": self.artifacts,
+            "cache_nodes": self.cache_nodes,
+            "scans_completed": self.scans_completed,
+            "scan_cache": self.scan_cache,
+            "warm_hit_rate": self.warm_hit_rate,
+            "remote_corrupt": self.remote_corrupt,
         }
 
 
@@ -205,6 +234,8 @@ class ChaosDrill:
         workdir: Optional[Path] = None,
         trace: bool = False,
         deadline_s: float = DEFAULT_DEADLINE_S,
+        cache_nodes: int = 0,
+        scans: int = 1,
     ) -> None:
         self.model_path = Path(model_path)
         self.layout_path = Path(layout_path)
@@ -218,9 +249,13 @@ class ChaosDrill:
         self.workdir = Path(workdir) if workdir else self.layout_path.parent
         self.trace = trace
         self.deadline_s = deadline_s
+        self.cache_nodes = max(0, cache_nodes)
+        self.scans = max(1, scans)
         self._procs: dict[str, subprocess.Popen] = {}
         self._stopped: set[str] = set()
         self._urls: dict[str, str] = {}
+        self._cache_urls: list[str] = []
+        self._endpoints: list[str] = []
 
     # ------------------------------------------------------------------
     def run(self) -> DrillReport:
@@ -232,13 +267,28 @@ class ChaosDrill:
         reference = detector.detect(layout, layer=self.layer)
         report.reference_reports = reference.report_count
         started = time.perf_counter()
+        pending = list(self.schedule.actions)
         try:
-            self._launch(report)
-            leader = self._drive(report, started)
-            self._settle(leader)
-            self._compare(report, detector, layout, reference, leader)
+            self._launch_cache_tier(report)
+            for scan_index in range(self.scans):
+                if scan_index:
+                    self._teardown_scan()
+                self._launch(report, scan_index)
+                leader = self._drive(report, started, pending)
+                self._settle(leader)
+                self._compare(
+                    report, detector, layout, reference, leader, scan_index
+                )
+                report.scans_completed = scan_index + 1
+                if not report.identical:
+                    break  # a diverged scan fails the whole session
+            if len(report.scan_cache) >= 2:
+                report.warm_hit_rate = float(
+                    report.scan_cache[-1].get("hit_rate", 0.0)
+                )
         except Exception as exc:  # a failed drill is a report, not a crash
             report.error = f"{type(exc).__name__}: {exc}"
+            report.identical = False
             _log.error("drill_failed", error=report.error)
         finally:
             self._cleanup()
@@ -248,8 +298,47 @@ class ChaosDrill:
     # ------------------------------------------------------------------
     # topology
     # ------------------------------------------------------------------
-    def _journal_dir(self, role: str) -> Path:
-        return self.workdir / f"drill-journal-{role}"
+    def _journal_dir(self, role: str, scan_index: int = 0) -> Path:
+        suffix = f"-s{scan_index}" if scan_index else ""
+        return self.workdir / f"drill-journal-{role}{suffix}"
+
+    def _wait_healthy(self, url: str, what: str, timeout_s: float = 30.0) -> None:
+        from repro.fleet.protocol import FleetClient, wait_until
+
+        def _up() -> bool:
+            try:
+                code, _ = FleetClient(url, timeout=1.0).get_json("/healthz")
+            except Exception:
+                return False
+            return code == 200
+
+        if not wait_until(_up, timeout_s=timeout_s, interval_s=0.1):
+            raise InputError(f"{what} never became healthy at {url}")
+
+    def _spawn_cache(self, role: str, join: bool) -> str:
+        port = _free_port()
+        url = f"http://127.0.0.1:{port}"
+        args = ["fleet-cache", "--port", str(port)]
+        if join and self._endpoints:
+            args += [
+                "--join", ",".join(self._endpoints),
+                "--advertise", url,
+            ]
+        self._spawn(role, args, role)
+        self._urls[role] = url
+        self._cache_urls.append(url)
+        return url
+
+    def _launch_cache_tier(self, report: DrillReport) -> None:
+        if not self.cache_nodes:
+            return
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        for index in range(self.cache_nodes):
+            self._spawn_cache(f"cache-{index}", join=False)
+        for index in range(self.cache_nodes):
+            role = f"cache-{index}"
+            self._wait_healthy(self._urls[role], f"cache node {role}")
+        report.cache_nodes = list(self._cache_urls)
 
     def _spawn(self, role: str, command: list, log_name: str) -> None:
         env = dict(os.environ)
@@ -266,11 +355,10 @@ class ChaosDrill:
             stderr=subprocess.STDOUT,
         )
 
-    def _launch(self, report: DrillReport) -> None:
-        from repro.fleet.protocol import FleetClient, wait_until
-
+    def _launch(self, report: DrillReport, scan_index: int = 0) -> None:
         self.workdir.mkdir(parents=True, exist_ok=True)
         ports = {"primary": _free_port(), "standby": _free_port()}
+        suffix = f"-s{scan_index}" if scan_index else ""
         self._urls["primary"] = f"http://127.0.0.1:{ports['primary']}"
         coordinator_args = [
             "--model", str(self.model_path),
@@ -280,28 +368,19 @@ class ChaosDrill:
         ]
         if self.shard_side is not None:
             coordinator_args += ["--shard-side", str(self.shard_side)]
+        for url in self._cache_urls:
+            coordinator_args += ["--cache-url", url]
         primary_args = [
             "fleet-coordinator", *coordinator_args,
             "--port", str(ports["primary"]),
-            "--journal-dir", str(self._journal_dir("primary")),
+            "--journal-dir", str(self._journal_dir("primary", scan_index)),
         ]
         if self.trace:
-            trace_path = self.workdir / "drill-trace-primary.json"
+            trace_path = self.workdir / f"drill-trace-primary{suffix}.json"
             primary_args += ["--trace", str(trace_path)]
-            report.artifacts["trace_primary"] = str(trace_path)
-        self._spawn("primary", primary_args, "primary")
-
-        def _healthy() -> bool:
-            try:
-                code, _ = FleetClient(
-                    self._urls["primary"], timeout=1.0
-                ).get_json("/healthz")
-            except Exception:
-                return False
-            return code == 200
-
-        if not wait_until(_healthy, timeout_s=30.0, interval_s=0.1):
-            raise InputError("primary coordinator never became healthy")
+            report.artifacts[f"trace_primary{suffix}"] = str(trace_path)
+        self._spawn("primary", primary_args, f"primary{suffix}")
+        self._wait_healthy(self._urls["primary"], "primary coordinator")
 
         endpoints = [self._urls["primary"]]
         if self.standby:
@@ -309,16 +388,17 @@ class ChaosDrill:
             standby_args = [
                 "fleet-coordinator", *coordinator_args,
                 "--port", str(ports["standby"]),
-                "--journal-dir", str(self._journal_dir("standby")),
+                "--journal-dir", str(self._journal_dir("standby", scan_index)),
                 "--standby-of", self._urls["primary"],
                 "--probe-interval", str(self.probe_interval_s),
             ]
             if self.trace:
-                trace_path = self.workdir / "drill-trace-standby.json"
+                trace_path = self.workdir / f"drill-trace-standby{suffix}.json"
                 standby_args += ["--trace", str(trace_path)]
-                report.artifacts["trace_standby"] = str(trace_path)
-            self._spawn("standby", standby_args, "standby")
+                report.artifacts[f"trace_standby{suffix}"] = str(trace_path)
+            self._spawn("standby", standby_args, f"standby{suffix}")
             endpoints.append(self._urls["standby"])
+        self._endpoints = endpoints
 
         for index in range(self.workers):
             role = f"worker-{index}"
@@ -331,7 +411,7 @@ class ChaosDrill:
                     "--layout", str(self.layout_path),
                     "--worker-id", f"drill-{role}",
                 ],
-                role,
+                f"{role}{suffix}",
             )
 
     # ------------------------------------------------------------------
@@ -343,6 +423,14 @@ class ChaosDrill:
         detail = ""
         if action.verb == "faults":
             detail = "installed at spawn"
+        elif action.verb == "add":
+            proc = self._procs.get(action.target)
+            if proc is not None and proc.poll() is None:
+                detail = "already running"
+            else:
+                url = self._spawn_cache(action.target, join=True)
+                report.cache_nodes.append(url)
+                detail = f"cache node joining at {url}"
         elif action.verb == "promote":
             url = self._urls.get("standby")
             if url is None:
@@ -395,9 +483,18 @@ class ChaosDrill:
                 healths[role] = health
         return healths
 
-    def _drive(self, report: DrillReport, started: float) -> str:
-        """Execute the timeline while polling for a finished leader."""
-        pending = list(self.schedule.actions)
+    def _drive(
+        self, report: DrillReport, started: float,
+        pending: Optional[list] = None,
+    ) -> str:
+        """Execute the timeline while polling for a finished leader.
+
+        ``pending`` is shared across the scans of a multi-scan session:
+        the timeline clock keeps running, so an action at t=30s can land
+        inside scan 2.
+        """
+        if pending is None:
+            pending = list(self.schedule.actions)
         deadline = started + self.deadline_s
         leader = ""
         while time.perf_counter() < deadline:
@@ -438,6 +535,10 @@ class ChaosDrill:
             report.stale_epoch_fenced = int(
                 status.get("stale_epoch_fenced", 0)
             )
+            cache = status.get("cache")
+            if isinstance(cache, dict) and self._cache_urls:
+                report.scan_cache.append(cache)
+                report.remote_corrupt += int(cache.get("remote_corrupt", 0))
 
     def _settle(self, leader: str) -> None:
         """Let workers drain and the leader write its trace, then stop."""
@@ -455,6 +556,29 @@ class ChaosDrill:
                 proc.wait(timeout=20.0)
             except subprocess.TimeoutExpired:
                 pass
+
+    def _teardown_scan(self) -> None:
+        """Stop the coordinators/workers of one scan; cache nodes persist."""
+        scan_roles = [
+            role for role in self._procs if not role.startswith("cache-")
+        ]
+        for role in scan_roles:
+            proc = self._procs[role]
+            if role in self._stopped and proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGCONT)
+                except OSError:
+                    pass
+                self._stopped.discard(role)
+            if proc.poll() is None:
+                proc.terminate()
+        for role in scan_roles:
+            proc = self._procs.pop(role)
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+            self._urls.pop(role, None)
 
     def _cleanup(self) -> None:
         for role in list(self._stopped):
@@ -477,13 +601,14 @@ class ChaosDrill:
     # verification
     # ------------------------------------------------------------------
     def _compare(
-        self, report: DrillReport, detector, layout, reference, leader: str
+        self, report: DrillReport, detector, layout, reference, leader: str,
+        scan_index: int = 0,
     ) -> None:
         import numpy as np
 
         from repro.fleet import FleetCoordinator, FleetOptions
 
-        journal_dir = self._journal_dir(leader)
+        journal_dir = self._journal_dir(leader, scan_index)
         merger = FleetCoordinator(
             detector,
             layout,
@@ -527,3 +652,171 @@ class ChaosDrill:
                 f"drill output diverged: reports {len(right[0])} vs "
                 f"{len(left[0])}, funnel {right[1]} vs {left[1]}"
             )
+
+
+class ServeFleetDrill(ChaosDrill):
+    """Long-running serve drill: predict through churn, answers identical.
+
+    Spawns a ``fleet-frontend`` plus N ``repro serve`` replicas that
+    self-register with it, then fires a stream of ``/v1/predict``
+    requests while the schedule kills/stops/resumes ``replica-<n>``
+    processes (and, if it dares, the ``frontend``).  The invariant is
+    the serving version of bit-identity: every answered request returns
+    exactly the margins the local detector computes for the same clips,
+    no matter which replica happened to serve it or how many died along
+    the way.
+    """
+
+    #: Transport retries per request before the drill declares an outage.
+    REQUEST_ATTEMPTS = 8
+
+    def __init__(
+        self,
+        model_path: Path,
+        layout_path: Path,
+        schedule: DrillSchedule,
+        replicas: int = 2,
+        requests: int = 40,
+        layer: int = 1,
+        workdir: Optional[Path] = None,
+        deadline_s: float = DEFAULT_DEADLINE_S,
+    ) -> None:
+        super().__init__(
+            model_path,
+            layout_path,
+            schedule,
+            layer=layer,
+            workers=1,
+            standby=False,
+            workdir=workdir,
+            deadline_s=deadline_s,
+        )
+        self.replicas = max(1, replicas)
+        self.requests = max(1, requests)
+
+    # ------------------------------------------------------------------
+    def run(self) -> DrillReport:
+        from repro.cli import load_detector, load_layout_auto
+        from repro.serve.protocol import encode_clip
+
+        report = DrillReport()
+        started = time.perf_counter()
+        try:
+            detector = load_detector(self.model_path)
+            layout = load_layout_auto(self.layout_path)
+            result = detector.detect(layout, layer=self.layer)
+            report.reference_reports = result.report_count
+            clips = list(result.extraction.clips)[:4]
+            if not clips:
+                raise InputError(
+                    "layout yields no clips for the serve drill; use a "
+                    "layout with at least one extracted clip"
+                )
+            payload = {"clips": [encode_clip(clip) for clip in clips]}
+            expected = [float(m) for m in detector.margins(clips)]
+            self._launch_serve(report)
+            self._drive_predicts(report, payload, expected, started)
+        except Exception as exc:  # a failed drill is a report, not a crash
+            report.error = f"{type(exc).__name__}: {exc}"
+            report.identical = False
+            _log.error("serve_drill_failed", error=report.error)
+        finally:
+            self._cleanup()
+            report.wall_s = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def _launch_serve(self, report: DrillReport) -> None:
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        port = _free_port()
+        frontend_url = f"http://127.0.0.1:{port}"
+        self._urls["frontend"] = frontend_url
+        self._spawn("frontend", ["fleet-frontend", "--port", str(port)], "frontend")
+        for index in range(self.replicas):
+            role = f"replica-{index}"
+            replica_port = _free_port()
+            self._urls[role] = f"http://127.0.0.1:{replica_port}"
+            self._spawn(
+                role,
+                [
+                    "serve",
+                    "--model", str(self.model_path),
+                    "--port", str(replica_port),
+                    "--frontend", frontend_url,
+                ],
+                role,
+            )
+        for index in range(self.replicas):
+            role = f"replica-{index}"
+            self._wait_healthy(self._urls[role], f"serve replica {role}")
+        # The frontend reports healthy only once >= 1 replica registered.
+        self._wait_healthy(frontend_url, "serve frontend")
+        report.leader = "frontend"
+
+    # ------------------------------------------------------------------
+    def _drive_predicts(
+        self,
+        report: DrillReport,
+        payload: dict,
+        expected: list,
+        started: float,
+    ) -> None:
+        from repro.fleet.protocol import FleetClient
+
+        pending = list(self.schedule.actions)
+        deadline = started + self.deadline_s
+        frontend = self._urls["frontend"]
+        answered = 0
+        attempts_total = 0
+        retried = 0
+        for number in range(self.requests):
+            now = time.perf_counter() - started
+            while pending and pending[0].at_s <= now:
+                self._execute(pending.pop(0), report, now)
+            document = None
+            for attempt in range(self.REQUEST_ATTEMPTS):
+                if time.perf_counter() > deadline:
+                    raise InputError(
+                        f"serve drill deadline ({self.deadline_s:.0f}s) "
+                        f"expired at request {number}"
+                    )
+                attempts_total += 1
+                if attempt:
+                    retried += 1
+                try:
+                    code, answer = FleetClient(frontend, timeout=10.0).post_json(
+                        "/v1/predict", payload
+                    )
+                except Exception:
+                    code, answer = 0, None
+                if code == 200 and isinstance(answer, dict):
+                    document = answer
+                    break
+                time.sleep(0.3)
+            if document is None:
+                report.error = (
+                    f"request {number} failed after "
+                    f"{self.REQUEST_ATTEMPTS} attempts"
+                )
+                report.identical = False
+                break
+            answered += 1
+            margins = [float(m) for m in document.get("margins", [])]
+            if margins != expected:
+                report.error = (
+                    f"request {number} diverged from the local reference: "
+                    f"{margins} vs {expected}"
+                )
+                report.identical = False
+                break
+        else:
+            report.identical = True
+        report.completed = answered
+        report.drill_reports = report.reference_reports
+        report.artifacts["serve"] = {
+            "requests": self.requests,
+            "answered": answered,
+            "attempts": attempts_total,
+            "retried": retried,
+            "replicas": self.replicas,
+        }

@@ -37,6 +37,13 @@ The fleet adds network-shaped points on top of the pipeline ones:
 peer, so ``fleet.partition.*_8990=error:1.0`` partitions one endpoint
 off the network; ``fleet.promote`` fires in the standby coordinator as
 it takes over, letting a drill fail the promotion itself.
+``fleet.cache`` fires in the remote-cache client before every
+get/put/batch RPC (an ``error`` there fails the node from the client's
+view, driving the half-open recovery machinery), and
+``fleet.cache_server`` fires in the cache node as it serves a blob — a
+``corrupt`` fault there makes the node serve deliberately rotten bytes,
+which the reading tier must reject by digest and count as
+``remote_corrupt``.
 
 Install a plan process-wide with :func:`install` / :func:`from_env`, or
 scope one to a block with :func:`active`::

@@ -306,3 +306,80 @@ class TestMemoryTier:
         # Write failed silently; memory tier still serves.
         assert not cache._disk_ok
         assert cache.get_margins("f" * 64, "d" * 64) is not None
+
+
+# ----------------------------------------------------------------------
+# replica placement on the hash ring
+# ----------------------------------------------------------------------
+node_urls = st.lists(
+    st.integers(8000, 9999).map(lambda p: f"http://10.0.0.{p % 250 + 1}:{p}"),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+cache_keys = st.text(
+    alphabet="0123456789abcdef", min_size=8, max_size=64
+)
+
+
+class TestReplicaPlacement:
+    """Exact consistent-hash properties the RF=2 cache tier leans on."""
+
+    @given(urls=node_urls, key=cache_keys, rf=st.integers(1, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_replica_sets_are_distinct_nodes(self, urls, key, rf):
+        from repro.fleet.router import HashRing
+
+        ring = HashRing(urls)
+        replicas = ring.replicas_for(key, rf)
+        # Distinct nodes, never more than the ring holds, and always a
+        # prefix of the deterministic fallback walk starting at the
+        # primary — so every reader agrees on replica order.
+        assert len(replicas) == len(set(replicas)) == min(rf, len(urls))
+        assert replicas == ring.nodes_for(key)[: len(replicas)]
+        assert replicas[0] == ring.node_for(key)
+
+    @given(urls=node_urls, keys=st.lists(cache_keys, min_size=1, max_size=40, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_removing_a_node_only_remaps_its_own_keys(self, urls, keys):
+        from repro.fleet.router import HashRing
+
+        ring = HashRing(urls)
+        victim = ring.node_for(keys[0])
+        survivor_ring = HashRing([u for u in urls if u != victim])
+        for key in keys:
+            before = ring.replicas_for(key, 2)
+            after = survivor_ring.replicas_for(key, 2)
+            if victim not in before:
+                # Keys whose replica set never touched the victim do not
+                # move at all — the bounded-churn half of consistency.
+                assert after == before
+            else:
+                # Keys that did lose a replica keep every survivor in
+                # place; only the victim's slot is re-assigned.
+                assert [n for n in before if n != victim] == [
+                    n for n in after if n in before
+                ]
+
+    @given(urls=node_urls, keys=st.lists(cache_keys, min_size=1, max_size=40, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_added_node_only_steals_keys_for_itself(self, urls, keys):
+        from repro.fleet.router import HashRing
+
+        joined = "http://10.0.1.1:7777"
+        before = HashRing(urls)
+        after = HashRing(urls + [joined])
+        moved = 0
+        for key in keys:
+            old = before.replicas_for(key, 2)
+            new = after.replicas_for(key, 2)
+            if new == old:
+                continue
+            moved += 1
+            # Any key that moved, moved *onto the joiner*: a changed
+            # replica set always includes the new node, and the nodes it
+            # displaced keep their relative order.
+            assert joined in new
+            survivors = [n for n in new if n != joined]
+            assert survivors == [n for n in old if n in survivors]
+        assert moved <= len(keys)
