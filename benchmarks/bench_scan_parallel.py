@@ -16,10 +16,19 @@ or standalone (``python benchmarks/bench_scan_parallel.py``).
 import time
 from dataclasses import replace
 
+import numpy as np
+
 from repro.core.detector import HotspotDetector
 from repro.work import ScanOptions
 
 WORKER_COUNTS = [1, 2, 4]
+
+#: The fast compute mode must beat exact per-row margin evaluation by at
+#: least this factor on the margin stage (the part it vectorizes).
+MARGIN_EVAL_MIN_SPEEDUP = 5.0
+#: Matrices are replicated to at least this many rows so the timed
+#: region is long enough to be stable on a loaded CI box.
+MARGIN_EVAL_MIN_ROWS = 4000
 
 
 def _clone_with_config(detector, **overrides):
@@ -85,6 +94,96 @@ def run_scan_matrix(detector, layout, worker_counts=WORKER_COUNTS):
             }
         )
     return rows
+
+
+def run_margin_eval_modes(detector, layout, min_rows=MARGIN_EVAL_MIN_ROWS):
+    """Time the margin-evaluation stage in both compute modes.
+
+    Builds the per-kernel feature matrices once (extraction is identical
+    in both modes, so it stays outside the timed region), then evaluates
+    every matrix with the exact per-row decision function and with the
+    fast blocked-GEMM state.  Matrices are tiled to ``min_rows`` rows —
+    margin values are row-independent in both modes, so tiling changes
+    the timing, never the values being compared.
+    """
+    from repro.core.extraction import extract_for_detector
+    from repro.svm.fastpath import MAX_ULP_DRIFT, margin_drift_ulps
+
+    model = detector.model_
+    clips = extract_for_detector(layout, detector.config, 1).clips
+    extractions = [model.extractor.extract(clip) for clip in clips]
+    matrices = []
+    for kernel in model.kernels:
+        matrix = np.vstack(
+            [
+                model.extractor.vectorize(extraction, kernel.schema)
+                for extraction in extractions
+            ]
+        )
+        repeats = max(1, -(-min_rows // max(1, matrix.shape[0])))
+        matrices.append(np.tile(matrix, (repeats, 1)))
+    rows = sum(matrix.shape[0] for matrix in matrices)
+
+    started = time.perf_counter()
+    exact = [
+        kernel.model.decision_function(matrix)
+        for kernel, matrix in zip(model.kernels, matrices)
+    ]
+    exact_s = time.perf_counter() - started
+
+    # State construction (SV compaction + norm precompute) happens once
+    # per model load, so it is warmed outside the timed region — exactly
+    # as the registry and the scan paths do.
+    states = [kernel.model.fast_state() for kernel in model.kernels]
+    started = time.perf_counter()
+    fast = [
+        state.decision_function(matrix)
+        for state, matrix in zip(states, matrices)
+    ]
+    fast_s = time.perf_counter() - started
+
+    drift = max(
+        margin_drift_ulps(e, f, state.scale)
+        for e, f, state in zip(exact, fast, states)
+    )
+    return {
+        "kernels": len(model.kernels),
+        "rows": rows,
+        "exact_s": round(exact_s, 4),
+        "fast_s": round(fast_s, 4),
+        "speedup_x": round(exact_s / max(fast_s, 1e-9), 2),
+        "drift_ulps": round(drift, 3),
+        "drift_bound_ulps": MAX_ULP_DRIFT,
+    }
+
+
+def test_margin_eval_fast_speedup(once):
+    from conftest import get_benchmark, get_detector, print_table, record_metrics
+
+    bench = get_benchmark("benchmark1")
+    detector = get_detector("benchmark1", "ours")
+    row = once(run_margin_eval_modes, detector, bench.testing.layout)
+
+    print_table(
+        "Margin evaluation — exact per-row vs fast blocked GEMM (benchmark1)",
+        ["kernels", "rows", "exact_s", "fast_s", "speedup_x", "drift_ulps"],
+        [[row["kernels"], row["rows"], row["exact_s"], row["fast_s"],
+          row["speedup_x"], row["drift_ulps"]]],
+    )
+    record_metrics(
+        __file__,
+        margin_eval_rows=row["rows"],
+        margin_eval_exact_s=row["exact_s"],
+        margin_eval_fast_s=row["fast_s"],
+        margin_eval_speedup_x=row["speedup_x"],
+        margin_eval_drift_ulps=row["drift_ulps"],
+        margin_eval_drift_bound_ulps=row["drift_bound_ulps"],
+    )
+    assert row["speedup_x"] >= MARGIN_EVAL_MIN_SPEEDUP, (
+        f"fast margin evaluation only {row['speedup_x']}x faster than exact "
+        f"(gate: {MARGIN_EVAL_MIN_SPEEDUP}x over {row['rows']} rows)"
+    )
+    assert row["drift_ulps"] <= row["drift_bound_ulps"]
 
 
 def test_scan_parallel(once):

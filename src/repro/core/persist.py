@@ -116,6 +116,7 @@ def _encode_feature_config(config: FeatureConfig) -> dict:
         "include_density_grid": config.include_density_grid,
         "density_resolution": config.density_resolution,
         "canonical_orientation": config.canonical_orientation,
+        "compute": config.compute,
     }
 
 

@@ -1,0 +1,253 @@
+"""Numpy-vectorized MTCG sweeps: the ``compute="fast"`` extraction path.
+
+Feature extraction is pure integer geometry, so unlike the SVM fast
+path (:mod:`repro.svm.fastpath`, ulp-bounded) the vectorized sweeps
+here are **bit-identical** to the scalar ones — integer comparisons and
+integer sums have no rounding, and every function below reproduces its
+scalar counterpart's output exactly (property-tested against random
+rectangle soups in ``tests/test_fast_compute.py``).  That exactness is
+what lets the *feature* cache be shared between compute modes while the
+*margin* cache splits (see :mod:`repro.cache.keys`).
+
+The scalar hot spots being replaced (profiled on the seed benchmarks):
+
+- the per-slab cursor sweep in :func:`~repro.mtcg.tiles.
+  horizontal_tiling` → :func:`space_strips` builds a slab x column
+  occupancy lattice with one boolean matmul and reads space strips off
+  maximal free runs;
+- the O(n²) pairwise loop in ``Tiling.covers_window`` →
+  :func:`tiling_covers_window` broadcasts the containment/overlap/area
+  checks;
+- the O(n²) adjacency and O(n³) diagonal-blocking loops in
+  :mod:`repro.mtcg.graph` → :func:`adjacent_pairs` /
+  :func:`diagonal_pairs`;
+- the vertex-times-rectangle quadrant probes in
+  :mod:`repro.features.nontopo` → :func:`corner_and_touch_counts`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+
+def _rect_array(rects: Sequence[Rect]) -> np.ndarray:
+    """(n, 4) int64 array of (x0, y0, x1, y1) rows."""
+    if not rects:
+        return np.zeros((0, 4), dtype=np.int64)
+    return np.array(
+        [(r.x0, r.y0, r.x1, r.y1) for r in rects], dtype=np.int64
+    )
+
+
+# ----------------------------------------------------------------------
+# tiling
+# ----------------------------------------------------------------------
+def space_strips(blocks: Sequence[Rect], window: Rect) -> list[Rect]:
+    """Raw horizontal space strips of a merged block set, vectorized.
+
+    Equivalent to the scalar cursor sweep in ``horizontal_tiling``: the
+    window is cut into slabs at every block top/bottom edge and into
+    columns at every block left/right edge; a block spans whole lattice
+    cells by construction, so the maximal free-column runs of each slab
+    are exactly the scalar sweep's gap strips.  Returns the same strip
+    *set* (order differs; the caller's ``merge_vertical`` sorts).
+    """
+    arr = _rect_array(blocks)
+    if arr.shape[0] == 0:
+        return [Rect(window.x0, window.y0, window.x1, window.y1)]
+    xs = np.unique(np.concatenate([[window.x0, window.x1], arr[:, 0], arr[:, 2]]))
+    ys = np.unique(np.concatenate([[window.y0, window.y1], arr[:, 1], arr[:, 3]]))
+    # span_y[s, k]: block k fully spans slab s (slabs are cut at every
+    # block edge, so overlap implies full span).  Likewise for columns.
+    span_y = (arr[None, :, 1] <= ys[:-1, None]) & (ys[1:, None] <= arr[None, :, 3])
+    span_x = (arr[None, :, 0] <= xs[:-1, None]) & (xs[1:, None] <= arr[None, :, 2])
+    occupied = (span_y.astype(np.int64) @ span_x.astype(np.int64).T) > 0
+    free = ~occupied  # (slabs, columns)
+    padded = np.zeros((free.shape[0], free.shape[1] + 2), dtype=np.int8)
+    padded[:, 1:-1] = free
+    edges = np.diff(padded, axis=1)
+    starts = np.argwhere(edges == 1)  # run starts, row-major
+    ends = np.argwhere(edges == -1)  # matching run ends (exclusive)
+    return [
+        Rect(int(xs[c0]), int(ys[row]), int(xs[c1]), int(ys[row + 1]))
+        for (row, c0), (_, c1) in zip(starts, ends)
+    ]
+
+
+def tiling_covers_window(tiles: Sequence[Rect], window: Rect) -> bool:
+    """Vectorized ``Tiling.covers_window``: containment, disjointness,
+    exact area sum — same verdict as the scalar pairwise loop."""
+    arr = _rect_array(tiles)
+    if arr.shape[0] == 0:
+        return window.area == 0
+    inside = (
+        (arr[:, 0] >= window.x0)
+        & (arr[:, 1] >= window.y0)
+        & (arr[:, 2] <= window.x1)
+        & (arr[:, 3] <= window.y1)
+    )
+    if not bool(inside.all()):
+        return False
+    overlap = (
+        (arr[:, None, 0] < arr[None, :, 2])
+        & (arr[None, :, 0] < arr[:, None, 2])
+        & (arr[:, None, 1] < arr[None, :, 3])
+        & (arr[None, :, 1] < arr[:, None, 3])
+    )
+    np.fill_diagonal(overlap, False)
+    if bool(overlap.any()):
+        return False
+    areas = (arr[:, 2] - arr[:, 0]) * (arr[:, 3] - arr[:, 1])
+    return int(areas.sum()) == window.area
+
+
+# ----------------------------------------------------------------------
+# constraint-graph edges
+# ----------------------------------------------------------------------
+def adjacent_pairs(rects: Sequence[Rect], axis: str) -> list[tuple[int, int]]:
+    """Vectorized ``graph._adjacent_pairs``: same pairs, same order.
+
+    ``np.argwhere`` walks the boolean adjacency matrix row-major, which
+    is exactly the scalar double loop's (i, j) emission order.
+    """
+    arr = _rect_array(rects)
+    if arr.shape[0] < 2:
+        return []
+    if axis == "v":
+        touching = arr[:, None, 3] == arr[None, :, 1]
+        projected = np.minimum(arr[:, None, 2], arr[None, :, 2]) > np.maximum(
+            arr[:, None, 0], arr[None, :, 0]
+        )
+    else:
+        touching = arr[:, None, 2] == arr[None, :, 0]
+        projected = np.minimum(arr[:, None, 3], arr[None, :, 3]) > np.maximum(
+            arr[:, None, 1], arr[None, :, 1]
+        )
+    adjacency = touching & projected
+    np.fill_diagonal(adjacency, False)
+    return [(int(i), int(j)) for i, j in np.argwhere(adjacency)]
+
+
+def diagonal_pairs(
+    rects: Sequence[Rect],
+    is_block: Sequence[bool],
+    max_gap: Optional[int],
+) -> list[tuple[int, int]]:
+    """Vectorized ``graph._diagonal_pairs``: same pairs, same order.
+
+    Candidate (i < j) same-kind pairs with disjoint projections come off
+    an upper-triangular mask in row-major order (the scalar loop order);
+    the corner-region gap and blocked checks are broadcast over all
+    tiles at once.
+    """
+    arr = _rect_array(rects)
+    count = arr.shape[0]
+    if count < 2:
+        return []
+    kind = np.asarray(list(is_block), dtype=bool)
+    same = kind[:, None] == kind[None, :]
+    x_disjoint = (arr[:, None, 2] <= arr[None, :, 0]) | (
+        arr[None, :, 2] <= arr[:, None, 0]
+    )
+    y_disjoint = (arr[:, None, 3] <= arr[None, :, 1]) | (
+        arr[None, :, 3] <= arr[:, None, 1]
+    )
+    candidate = np.triu(same & x_disjoint & y_disjoint, k=1)
+    pairs = np.argwhere(candidate)
+    if pairs.shape[0] == 0:
+        return []
+    i, j = pairs[:, 0], pairs[:, 1]
+    # Corner gap box between each pair (degenerate when corner-touching).
+    gx0 = np.minimum(arr[i, 2], arr[j, 2])
+    gx1 = np.maximum(arr[i, 0], arr[j, 0])
+    gy0 = np.minimum(arr[i, 3], arr[j, 3])
+    gy1 = np.maximum(arr[i, 1], arr[j, 1])
+    degenerate = (gx0 >= gx1) | (gy0 >= gy1)
+    keep = np.ones(pairs.shape[0], dtype=bool)
+    if max_gap is not None:
+        too_far = np.maximum(gx1 - gx0, gy1 - gy0) > max_gap
+        keep &= degenerate | ~too_far
+    # Blocked: any same-kind third tile overlapping the corner region.
+    overlap = (
+        (arr[None, :, 0] < gx1[:, None])
+        & (gx0[:, None] < arr[None, :, 2])
+        & (arr[None, :, 1] < gy1[:, None])
+        & (gy0[:, None] < arr[None, :, 3])
+    )  # (pairs, tiles)
+    intruder = overlap & (kind[None, :] == kind[i][:, None])
+    cols = np.arange(count)
+    intruder &= (cols[None, :] != i[:, None]) & (cols[None, :] != j[:, None])
+    keep &= degenerate | ~intruder.any(axis=1)
+    out: list[tuple[int, int]] = []
+    for index in np.flatnonzero(keep):
+        a, b = int(i[index]), int(j[index])
+        if arr[a, 0] <= arr[b, 0]:
+            out.append((a, b))
+        else:
+            out.append((b, a))
+    return out
+
+
+# ----------------------------------------------------------------------
+# nontopological features
+# ----------------------------------------------------------------------
+def corner_and_touch_counts(
+    rects: Sequence[Rect], window: Optional[Rect] = None
+) -> tuple[int, int]:
+    """Vectorized ``nontopo.corner_and_touch_counts``: identical counts.
+
+    Every rectangle corner is a candidate lattice vertex; the four unit
+    probe cells around each vertex are tested for coverage against all
+    rectangles at once.  Counts are order-free sums, so the scalar set
+    iteration and this version agree exactly.
+    """
+    arr = _rect_array(rects)
+    if arr.shape[0] == 0:
+        return 0, 0
+    corners = np.concatenate(
+        [
+            arr[:, [0, 1]],
+            arr[:, [2, 1]],
+            arr[:, [0, 3]],
+            arr[:, [2, 3]],
+        ]
+    )
+    vertices = np.unique(corners, axis=0)
+    if window is not None:
+        strict = (
+            (vertices[:, 0] > window.x0)
+            & (vertices[:, 0] < window.x1)
+            & (vertices[:, 1] > window.y0)
+            & (vertices[:, 1] < window.y1)
+        )
+        vertices = vertices[strict]
+    if vertices.shape[0] == 0:
+        return 0, 0
+    x, y = vertices[:, 0], vertices[:, 1]
+
+    def covered(cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        # Unit probe cell (cx, cy): covered when inside any rectangle.
+        return (
+            (arr[None, :, 0] <= cx[:, None])
+            & (cx[:, None] < arr[None, :, 2])
+            & (arr[None, :, 1] <= cy[:, None])
+            & (cy[:, None] < arr[None, :, 3])
+        ).any(axis=1)
+
+    sw = covered(x - 1, y - 1)
+    se = covered(x, y - 1)
+    nw = covered(x - 1, y)
+    ne = covered(x, y)
+    total = (
+        sw.astype(np.int64) + se.astype(np.int64)
+        + nw.astype(np.int64) + ne.astype(np.int64)
+    )
+    corner_count = int(((total == 1) | (total == 3)).sum())
+    touch_count = int(
+        ((total == 2) & (sw == ne) & (se == nw) & (sw != se)).sum()
+    )
+    return corner_count, touch_count

@@ -1,0 +1,276 @@
+"""Blocked-GEMM margin evaluation: the ``compute="fast"`` SVM path.
+
+The exact path (:meth:`~repro.svm.model.SupportVectorClassifier.
+decision_function`) evaluates one kernel row per sample so margins are a
+pure function of the sample — BLAS products round differently per
+operand shape, and the cache and sharded scan re-batch arbitrarily.
+That per-row loop is the single-node throughput ceiling (ROADMAP item
+1): python-level iteration costs far more than the arithmetic it wraps.
+
+Fast mode restores batched BLAS while keeping the property that made
+the exact path per-row: every sample is evaluated inside a
+**fixed-shape** block.  Samples are packed into zero-padded blocks of
+exactly :data:`FAST_BLOCK` rows, so the GEMM operand shapes — and hence
+the rounding — never depend on how a batch was partitioned.  A sample's
+fast margin is therefore bit-identical however the caller batches,
+orders or shards its clips (property-tested in
+``tests/test_fast_compute.py``); it may differ from the exact margin by
+a few last-place bits, bounded by :data:`MAX_ULP_DRIFT`.
+
+The drift bound is expressed at the *decision scale*, not per value:
+margins near zero have tiny float spacing, so a raw per-value ulp count
+explodes exactly where an absolute drift of 1e-13 is most harmless.
+The decision function is a sum bounded by ``sum(|dual_coef|) + |bias|``
+(kernel values lie in [0, 1]); one ulp at that scale is the smallest
+increment the accumulation itself can resolve, so drift is measured in
+multiples of ``np.spacing(scale)``.  Observed drift on trained models
+is under ~16 scale-ulps; the bound leaves two orders of magnitude of
+headroom while still catching any algorithmic divergence.
+
+:class:`FastKernelState` holds the precomputed per-kernel state —
+compacted support vectors (zero-coefficient rows dropped), their
+squared norms, the dual coefficients — built once per trained model and
+cached per ``model_fingerprint`` (:func:`fast_states`), so serving
+loads compact at registry-load time rather than on the first request.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NotFittedError, SvmError
+
+#: Fixed evaluation block height (rows per GEMM).  Every block is
+#: zero-padded to exactly this many rows so the BLAS operand shape —
+#: and therefore the rounding — is independent of batch partitioning.
+#: The value trades padding waste on tiny batches against per-block
+#: python overhead on large ones; it is part of the numeric contract
+#: (changing it changes fast-mode bits) and must not be tuned casually.
+FAST_BLOCK = 128
+
+#: Documented bound on exact-vs-fast margin drift, in float64 ulps *at
+#: the decision scale* (see module docs and :func:`decision_scale`).
+#: Asserted by the differential suite and the bench gates.
+MAX_ULP_DRIFT = 4096
+
+
+# ----------------------------------------------------------------------
+# drift measurement
+# ----------------------------------------------------------------------
+def decision_scale(dual_coef: np.ndarray, bias: float) -> float:
+    """The magnitude the decision sum is bounded by.
+
+    RBF kernel values lie in ``[0, 1]``, so ``|f(x)| <= sum|a_i| + |b|``;
+    one float64 ulp at this scale is the finest increment the decision
+    accumulation can resolve.  Floored at 1.0 so the far-field guard's
+    interpolation toward -1 is always inside the scale.
+    """
+    return max(float(np.abs(dual_coef).sum()) + abs(float(bias)), 1.0)
+
+
+def ulp_diff(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Distance between float64 arrays in representable-value steps.
+
+    Uses the sign-folded integer ordering of IEEE-754 doubles: mapping
+    the bit patterns of negative floats to ``-2**63 - i`` makes the
+    int64 view monotone in the float order, so the integer difference
+    counts the representable doubles between the operands.
+    """
+    a = np.asarray(first, dtype=np.float64).view(np.int64)
+    b = np.asarray(second, dtype=np.float64).view(np.int64)
+    a = np.where(a < 0, np.int64(-(2**63)) - a, a)
+    b = np.where(b < 0, np.int64(-(2**63)) - b, b)
+    return np.abs(a - b)
+
+
+def margin_drift_ulps(
+    exact: np.ndarray, fast: np.ndarray, scale: float
+) -> float:
+    """Worst exact-vs-fast drift in ulps at the decision scale.
+
+    ``|exact - fast| / spacing(scale)``: absolute drift normalised by
+    the value of one ulp at ``scale``.  Returns 0.0 for empty inputs.
+    """
+    exact = np.asarray(exact, dtype=np.float64)
+    fast = np.asarray(fast, dtype=np.float64)
+    if exact.size == 0:
+        return 0.0
+    return float(np.abs(exact - fast).max() / np.spacing(max(scale, 1.0)))
+
+
+# ----------------------------------------------------------------------
+# precomputed per-kernel state
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FastKernelState:
+    """Everything fast evaluation needs from one trained classifier.
+
+    Built by :meth:`from_classifier`: support vectors with exactly-zero
+    dual coefficients are dropped (they contribute nothing to the
+    decision sum; fast mode also excludes them from the similarity
+    guard), the surviving matrix is made C-contiguous for the GEMM, and
+    the squared norms are computed once instead of per batch.
+    """
+
+    kernel: str
+    gamma: float
+    support_vectors: np.ndarray
+    sv_norms: np.ndarray
+    dual_coef: np.ndarray
+    bias: float
+    far_field_floor: float
+    scaler: Optional[object]
+    #: Zero-coefficient support vectors dropped by compaction.
+    dropped: int
+
+    @staticmethod
+    def from_classifier(classifier) -> "FastKernelState":
+        if classifier.support_vectors_ is None or classifier.dual_coef_ is None:
+            raise NotFittedError("fast state requested before fit()")
+        vectors = np.asarray(classifier.support_vectors_, dtype=np.float64)
+        dual = np.asarray(classifier.dual_coef_, dtype=np.float64)
+        keep = dual != 0.0
+        if np.any(keep) and not np.all(keep):
+            vectors = vectors[keep]
+            dual = dual[keep]
+            dropped = int(keep.size - np.count_nonzero(keep))
+        else:
+            # Nothing to drop — or all-zero duals (the degenerate
+            # constant classifier), which keep their vector so the
+            # similarity guard stays defined.
+            dropped = 0
+        return FastKernelState(
+            kernel=classifier.kernel,
+            gamma=float(classifier.gamma),
+            support_vectors=np.ascontiguousarray(vectors),
+            sv_norms=np.einsum("ij,ij->i", vectors, vectors),
+            dual_coef=np.ascontiguousarray(dual),
+            bias=float(classifier.bias_),
+            far_field_floor=float(classifier.far_field_floor),
+            scaler=classifier.scaler_,
+            dropped=dropped,
+        )
+
+    @property
+    def scale(self) -> float:
+        """Decision scale of this kernel (see :func:`decision_scale`)."""
+        return decision_scale(self.dual_coef, self.bias)
+
+    # ------------------------------------------------------------------
+    def _prepare(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.shape[1] != self.support_vectors.shape[1]:
+            raise SvmError(
+                f"matrix width {matrix.shape[1]} does not match support "
+                f"vectors ({self.support_vectors.shape[1]})"
+            )
+        if self.scaler is not None:
+            # Elementwise affine transform: per-element rounding is
+            # shape-independent, so scaling the whole matrix at once
+            # matches the exact path bit for bit.
+            matrix = self.scaler.transform(matrix)
+        return matrix
+
+    def evaluate(self, matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(margins, max kernel similarity) per row, blocked evaluation.
+
+        The arithmetic mirrors the exact path exactly — squared-distance
+        expansion clamped at zero, ``exp``, dot with the dual
+        coefficients, far-field interpolation — only batched.  Each
+        block is zero-padded to :data:`FAST_BLOCK` rows so every sample
+        sees the same GEMM shape regardless of batch partitioning.
+        """
+        matrix = self._prepare(matrix)
+        count = matrix.shape[0]
+        values = np.empty(count, dtype=np.float64)
+        similarity = np.empty(count, dtype=np.float64)
+        width = self.support_vectors.shape[1]
+        far_field = self.far_field_floor > 0 and self.kernel == "rbf"
+        for start in range(0, count, FAST_BLOCK):
+            chunk = matrix[start : start + FAST_BLOCK]
+            rows = chunk.shape[0]
+            block = np.zeros((FAST_BLOCK, width), dtype=np.float64)
+            block[:rows] = chunk
+            if self.kernel == "rbf":
+                row_norms = np.einsum("ij,ij->i", block, block)
+                cross = block @ self.support_vectors.T
+                distances = (
+                    row_norms[:, None] + self.sv_norms[None, :] - 2.0 * cross
+                )
+                np.maximum(distances, 0.0, out=distances)
+                gram = np.exp(-self.gamma * distances)
+            else:
+                gram = block @ self.support_vectors.T
+            block_values = gram @ self.dual_coef + self.bias
+            block_similarity = gram.max(axis=1)
+            if far_field:
+                weight = np.minimum(
+                    1.0, block_similarity / self.far_field_floor
+                )
+                block_values = weight * block_values + (1.0 - weight) * -1.0
+            values[start : start + rows] = block_values[:rows]
+            similarity[start : start + rows] = block_similarity[:rows]
+        return values, similarity
+
+    def decision_function(self, matrix: np.ndarray) -> np.ndarray:
+        """Fast signed margins per row (see :meth:`evaluate`)."""
+        return self.evaluate(matrix)[0]
+
+
+# ----------------------------------------------------------------------
+# per-model state cache
+# ----------------------------------------------------------------------
+_STATES_LOCK = threading.Lock()
+_STATES: "OrderedDict[str, tuple[FastKernelState, ...]]" = OrderedDict()
+#: A handful of models at most live in one process (serve registry hot
+#: reloads, test fixtures); the LRU bound only guards leaks.
+_STATES_LIMIT = 8
+
+
+def fast_states(model) -> tuple[FastKernelState, ...]:
+    """Per-kernel fast states of a trained MultiKernelModel, memoized.
+
+    Keyed by the model's margin-cache fingerprint (which embeds the
+    compute mode and the trained weights), so a hot-reloaded archive
+    gets fresh states and identical models share one compaction.
+    """
+    key = model._cache_fingerprint()
+    with _STATES_LOCK:
+        cached = _STATES.get(key)
+        if cached is not None:
+            _STATES.move_to_end(key)
+            return cached
+    states = tuple(
+        FastKernelState.from_classifier(kernel.model) for kernel in model.kernels
+    )
+    with _STATES_LOCK:
+        _STATES[key] = states
+        _STATES.move_to_end(key)
+        while len(_STATES) > _STATES_LIMIT:
+            _STATES.popitem(last=False)
+    return states
+
+
+def warm_fast_states(detector) -> int:
+    """Eagerly compact a detector's kernels (registry-load-time hook).
+
+    Builds the per-kernel fast states and the feedback kernel's state so
+    the first fast-mode request pays no compaction latency.  Returns the
+    number of states built; a no-op (0) for unfitted detectors.
+    """
+    model = getattr(detector, "model_", None)
+    if model is None:
+        return 0
+    built = len(fast_states(model))
+    feedback = getattr(detector, "feedback_", None)
+    if feedback is not None:
+        feedback.model.fast_state()
+        built += 1
+    return built

@@ -1,0 +1,151 @@
+"""Regenerate the exact-vs-fast regression fixtures (deterministic).
+
+Each fixture is a small GDSII layout that once tripped — or plausibly
+could trip — a divergence between the scalar extraction sweeps and the
+vectorized fast ones: degenerate unit/hairline rects, edge- and
+corner-touching lattices, windows with no geometry at all, rects
+spanning the window boundary, and one seeded mutation soup.  They were
+promoted out of fuzz-mutant triage into named fixtures so the exact ==
+fast contract is pinned on the nastiest inputs we know, not just on
+hypothesis' random draws.
+
+Run from the repo root to rebuild::
+
+    PYTHONPATH=src python tests/fixtures/fastdiff/generate.py
+
+The generator is seeded (no wall-clock, no entropy), so a rebuild is
+byte-identical to the committed files.
+"""
+
+import random
+from pathlib import Path
+
+from repro.geometry.rect import Rect
+from repro.layout.io import save_layout_gds
+from repro.layout.layout import Layout
+
+HERE = Path(__file__).parent
+LAYER = 1
+SEED = 20260809
+
+
+def _layout(rects):
+    layout = Layout()
+    for rect in rects:
+        layout.add_rect(LAYER, rect)
+    return layout
+
+
+def empty_window():
+    """Geometry only in the first window; the second is empty space."""
+    return [Rect(40, 40, 260, 140), Rect(300, 180, 560, 260)]
+
+
+def single_unit_rect():
+    """One 1x1-DBU rect — the most degenerate block a tiling can see."""
+    return [Rect(299, 299, 300, 300)]
+
+
+def hairline_strips():
+    """Width-1 strips, horizontal and vertical, some touching the rim."""
+    return [
+        Rect(0, 100, 600, 101),
+        Rect(120, 0, 121, 600),
+        Rect(0, 0, 1, 600),
+        Rect(598, 250, 599, 251),
+    ]
+
+
+def touching_edges():
+    """Abutting rects: shared edges, zero overlap — adjacency stress."""
+    return [
+        Rect(100, 100, 200, 200),
+        Rect(200, 100, 300, 200),
+        Rect(100, 200, 200, 300),
+        Rect(300, 100, 400, 150),
+        Rect(300, 150, 400, 200),
+    ]
+
+
+def corner_touch_lattice():
+    """Checkerboard of rects meeting only at corners."""
+    rects = []
+    for i in range(5):
+        for j in range(5):
+            if (i + j) % 2 == 0:
+                x0, y0 = 60 + 80 * i, 60 + 80 * j
+                rects.append(Rect(x0, y0, x0 + 80, y0 + 80))
+    return rects
+
+
+def full_cover():
+    """The first window is one solid block: a tiling with no space."""
+    return [Rect(0, 0, 600, 600), Rect(700, 700, 800, 800)]
+
+
+def comb_fingers():
+    """Interdigitated combs — long runs of alternating block/space."""
+    rects = [Rect(50, 50, 70, 550)]
+    for k in range(10):
+        y0 = 70 + 48 * k
+        rects.append(Rect(70, y0, 520, y0 + 20))
+    rects.append(Rect(520, 50, 540, 550))
+    return rects
+
+
+def diagonal_ladder():
+    """Staggered rects inside the diagonal-gap search distance."""
+    rects = []
+    for k in range(6):
+        x0, y0 = 60 + 70 * k, 60 + 80 * k
+        rects.append(Rect(x0, y0, x0 + 50, y0 + 40))
+    return rects
+
+
+def window_spanning():
+    """Rects crossing the window boundary — clipping makes them thin."""
+    return [
+        Rect(580, 100, 700, 200),   # straddles x = 600
+        Rect(100, 590, 220, 610),   # straddles y = 600
+        Rect(595, 595, 605, 605),   # straddles the corner
+        Rect(-40, 300, 5, 360),     # pokes in from outside
+    ]
+
+
+def mutation_soup():
+    """Seeded random rects: duplicates, touching, containment, slivers."""
+    rng = random.Random(SEED)
+    rects = []
+    for _ in range(24):
+        x0 = rng.randrange(0, 560)
+        y0 = rng.randrange(0, 560)
+        w = rng.choice([1, 1, 2, 5, 20, 60, 120])
+        h = rng.choice([1, 2, 4, 25, 70, 130])
+        rects.append(Rect(x0, y0, min(600, x0 + w), min(600, y0 + h)))
+    rects.extend(rects[:4])  # exact duplicates
+    return rects
+
+
+CASES = {
+    "empty_window": empty_window,
+    "single_unit_rect": single_unit_rect,
+    "hairline_strips": hairline_strips,
+    "touching_edges": touching_edges,
+    "corner_touch_lattice": corner_touch_lattice,
+    "full_cover": full_cover,
+    "comb_fingers": comb_fingers,
+    "diagonal_ladder": diagonal_ladder,
+    "window_spanning": window_spanning,
+    "mutation_soup": mutation_soup,
+}
+
+
+def main():
+    for name, build in CASES.items():
+        path = HERE / f"{name}.gds"
+        save_layout_gds(_layout(build()), path)
+        print(f"wrote {path.name}")
+
+
+if __name__ == "__main__":
+    main()

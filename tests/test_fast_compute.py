@@ -1,0 +1,404 @@
+"""Property tests for the fast compute mode.
+
+Three contracts pin the fast path to the exact oracle:
+
+1. **Batch invariance** — the blocked-GEMM margin evaluator pads every
+   batch to fixed :data:`FAST_BLOCK`-row operands, so BLAS sees the same
+   shapes no matter how callers partition the rows.  Fast margins must
+   therefore be *bit-identical* across batch sizes, split points and row
+   order — this is what makes fast-mode scans reproducible across
+   thread/process/fleet sharding.
+2. **Compaction** — dropping exactly-zero dual rows must not move a
+   single bit of the fast decision function, and the compacted state
+   must stay within the documented ulp bound of the exact oracle.
+3. **Vectorized geometry** — the numpy sweeps (tilings, constraint
+   graphs, density grids, corner/touch counts, full extraction) are
+   integer geometry and must equal the scalar implementations *exactly*,
+   not within a tolerance.  This equality is what lets exact and fast
+   runs share one feature-cache namespace.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FeatureError, GeometryError
+from repro.features.nontopo import (
+    corner_and_touch_counts as corner_and_touch_counts_scalar,
+    extract_nontopo_features,
+)
+from repro.features.vector import FeatureConfig
+from repro.cache.keys import feature_fingerprint
+from repro.geometry.grid import density_grid, density_grid_fast
+from repro.geometry.rect import Rect
+from repro.mtcg import fastscan
+from repro.mtcg.features import extract_topological_features
+from repro.mtcg.graph import build_mtcg
+from repro.mtcg.tiles import horizontal_tiling, vertical_tiling
+from repro.svm.fastpath import (
+    FAST_BLOCK,
+    MAX_ULP_DRIFT,
+    FastKernelState,
+    decision_scale,
+    margin_drift_ulps,
+    ulp_diff,
+)
+from repro.svm.model import SupportVectorClassifier
+
+WINDOW = Rect(0, 0, 24, 24)
+
+
+def rect_sets(max_rects=6, bound=24, max_side=8):
+    """Non-overlapping rect lists inside ``bound`` (tiling inputs)."""
+
+    def build(raw):
+        rects = []
+        for x0, y0, w, h in raw:
+            r = Rect.maybe(x0, y0, min(bound, x0 + w), min(bound, y0 + h))
+            if r and not any(r.overlaps(o) for o in rects):
+                rects.append(r)
+        return rects
+
+    return st.lists(
+        st.tuples(
+            st.integers(0, bound - 2),
+            st.integers(0, bound - 2),
+            st.integers(1, max_side),
+            st.integers(1, max_side),
+        ),
+        max_size=max_rects,
+    ).map(build)
+
+
+def raw_rect_sets(max_rects=8, bound=24, max_side=10):
+    """Arbitrary (possibly overlapping, possibly degenerate-input) rects.
+
+    Density accumulation is defined for any rect list, so the fast grid
+    must match the scalar one even on inputs tilings would reject.
+    """
+
+    def build(raw):
+        rects = []
+        for x0, y0, w, h in raw:
+            r = Rect.maybe(x0, y0, min(bound, x0 + w), min(bound, y0 + h))
+            if r:
+                rects.append(r)
+        return rects
+
+    return st.lists(
+        st.tuples(
+            st.integers(0, bound - 2),
+            st.integers(0, bound - 2),
+            st.integers(1, max_side),
+            st.integers(1, max_side),
+        ),
+        max_size=max_rects,
+    ).map(build)
+
+
+def fitted_classifier(seed, rows=24, dims=3, far_field_floor=0.0):
+    """A small deterministic RBF model fit on seeded random data."""
+    rng = np.random.RandomState(seed)
+    matrix = rng.uniform(0.0, 10.0, size=(rows, dims))
+    labels = np.where(rng.rand(rows) < 0.5, 1, -1)
+    labels[0], labels[1] = 1, -1  # both classes always present
+    clf = SupportVectorClassifier(
+        C=10.0, gamma=0.1, far_field_floor=far_field_floor
+    )
+    clf.fit(matrix, labels)
+    return clf, rng
+
+
+class TestUlpHelpers:
+    def test_adjacent_doubles_are_one_ulp_apart(self):
+        assert ulp_diff(1.0, np.nextafter(1.0, 2.0)) == 1
+        assert ulp_diff(np.nextafter(1.0, 0.0), 1.0) == 1
+
+    def test_signed_zeros_coincide(self):
+        assert ulp_diff(0.0, -0.0) == 0
+        assert ulp_diff(-0.0, 0.0) == 0
+
+    def test_crossing_zero_counts_both_sides(self):
+        tiny = 5e-324  # smallest subnormal
+        assert ulp_diff(-tiny, tiny) == 2
+
+    def test_identical_values_are_zero_ulps(self):
+        values = np.array([-3.5, 0.0, 1e300, -1e-300])
+        assert np.all(ulp_diff(values, values.copy()) == 0)
+
+    def test_drift_of_empty_margins_is_zero(self):
+        assert margin_drift_ulps(np.array([]), np.array([]), 8.0) == 0.0
+
+    def test_drift_is_normalized_at_decision_scale(self):
+        scale = 8.0
+        exact = np.array([1.0])
+        fast = exact + 4.0 * np.spacing(scale)
+        assert margin_drift_ulps(exact, fast, scale) == pytest.approx(4.0)
+
+    def test_decision_scale_floors_at_one(self):
+        assert decision_scale(np.array([0.25, -0.25]), 0.1) == 1.0
+        assert decision_scale(np.array([4.0, -3.0]), -1.0) == 8.0
+
+
+class TestBlockedMarginInvariance:
+    """Fast margins must not depend on how callers batch the rows."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_samples=st.integers(1, 3 * FAST_BLOCK // 2),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_per_row_equals_batched(self, seed, n_samples):
+        clf, rng = fitted_classifier(seed)
+        samples = rng.uniform(-2.0, 12.0, size=(n_samples, 3))
+        state = FastKernelState.from_classifier(clf)
+
+        full_values, full_similarity = state.evaluate(samples)
+        row_values = np.concatenate(
+            [state.evaluate(samples[i : i + 1])[0] for i in range(n_samples)]
+        )
+        row_similarity = np.concatenate(
+            [state.evaluate(samples[i : i + 1])[1] for i in range(n_samples)]
+        )
+        assert np.array_equal(full_values, row_values)
+        assert np.array_equal(full_similarity, row_similarity)
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        cuts=st.lists(st.integers(1, 199), max_size=6, unique=True),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_partition_invariance(self, seed, cuts):
+        clf, rng = fitted_classifier(seed)
+        samples = rng.uniform(-2.0, 12.0, size=(200, 3))
+        state = FastKernelState.from_classifier(clf)
+
+        full = state.decision_function(samples)
+        bounds = [0] + sorted(cuts) + [200]
+        chunked = np.concatenate(
+            [
+                state.decision_function(samples[lo:hi])
+                for lo, hi in zip(bounds, bounds[1:])
+            ]
+        )
+        assert np.array_equal(full, chunked)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_row_order_invariance(self, seed):
+        clf, rng = fitted_classifier(seed)
+        samples = rng.uniform(-2.0, 12.0, size=(FAST_BLOCK + 7, 3))
+        state = FastKernelState.from_classifier(clf)
+
+        full = state.decision_function(samples)
+        perm = rng.permutation(samples.shape[0])
+        permuted = state.decision_function(samples[perm])
+        restored = np.empty_like(permuted)
+        restored[perm] = permuted
+        assert np.array_equal(full, restored)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_classifier_fast_entrypoints_match_state(self, seed):
+        clf, rng = fitted_classifier(seed, far_field_floor=0.5)
+        samples = rng.uniform(-2.0, 12.0, size=(33, 3))
+        state = clf.fast_state()
+        values, similarity = state.evaluate(samples)
+        assert np.array_equal(clf.decision_function_fast(samples), values)
+        fast_values, fast_similarity = clf.decision_and_similarity_fast(samples)
+        assert np.array_equal(fast_values, values)
+        assert np.array_equal(fast_similarity, similarity)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_fast_drift_from_exact_is_bounded(self, seed):
+        clf, rng = fitted_classifier(seed, far_field_floor=0.25)
+        samples = rng.uniform(-2.0, 12.0, size=(64, 3))
+        state = clf.fast_state()
+        exact = clf.decision_function(samples)
+        fast = state.decision_function(samples)
+        assert margin_drift_ulps(exact, fast, state.scale) <= MAX_ULP_DRIFT
+
+
+class TestSupportVectorCompaction:
+    """Zero-dual rows may be dropped without moving a single bit."""
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        pad=st.integers(1, 12),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_padded_zero_rows_are_dropped_bit_exactly(self, seed, pad):
+        from dataclasses import replace
+
+        clf, rng = fitted_classifier(seed)
+        extra = rng.uniform(0.0, 10.0, size=(pad, clf.support_vectors_.shape[1]))
+        padded = replace(
+            clf,
+            support_vectors_=np.vstack([clf.support_vectors_, extra]),
+            dual_coef_=np.concatenate([clf.dual_coef_, np.zeros(pad)]),
+        )
+
+        clean_state = FastKernelState.from_classifier(clf)
+        padded_state = FastKernelState.from_classifier(padded)
+        assert padded_state.dropped == pad
+        assert np.array_equal(
+            padded_state.support_vectors, clean_state.support_vectors
+        )
+        assert np.array_equal(padded_state.dual_coef, clean_state.dual_coef)
+
+        samples = rng.uniform(-2.0, 12.0, size=(40, 3))
+        assert np.array_equal(
+            padded_state.decision_function(samples),
+            clean_state.decision_function(samples),
+        )
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_compacted_state_stays_within_ulp_bound_of_exact(self, seed):
+        from dataclasses import replace
+
+        clf, rng = fitted_classifier(seed)
+        extra = rng.uniform(0.0, 10.0, size=(5, clf.support_vectors_.shape[1]))
+        padded = replace(
+            clf,
+            support_vectors_=np.vstack([clf.support_vectors_, extra]),
+            dual_coef_=np.concatenate([clf.dual_coef_, np.zeros(5)]),
+        )
+        samples = rng.uniform(-2.0, 12.0, size=(48, 3))
+        state = FastKernelState.from_classifier(padded)
+        exact = padded.decision_function(samples)
+        fast = state.decision_function(samples)
+        assert margin_drift_ulps(exact, fast, state.scale) <= MAX_ULP_DRIFT
+
+    def test_no_zero_rows_means_no_compaction(self):
+        clf, _ = fitted_classifier(7)
+        keep = clf.dual_coef_ != 0.0
+        clf.support_vectors_ = clf.support_vectors_[keep]
+        clf.dual_coef_ = clf.dual_coef_[keep]
+        state = FastKernelState.from_classifier(clf)
+        assert state.dropped == 0
+        assert state.support_vectors.shape[0] == clf.support_vectors_.shape[0]
+
+    def test_all_zero_duals_keep_the_similarity_guard_defined(self):
+        clf, rng = fitted_classifier(11, far_field_floor=0.5)
+        clf.dual_coef_ = np.zeros_like(clf.dual_coef_)
+        state = FastKernelState.from_classifier(clf)
+        # Degenerate models keep their vectors so max-similarity (and the
+        # far-field guard) stays defined.
+        assert state.dropped == 0
+        assert state.support_vectors.shape[0] > 0
+        values, similarity = state.evaluate(rng.uniform(0.0, 10.0, size=(5, 3)))
+        assert np.all(np.isfinite(values))
+        assert np.all(similarity >= 0.0)
+
+
+class TestVectorizedGeometry:
+    """The numpy sweeps equal the scalar ones exactly — no tolerance."""
+
+    @staticmethod
+    def _tiling_key(tiling):
+        return [(t.rect, t.kind, t.index) for t in tiling.tiles]
+
+    @given(rect_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_tilings_equal_scalar(self, rects):
+        for scalar_fn in (horizontal_tiling, vertical_tiling):
+            scalar = scalar_fn(rects, WINDOW, fast=False)
+            fast = scalar_fn(rects, WINDOW, fast=True)
+            assert self._tiling_key(fast) == self._tiling_key(scalar)
+            assert fast.orientation == scalar.orientation
+
+    @given(rect_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_cover_predicate_matches_scalar(self, rects):
+        tiling = horizontal_tiling(rects, WINDOW)
+        tiles = [t.rect for t in tiling.tiles]
+        assert fastscan.tiling_covers_window(tiles, WINDOW) == tiling.covers_window()
+        if tiles:
+            # Punch a hole: both predicates must reject the broken cover.
+            assert not fastscan.tiling_covers_window(tiles[1:], WINDOW) or not tiles[1:]
+
+    @given(rect_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_constraint_graphs_equal_scalar(self, rects):
+        for tiling_fn, axis in ((horizontal_tiling, "h"), (vertical_tiling, "v")):
+            tiling = tiling_fn(rects, WINDOW)
+            scalar = build_mtcg(
+                tiling, axis, with_diagonals=True, diagonal_max_gap=6, fast=False
+            )
+            fast = build_mtcg(
+                tiling, axis, with_diagonals=True, diagonal_max_gap=6, fast=True
+            )
+            assert fast.edges == scalar.edges
+
+    @given(rect_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_topological_extraction_equals_scalar(self, rects):
+        exact = extract_topological_features(
+            rects, WINDOW, diagonal_max_gap=6, compute="exact"
+        )
+        fast = extract_topological_features(
+            rects, WINDOW, diagonal_max_gap=6, compute="fast"
+        )
+        assert fast == exact
+
+    @given(rect_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_nontopo_extraction_equals_scalar(self, rects):
+        exact = extract_nontopo_features(rects, WINDOW, compute="exact")
+        fast = extract_nontopo_features(rects, WINDOW, compute="fast")
+        assert fast == exact
+
+    @given(rect_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_corner_and_touch_counts_equal_scalar(self, rects):
+        assert fastscan.corner_and_touch_counts(
+            rects, WINDOW
+        ) == corner_and_touch_counts_scalar(rects, WINDOW)
+        assert fastscan.corner_and_touch_counts(
+            rects
+        ) == corner_and_touch_counts_scalar(rects)
+
+    @given(raw_rect_sets(), st.sampled_from([2, 3, 4, 6, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_density_grid_is_bit_identical(self, rects, resolution):
+        scalar = density_grid(rects, WINDOW, resolution)
+        fast = density_grid_fast(rects, WINDOW, resolution)
+        assert fast.dtype == scalar.dtype
+        assert fast.shape == scalar.shape
+        assert np.array_equal(fast, scalar)
+
+    def test_fast_density_grid_rejects_what_scalar_rejects(self):
+        with pytest.raises(GeometryError):
+            density_grid_fast([], WINDOW, 0)
+        with pytest.raises(GeometryError):
+            density_grid_fast([], WINDOW, 7)  # 24 % 7 != 0
+        assert np.array_equal(
+            density_grid_fast([], WINDOW, 6), density_grid([], WINDOW, 6)
+        )
+
+    def test_space_strips_cover_the_complement(self):
+        blocks = [Rect(0, 0, 8, 24), Rect(16, 4, 24, 20)]
+        strips = fastscan.space_strips(blocks, WINDOW)
+        covered = sum(r.area for r in strips)
+        assert covered == WINDOW.area - sum(b.area for b in blocks)
+        for strip in strips:
+            assert WINDOW.contains_rect(strip)
+            assert not any(strip.overlaps(b) for b in blocks)
+
+
+class TestComputeModeConfig:
+    def test_feature_config_rejects_unknown_modes(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(compute="turbo")
+
+    def test_feature_fingerprint_is_mode_blind(self):
+        # Extraction is bit-identical between modes, so both share one
+        # feature-cache namespace: the fingerprint must not see the mode.
+        exact = FeatureConfig(compute="exact")
+        fast = FeatureConfig(compute="fast")
+        assert feature_fingerprint(exact) == feature_fingerprint(fast)
+        assert feature_fingerprint(exact) != feature_fingerprint(
+            FeatureConfig(compute="exact", region="clip")
+        )
